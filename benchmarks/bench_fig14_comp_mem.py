@@ -1,0 +1,22 @@
+"""Fig. 14 — normalized computation & memory access across models."""
+
+from repro.eval import harness as H
+from repro.eval.metrics import geomean
+from repro.eval.reporting import print_table
+
+DESIGNS = ["spatten", "sanger", "dota", "energon", "spatten*", "sofa", "pade"]
+
+
+def test_fig14_computation_and_memory(benchmark):
+    data = benchmark(H.fig14_comp_mem)
+    for metric, base in (("computation", "spatten"), ("memory", "sanger")):
+        rows = []
+        for model, vals in data[metric].items():
+            rows.append([model] + [round(vals[d], 3) for d in DESIGNS])
+        gm = [geomean([data[metric][m][d] for m in data[metric]]) for d in DESIGNS]
+        rows.append(["geomean"] + [round(v, 3) for v in gm])
+        print_table(f"Fig. 14 normalized {metric} ({base} = 1)", ["model"] + DESIGNS, rows)
+    # PADE achieves the largest reduction on both axes for every model.
+    for metric in ("computation", "memory"):
+        for model, vals in data[metric].items():
+            assert vals["pade"] == min(vals.values()), (metric, model)

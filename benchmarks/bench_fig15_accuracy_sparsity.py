@@ -1,0 +1,33 @@
+"""Fig. 15 — accuracy vs sparsity level, and HW+SW co-design gains."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_series, print_table
+
+LEVELS = (1.0, 0.5, 0.25, 0.125, 0.0625)
+
+
+def test_fig15ab_accuracy_vs_sparsity(benchmark):
+    data = benchmark(H.fig15_accuracy_vs_sparsity, levels=LEVELS)
+    print_series(
+        "Fig. 15(a/b): proxy accuracy vs sparsity level",
+        [f"1/{int(1/l)}" if l < 1 else "1" for l in LEVELS],
+        data,
+    )
+    # PADE is the best method at the most aggressive level.
+    for method in ("streaming_llm", "minference", "double_sparsity", "spatten", "dtatrans"):
+        assert data["pade"][-1] >= data[method][-1] - 0.5
+    # StreamingLLM (static) trails the adaptive methods at moderate levels.
+    assert data["streaming_llm"][1] <= data["minference"][1] + 0.5
+
+
+def test_fig15c_speedup_energy(benchmark):
+    data = benchmark(H.fig15_speedup_energy, ("dolly", "pg19", "infinitebench"))
+    rows = [[k, round(v["latency_gain"], 2), round(v["energy_gain"], 2)] for k, v in data.items()]
+    print_table(
+        "Fig. 15(c): PADE vs software sparse attention on GPU (@~1% loss)",
+        ["workload", "latency gain", "energy-efficiency gain"],
+        rows,
+    )
+    # Paper: average 5.2x speedup / 10.4x efficiency, growing with length.
+    assert data["infinitebench"]["latency_gain"] > data["dolly"]["latency_gain"]
+    assert all(v["energy_gain"] > 3 for v in data.values())

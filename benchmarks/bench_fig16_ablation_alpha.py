@@ -1,0 +1,35 @@
+"""Fig. 16 — technique ablation and the α accuracy/sparsity trade-off."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig16a_ablation(benchmark):
+    data = benchmark(H.fig16_ablation, model_names=("llama2-7b", "opt-1b3"), seq_len=512)
+    steps = ["baseline", "+BUI-GF", "+BS-OOE", "+ISTA"]
+    rows = [[m] + [round(data[m][s], 3) for s in steps] for m in data]
+    print_table("Fig. 16(a): normalized latency per technique", ["model"] + steps, rows)
+    avg = data["average"]
+    assert avg["+BUI-GF"] < 1.0
+    assert avg["+BS-OOE"] < avg["+BUI-GF"]
+    assert avg["+ISTA"] <= avg["+BS-OOE"] * 1.1
+
+
+def test_fig16b_alpha_tradeoff(benchmark):
+    alphas = (0.8, 0.7, 0.6, 0.5, 0.4, 0.3)
+    data = benchmark(H.fig16_alpha_tradeoff, alphas)
+    rows = [
+        [a, round(data["acc_mmlu"][a], 2), round(data["acc_mbpp"][a], 2),
+         round(data["spa_mmlu"][a], 1), round(data["spa_mbpp"][a], 1)]
+        for a in alphas
+    ]
+    print_table(
+        "Fig. 16(b): α vs accuracy & sparsity",
+        ["alpha", "acc MMLU", "acc MBPP", "sparsity MMLU %", "sparsity MBPP %"],
+        rows,
+    )
+    # generation (MBPP) degrades earlier than reasoning (MMLU)
+    drop_mbpp = data["acc_mbpp"][0.8] - data["acc_mbpp"][0.4]
+    drop_mmlu = data["acc_mmlu"][0.8] - data["acc_mmlu"][0.4]
+    assert drop_mbpp > drop_mmlu * 0.9
+    assert data["spa_mmlu"][0.3] > data["spa_mmlu"][0.8]

@@ -1,0 +1,28 @@
+"""Fig. 17 — design-space exploration: GSAT sub-group & scoreboard size."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig17a_subgroup_dse(benchmark):
+    data = benchmark(H.fig17_gsat_dse)
+    rows = [[g, round(a, 3), round(p, 3)] for g, (a, p) in sorted(data.items())]
+    print_table("Fig. 17(a): GSAT sub-group size DSE (8 = 1.0)", ["sub-group", "area", "power"], rows)
+    assert min(data, key=lambda g: data[g][0]) == 8
+    assert min(data, key=lambda g: data[g][1]) == 8
+
+
+def test_fig17b_scoreboard_dse(benchmark):
+    entries = (4, 8, 16, 24, 32, 40)
+    data = benchmark(
+        H.fig17_scoreboard_dse, entries_list=entries, sparsity_levels=(0.85, 0.90, 0.95), seq_len=512
+    )
+    rows = [[e] + [round(data[sp][e], 3) for sp in (0.85, 0.90, 0.95)] for e in entries]
+    print_table(
+        "Fig. 17(b): PE utilization vs scoreboard entries",
+        ["entries", "85% sparsity", "90% sparsity", "95% sparsity"],
+        rows,
+    )
+    for sp in (0.85, 0.90, 0.95):
+        assert data[sp][32] > data[sp][4]  # grows
+        assert data[sp][40] <= data[sp][32] * 1.05  # saturates at ~32

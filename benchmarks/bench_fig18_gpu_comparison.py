@@ -1,0 +1,45 @@
+"""Fig. 18 — bit-serial overhead and the H100 GPU comparison."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig18a_bit_overhead(benchmark):
+    data = benchmark(H.fig18_bit_overhead, seq_len=512)
+    rows = [
+        [k, round(v["value_latency"]), round(v["bit_latency"]),
+         round(v["latency_gain"], 2), round(v["bit_shift_share"], 3)]
+        for k, v in data.items()
+    ]
+    print_table(
+        "Fig. 18(a): value-level vs bit-level PADE",
+        ["workload", "value cycles", "bit cycles", "latency gain", "shift energy share"],
+        rows,
+    )
+    for v in data.values():
+        assert v["latency_gain"] > 2.0  # paper: ~5x, 17% shift overhead
+
+
+def test_fig18b_gpu_comparison(benchmark):
+    data = benchmark(H.fig18_gpu_comparison, ("llama2-7b", "llama3-8b", "opt-1b3", "pvt"))
+    rows = [
+        [m, round(v["gpu_bui_latency"], 3), round(v["gpu_bui_fa3_latency"], 3),
+         round(v["pade_std_latency"], 3), round(v["pade_aggr_latency"], 3),
+         round(v["pade_std_eff"], 1), round(v["pade_aggr_eff"], 1)]
+        for m, v in data.items()
+    ]
+    print_table(
+        "Fig. 18(b): latency (GPU = 1) and efficiency gain over H100",
+        ["model", "GPU+BUI", "GPU+BUI+FA3", "PADE std", "PADE aggr", "eff std", "eff aggr"],
+        rows,
+    )
+    import numpy as np
+
+    std_eff = np.mean([v["pade_std_eff"] for v in data.values()])
+    aggr_eff = np.mean([v["pade_aggr_eff"] for v in data.values()])
+    std_speed = np.mean([1 / v["pade_std_latency"] for v in data.values()])
+    aggr_speed = np.mean([1 / v["pade_aggr_latency"] for v in data.values()])
+    print(f"PADE std/aggr: {std_speed:.1f}x/{aggr_speed:.1f}x latency (paper 5.8/7.4), "
+          f"{std_eff:.1f}x/{aggr_eff:.1f}x efficiency (paper 28.2/31.1)")
+    assert aggr_speed > std_speed > 2.0
+    assert aggr_eff > std_eff > 8.0

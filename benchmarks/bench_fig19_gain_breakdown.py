@@ -1,0 +1,16 @@
+"""Fig. 19 — energy-efficiency & throughput gain waterfall over the GPU."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig19_waterfall(benchmark):
+    data = benchmark(H.fig19_gain_breakdown, seq_len=2048)
+    eff, thr = data["energy_efficiency"], data["throughput"]
+    rows = [[k, round(v, 2)] for k, v in eff.items()]
+    print_table("Fig. 19(a): cumulative energy-efficiency gain (GPU = 1)", ["step", "gain"], rows)
+    rows = [[k, round(v, 2)] for k, v in thr.items()]
+    print_table("Fig. 19(b): cumulative throughput gain (GPU = 1)", ["step", "gain"], rows)
+    assert eff["baseline_asic"] == 4.0  # anchored to the paper's measurement
+    assert eff["+ista"] > eff["+bs_ooe"] > eff["+bui_gf"] > eff["baseline_asic"]
+    assert thr["+ista"] > thr["baseline_asic"] == 1.5

@@ -1,0 +1,21 @@
+"""Fig. 20 — area and power breakdown of PADE (28 nm, 800 MHz)."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig20_area_power(benchmark):
+    data = benchmark(H.fig20_area_power)
+    rows = [
+        [name, round(area, 3), round(data["power_mw"].get(name, 0.0), 1)]
+        for name, area in data["area_mm2"].items()
+    ]
+    rows.append(["TOTAL", round(sum(data["area_mm2"].values()), 2),
+                 round(sum(data["power_mw"].values()), 0)])
+    print_table("Fig. 20: area (mm²) / power (mW) breakdown", ["component", "area", "power"], rows)
+    o = data["overheads"]
+    print(f"BUI support: {o['bui_area_frac']:.1%} area / {o['bui_power_frac']:.1%} power "
+          f"(paper 4.9%/12.1%); fusion support: {o['fusion_area_frac']:.1%}/{o['fusion_power_frac']:.1%} "
+          f"(paper 5.8%/4.9%)")
+    assert abs(sum(data["area_mm2"].values()) - 4.53) < 0.05
+    assert abs(sum(data["power_mw"].values()) - 591) < 5

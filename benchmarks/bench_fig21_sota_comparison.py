@@ -1,0 +1,42 @@
+"""Fig. 21 — speedup & energy breakdown vs five SOTA accelerators."""
+
+from repro.eval import harness as H
+from repro.eval.metrics import geomean
+from repro.eval.reporting import print_table
+
+
+def test_fig21_sota_comparison(benchmark):
+    entries = (("llama2-7b", 2048), ("llama3-8b", 2048), ("vit-l/16", 576), ("pvt", 3000))
+    data = benchmark(H.fig21_sota_comparison, entries)
+    for model, designs in data.items():
+        rows = [
+            [name, round(v["speedup"], 2), round(v["energy_vs_pade"], 2),
+             round(v["dram_share"], 2), round(v["buffer_share"], 2), round(v["compute_share"], 2)]
+            for name, v in designs.items()
+        ]
+        print_table(
+            f"Fig. 21 [{model}]: speedup (slowest = 1) & energy shares",
+            ["design", "speedup", "energy vs PADE", "dram", "buffer", "compute"],
+            rows,
+        )
+    for model, designs in data.items():
+        # PADE leads (or ties within ~10%) on both axes; on ViT our CV
+        # profile is less sparse than the paper's measurement, letting SOFA
+        # tie (see EXPERIMENTS.md).
+        best = max(v["speedup"] for v in designs.values())
+        assert designs["pade"]["speedup"] >= 0.90 * best
+        assert all(v["energy_vs_pade"] >= 0.90 for v in designs.values())
+    for model in ("llama2-7b", "llama3-8b", "pvt"):
+        assert all(v["energy_vs_pade"] >= 1.0 for v in data[model].values())
+    gains = {
+        d: geomean([data[m][d]["energy_vs_pade"] for m in data])
+        for d in ("sanger", "dota", "sofa")
+    }
+    print(f"geomean energy savings vs PADE: sanger {gains['sanger']:.1f}x (paper 5.1), "
+          f"dota {gains['dota']:.1f}x (paper 4.3), sofa {gains['sofa']:.1f}x (paper 3.4)")
+    assert gains["sanger"] > gains["sofa"] > 1.0
+
+    # GQA observation: PADE's lead is at least as large on Llama3 (GQA).
+    l2 = data["llama2-7b"]["sanger"]["energy_vs_pade"]
+    l3 = data["llama3-8b"]["sanger"]["energy_vs_pade"]
+    print(f"sanger/PADE energy: MHA {l2:.2f}x vs GQA {l3:.2f}x")

@@ -1,0 +1,40 @@
+"""Fig. 23 — workload balance vs BitWave and DRAM bandwidth utilization."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig23a_workload_balance(benchmark):
+    lanes = (4, 8, 16, 32)
+    data = benchmark(H.fig23_workload_balance, lane_counts=lanes, seq_len=512)
+    rows = []
+    for n in lanes:
+        for design in ("pade", "bitwave"):
+            v = data[design][n]
+            rows.append([design, n, round(v["useful"], 3), round(v["intra_pe_stall"], 3),
+                         round(v["inter_pe_stall"], 3)])
+    print_table(
+        "Fig. 23(a): PE-cycle breakdown vs #lanes",
+        ["design", "lanes", "useful", "intra-PE stall", "inter-PE stall"],
+        rows,
+    )
+    for n in lanes:
+        assert data["pade"][n]["useful"] > data["bitwave"][n]["useful"]
+        assert data["pade"][n]["intra_pe_stall"] <= data["bitwave"][n]["intra_pe_stall"]
+
+
+def test_fig23b_bandwidth(benchmark):
+    data = benchmark(H.fig23_bandwidth, (("mmlu", 512), ("wikitext2", 1024)))
+    for wl, designs in data.items():
+        rows = [
+            [name, round(v["dram"], 3), round(v["speedup"], 2), round(v["bw_utilization"], 3)]
+            for name, v in designs.items()
+        ]
+        print_table(
+            f"Fig. 23(b) [{wl}]: DRAM access (dense = 1), speedup, BW utilization",
+            ["design", "dram access", "speedup", "bw util"],
+            rows,
+        )
+        assert designs["pade_dl"]["dram"] < 1.0
+        assert designs["pade_dl"]["speedup"] >= designs["pade_no_dl"]["speedup"]
+        assert designs["pade_dl"]["bw_utilization"] >= designs["pade_no_dl"]["bw_utilization"]

@@ -1,0 +1,14 @@
+"""Fig. 25 — BUI-GF compatibility with the MXINT micro-scaling format."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig25_mx_bui(benchmark):
+    data = benchmark(H.fig25_mx_example)
+    print_table(
+        "Fig. 25: group-scaled BUI on MXINT operands",
+        ["checked pairs x prefixes", "sound", "rate", "mean width"],
+        [[data["checked"], data["sound"], data["soundness_rate"], round(data["mean_interval_width"], 2)]],
+    )
+    assert data["soundness_rate"] == 1.0

@@ -1,0 +1,31 @@
+"""Fig. 26 — diverse quantizations and ultra-long-sequence decoding."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig26a_quantization_variants(benchmark):
+    data = benchmark(H.fig26_quantization, seq_len=2048)
+    rows = [[k, v["dense"], round(v["sofa"], 3), round(v["pade"], 3)] for k, v in data.items()]
+    print_table("Fig. 26(a): energy vs dense under quantization variants",
+                ["config", "dense", "sofa", "pade"], rows)
+    # QAT's flat distributions blunt SOFA's predictor far more than PADE.
+    assert data["qat8"]["sofa"] / data["ptq8"]["sofa"] > data["qat8"]["pade"] / data["ptq8"]["pade"]
+    assert data["ptq4"]["pade"] < data["ptq4"]["sofa"]
+
+
+def test_fig26b_long_decoding(benchmark):
+    seqs = (4096, 8192, 16384)
+    data = benchmark(H.fig26_decoding, seq_lens=seqs)
+    rows = []
+    for s in seqs:
+        for design in ("dense", "sofa", "pade"):
+            v = data[s][design]
+            rows.append([s, design, round(v["total_vs_dense"], 3), round(v["dram_share"], 2)])
+    print_table("Fig. 26(b): decoding energy (dense = 1) and DRAM share",
+                ["seq", "design", "energy", "dram share"], rows)
+    # SOFA's predictor balloons with context; PADE stays ~flat; DRAM >85%.
+    assert data[16384]["sofa"]["total_vs_dense"] > 1.3 * data[4096]["sofa"]["total_vs_dense"]
+    assert abs(data[16384]["pade"]["total_vs_dense"] - data[4096]["pade"]["total_vs_dense"]) < 0.1
+    for s in seqs:
+        assert data[s]["dense"]["dram_share"] > 0.85

@@ -1,0 +1,31 @@
+"""Fig. 2 — predictor vs executor power, and the ratio's growth with SL."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_series, print_table
+
+
+def test_fig2a_power_breakdown(benchmark):
+    data = benchmark(H.fig2_power_breakdown)
+    rows = [
+        [name, round(v["executor"], 3), round(v["predictor"], 3),
+         round(v["predictor"] / max(1e-12, v["predictor"] + v["executor"]), 3)]
+        for name, v in data.items()
+    ]
+    print_table(
+        "Fig. 2(a): normalized power (dense = 1)",
+        ["design@bits", "executor", "predictor", "predictor share"],
+        rows,
+    )
+    s8 = data["sanger@8b"]
+    s16 = data["sanger@16b"]
+    share8 = s8["predictor"] / (s8["predictor"] + s8["executor"])
+    share16 = s16["predictor"] / (s16["predictor"] + s16["executor"])
+    assert share8 > share16  # predictor dominance grows at low bits
+
+
+def test_fig2b_ratio_vs_seqlen(benchmark):
+    seq_lens = (1024, 2048, 4096, 8192)
+    data = benchmark(H.fig2_ratio_vs_seqlen, seq_lens)
+    print_series("Fig. 2(b): predictor/executor power ratio vs SL", list(seq_lens), data)
+    for series in data.values():
+        assert series[0] < series[-1]

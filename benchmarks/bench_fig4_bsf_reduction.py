@@ -1,0 +1,19 @@
+"""Fig. 4(c) — memory/compute reduction: stage splitting vs BSF."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_fig4_bsf_vs_stage_splitting(benchmark):
+    data = benchmark(H.fig4_bsf_reduction, seq_len=1024, num_layers=4)
+    for metric in ("memory_reduction", "compute_reduction"):
+        d = data[metric]
+        rows = [
+            [f"layer {i}" if i < 4 else "geomean", round(d["stage_splitting"][i], 3), round(d["bsf"][i], 3)]
+            for i in range(5)
+        ]
+        print_table(f"Fig. 4(c) {metric} over dense", ["layer", "stage splitting", "BSF"], rows)
+    mem_ratio = data["memory_reduction"]["bsf"][-1] / data["memory_reduction"]["stage_splitting"][-1]
+    comp_ratio = data["compute_reduction"]["bsf"][-1] / data["compute_reduction"]["stage_splitting"][-1]
+    print(f"BSF advantage: {mem_ratio:.1f}x memory (paper 4.6x), {comp_ratio:.1f}x compute (paper 2.1x)")
+    assert mem_ratio > 1.5 and comp_ratio > 1.5

@@ -1,0 +1,15 @@
+"""Fig. 5(f) — untiled memory access growth with parallel queries."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_series
+
+
+def test_fig5_untiled_memory(benchmark):
+    ps = (8, 16, 24, 32, 40)
+    data = benchmark(H.fig5_untiled_memory, parallel_queries=ps)
+    print_series("Fig. 5(f): normalized memory access vs P (no tiling)", list(ps), data)
+    # Paper: P 8 -> 32 grows >12x with 240kB SRAM.
+    growth = data["240kB"][3] / data["240kB"][0]
+    print(f"240kB growth P=8->32: {growth:.1f}x (paper >12x)")
+    assert growth > 6.0
+    assert data["320kB"][3] <= data["240kB"][3]

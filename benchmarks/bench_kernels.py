@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the core kernels (timing, not figure regeneration).
+
+These track the library's own performance: the fused BSF filter, ISTA, the
+dense references, and the cycle simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attention.dense import dense_attention
+from repro.attention.flash import flash_attention
+from repro.core import PadeConfig, pade_attention
+from repro.core.bsf import bsf_filter
+from repro.core.bui_gf import guard_in_int_units
+from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+from repro.quant.bitplane import decompose_bitplanes
+from repro.quant.integer import quantize_symmetric
+from repro.sim.accelerator import AcceleratorConfig, PadeAccelerator
+
+
+@pytest.fixture(scope="module")
+def qkv():
+    return synthesize_qkv(8, 1024, 64, PROFILE_PRESETS["nlp"], np.random.default_rng(0))
+
+
+def test_bench_dense_attention(benchmark, qkv):
+    q, k, v = qkv
+    benchmark(dense_attention, q, k, v)
+
+
+def test_bench_flash_attention(benchmark, qkv):
+    q, k, v = qkv
+    benchmark(flash_attention, q, k, v, 64)
+
+
+def test_bench_pade_attention(benchmark, qkv):
+    q, k, v = qkv
+    res = benchmark(pade_attention, q, k, v, PadeConfig.standard())
+    assert res.sparsity > 0.5
+
+
+def test_bench_bsf_filter(benchmark, qkv):
+    q, k, v = qkv
+    qi = quantize_symmetric(q)
+    ki = quantize_symmetric(k)
+    planes = decompose_bitplanes(ki.data)
+    guard = guard_in_int_units(0.6, 5.0, float(qi.scale) * float(ki.scale) / 8.0)
+    res = benchmark(bsf_filter, qi.data, planes, guard)
+    assert res.sparsity > 0.5
+
+
+def test_bench_cycle_simulator(benchmark, qkv):
+    q, k, v = qkv
+    acc = PadeAccelerator(AcceleratorConfig())
+    report = benchmark(acc.run_head, q, k, v)
+    assert report.latency_cycles > 0

@@ -1,0 +1,12 @@
+"""Table I — feature matrix of SOTA attention accelerators."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_table1_features(benchmark):
+    data = benchmark(H.table1_features)
+    cols = ["computation", "memory", "predictor_free", "tiling", "optimization_level"]
+    rows = [[name] + [feats.get(c, "-") for c in cols] for name, feats in data.items()]
+    print_table("Table I: accelerator features", ["design"] + cols, rows)
+    assert data["pade"]["optimization_level"] == "bit"

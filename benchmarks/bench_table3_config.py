@@ -1,0 +1,10 @@
+"""Table III — PADE hardware configuration."""
+
+from repro.eval import harness as H
+from repro.eval.reporting import print_table
+
+
+def test_table3_config(benchmark):
+    data = benchmark(H.table3_config)
+    print_table("Table III: PADE configuration", ["component", "value"], list(data.items()))
+    assert "256" in data["Off-chip DRAM"]

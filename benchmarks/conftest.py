@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Every file regenerates one table or figure of the paper (see DESIGN.md §4).
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+regenerated rows/series printed in the paper's layout).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _print_header(request, capsys):
+    yield
+    # flush the printed tables even under capture when -rA is used

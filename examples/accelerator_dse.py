@@ -1,0 +1,51 @@
+"""Design-space exploration of the PADE accelerator (Figs. 16b/17).
+
+Sweeps the three knobs the paper explores:
+
+* the pruning aggressiveness α (accuracy vs sparsity trade-off),
+* the GSAT sub-group size (mux vs subtractor balance),
+* the scoreboard depth (PE utilization saturation),
+
+using the same machinery as the corresponding benchmarks.
+
+    python examples/accelerator_dse.py
+"""
+
+from repro.eval.harness import fig16_alpha_tradeoff, fig17_gsat_dse, fig17_scoreboard_dse
+from repro.eval.reporting import print_table
+from repro.sim.area import DesignPoint, scaled_breakdown
+
+
+def main() -> None:
+    alphas = (0.8, 0.7, 0.6, 0.5, 0.4, 0.3)
+    tradeoff = fig16_alpha_tradeoff(alphas)
+    print_table(
+        "alpha sweep (Llama-2-7B): accuracy vs sparsity",
+        ["alpha", "MMLU acc", "MBPP acc", "sparsity %"],
+        [[a, round(tradeoff["acc_mmlu"][a], 2), round(tradeoff["acc_mbpp"][a], 2),
+          round(tradeoff["spa_mmlu"][a], 1)] for a in alphas],
+    )
+
+    dse = fig17_gsat_dse()
+    print_table(
+        "GSAT sub-group size (relative to g=8)",
+        ["sub-group", "area", "power"],
+        [[g, round(a, 2), round(p, 2)] for g, (a, p) in sorted(dse.items())],
+    )
+
+    sb = fig17_scoreboard_dse(entries_list=(4, 8, 16, 32, 40), sparsity_levels=(0.90,))
+    print_table(
+        "scoreboard entries vs PE utilization (90% sparsity)",
+        ["entries", "utilization"],
+        [[e, round(u, 3)] for e, u in sb[0.90].items()],
+    )
+
+    # What would a 16-entry-scoreboard, 16-wide-subgroup PADE cost?
+    variant = scaled_breakdown(DesignPoint(gsat_subgroup=16, scoreboard_entries=16))
+    base_total = sum(scaled_breakdown(DesignPoint()).values())
+    print(f"\nvariant area: {sum(variant.values()):.2f} mm² "
+          f"(default {base_total:.2f} mm²) — the default is the paper's optimum")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — a full reproduction of PADE (HPCA 2026).
+
+PADE is a predictor-free sparse attention accelerator built on bit-serial
+stage fusion.  This package provides:
+
+* :mod:`repro.core` — the paper's algorithms (BUI-GF, BS-OOE, ISTA) and the
+  end-to-end :func:`repro.core.pade_attention` operator.
+* :mod:`repro.quant` — INT/MXINT quantization and bit-plane decomposition.
+* :mod:`repro.attention` — dense / FlashAttention references and software
+  sparse-attention baselines.
+* :mod:`repro.model` — transformer workload substrate (model presets,
+  synthetic attention generators, proxy accuracy tasks).
+* :mod:`repro.sim` — cycle-approximate simulator of the PADE accelerator
+  (HBM2, PE lanes, scoreboard, GSAT, RARS, V-PU) + energy/area models.
+* :mod:`repro.accelerators` — analytic models of the compared designs
+  (dense ASIC, Sanger, SpAtten, Energon, DOTA, SOFA, BitWave, H100 GPU).
+* :mod:`repro.eval` — the experiment harness regenerating every table and
+  figure of the paper's evaluation section.
+"""
+
+from repro.core import PadeConfig, pade_attention
+
+__version__ = "1.0.0"
+
+__all__ = ["PadeConfig", "pade_attention", "__version__"]

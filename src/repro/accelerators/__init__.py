@@ -1,0 +1,61 @@
+"""Analytic models of the compared attention accelerators (§VI-A).
+
+All designs are normalized to the paper's protocol: identical 28 nm tech
+constants, identical peak INT8 compute, 352 KB SRAM, 256 GB/s HBM at
+4 pJ/bit, 800 MHz.  Each model implements its published prediction/execution
+scheme, so relative costs (predictor share, memory traffic, achieved
+sparsity) track the paper:
+
+* :mod:`dense_acc` — dense attention, no predictor.
+* :mod:`sanger` — 4-bit MSB predictor + threshold mask, reconfigurable
+  executor (stage-splitting reference).
+* :mod:`spatten` — cascade token/head pruning guided by accumulated scores
+  (predictor-free but accuracy-limited without retraining; top-k sort HW).
+* :mod:`energon` — progressive mixed-precision filtering predictor.
+* :mod:`dota` — low-rank score approximation predictor.
+* :mod:`sofa` — log-domain differential predictor + cross-stage tiling.
+* :mod:`bitwave` — bit-column sparsity baseline (Fig. 23a comparator).
+* :mod:`gpu` — Nvidia H100 roofline (TensorRT-LLM + FlashAttention-3).
+* :mod:`pade_model` — PADE itself expressed in the same analytic framework
+  (for apples-to-apples long-sequence studies; the cycle simulator in
+  :mod:`repro.sim` remains the source of truth for short sequences).
+"""
+
+from repro.accelerators.base import AttentionWorkload, AcceleratorModel, CostReport
+from repro.accelerators.dense_acc import DenseAccelerator
+from repro.accelerators.sanger import SangerModel
+from repro.accelerators.spatten import SpAttenModel
+from repro.accelerators.energon import EnergonModel
+from repro.accelerators.dota import DotaModel
+from repro.accelerators.sofa import SofaModel
+from repro.accelerators.bitwave import BitWaveModel
+from repro.accelerators.gpu import GPUModel
+from repro.accelerators.pade_model import PadeAnalyticModel
+
+ALL_MODELS = {
+    "dense": DenseAccelerator,
+    "sanger": SangerModel,
+    "spatten": SpAttenModel,
+    "energon": EnergonModel,
+    "dota": DotaModel,
+    "sofa": SofaModel,
+    "bitwave": BitWaveModel,
+    "gpu": GPUModel,
+    "pade": PadeAnalyticModel,
+}
+
+__all__ = [
+    "AttentionWorkload",
+    "AcceleratorModel",
+    "CostReport",
+    "DenseAccelerator",
+    "SangerModel",
+    "SpAttenModel",
+    "EnergonModel",
+    "DotaModel",
+    "SofaModel",
+    "BitWaveModel",
+    "GPUModel",
+    "PadeAnalyticModel",
+    "ALL_MODELS",
+]

@@ -1,0 +1,219 @@
+"""Shared framework for the analytic accelerator models.
+
+Every design is costed on the same :class:`AttentionWorkload` under the same
+:class:`~repro.sim.tech.TechConfig`; a model's job is to fill in a
+:class:`CostReport` — computation energy, predictor energy, SRAM/DRAM
+traffic, and the cycle counts of its execution scheme.  Ratios between
+models are then meaningful under the paper's normalization protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["AttentionWorkload", "CostReport", "AcceleratorModel"]
+
+
+@dataclass(frozen=True)
+class AttentionWorkload:
+    """One attention execution to cost.
+
+    Attributes
+    ----------
+    num_queries:
+        Query rows processed (S for prefill, 1 per step × steps for decode).
+    seq_len:
+        Key/value sequence length.
+    head_dim / num_heads / num_kv_heads / num_layers:
+        Model shape (GQA when ``num_kv_heads < num_heads``).
+    oracle_keep:
+        Fraction of (query, key) pairs an exact top-score criterion would
+        keep at the target accuracy (from the functional pipeline).  Each
+        design achieves ``oracle_keep * its keep_inflation``.
+    mean_planes:
+        Mean bit planes per candidate key consumed by PADE's early
+        termination (from the functional pipeline; max = operand bits).
+    decode:
+        Auto-regressive decoding (no query-side reuse of K/V).
+    """
+
+    num_queries: int
+    seq_len: int
+    head_dim: int = 64
+    num_heads: int = 32
+    num_kv_heads: Optional[int] = None
+    num_layers: int = 32
+    oracle_keep: float = 0.12
+    mean_planes: float = 3.8
+    decode: bool = False
+
+    @property
+    def kv_heads(self) -> int:
+        return self.num_kv_heads if self.num_kv_heads is not None else self.num_heads
+
+    @property
+    def heads_layers(self) -> float:
+        return float(self.num_heads * self.num_layers)
+
+    @property
+    def dense_pairs(self) -> float:
+        """Total (query, key) pairs across heads and layers."""
+        return float(self.num_queries) * self.seq_len * self.heads_layers
+
+    @property
+    def dense_macs(self) -> float:
+        """Dense attention MACs (QK^T + PV)."""
+        return 2.0 * self.dense_pairs * self.head_dim
+
+    @property
+    def dense_equivalent_ops(self) -> float:
+        return 2.0 * self.dense_macs  # 2 ops per MAC
+
+    def kv_bytes(self, bits: int) -> float:
+        """One full K (or V) pass per layer across KV heads."""
+        return self.seq_len * self.head_dim * bits / 8.0 * self.kv_heads * self.num_layers
+
+
+@dataclass
+class CostReport:
+    """Latency/energy result of one analytic model on one workload."""
+
+    name: str
+    cycles: float
+    energy_pj: Dict[str, float] = field(default_factory=dict)
+    dram_bytes: float = 0.0
+    predictor_macs: float = 0.0
+    executor_macs: float = 0.0
+    keep_fraction: float = 1.0
+    tech: TechConfig = field(default=DEFAULT_TECH, repr=False)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return float(sum(self.energy_pj.values()))
+
+    @property
+    def predictor_energy_pj(self) -> float:
+        return self.energy_pj.get("predictor_compute", 0.0) + self.energy_pj.get(
+            "predictor_memory", 0.0
+        )
+
+    @property
+    def executor_energy_pj(self) -> float:
+        return self.total_energy_pj - self.predictor_energy_pj
+
+    @property
+    def latency_s(self) -> float:
+        return self.cycles * self.tech.cycle_time_s
+
+    def throughput_gops(self, workload: AttentionWorkload) -> float:
+        if self.latency_s <= 0:
+            return 0.0
+        return workload.dense_equivalent_ops / self.latency_s / 1e9
+
+    def gops_per_watt(self, workload: AttentionWorkload) -> float:
+        if self.total_energy_pj <= 0:
+            return 0.0
+        return workload.dense_equivalent_ops / (self.total_energy_pj * 1e-12) / 1e9
+
+
+class AcceleratorModel:
+    """Base class: shared tech, peak compute, and costing helpers."""
+
+    #: human-readable name and Table I feature row, overridden per design
+    name: str = "base"
+    FEATURES: Dict[str, str] = {}
+
+    #: identical peak executor compute for every normalized design —
+    #: calibrated so the equal-PE-area protocol holds against PADE's
+    #: 128 bit-serial GSAT lanes (bit-serial adders are far denser than
+    #: full INT8 MACs at 28 nm)
+    PEAK_INT8_MACS_PER_CYCLE: int = 512
+    #: executor utilization on attention (irregularity penalty); designs
+    #: with load-balancing hardware override this
+    executor_utilization: float = 0.70
+    #: query rows sharing one K/V stream when the working set spills SRAM;
+    #: designs whose pruning criterion blocks tiling are stuck at one PE-row
+    #: block (Table I "tiling support"), SOFA's cross-stage tiling widens it,
+    #: PADE's ISTA covers the whole 32 KB Q buffer (256 queries).
+    BLOCK_QUERIES: int = 8
+
+    def __init__(self, tech: TechConfig = DEFAULT_TECH) -> None:
+        self.tech = tech
+
+    # -- helpers ---------------------------------------------------------
+    def mac_energy(self, macs: float, bits: int) -> float:
+        t = self.tech
+        per = {4: t.int4_mult_pj, 8: t.int8_mac_pj, 16: t.int16_mac_pj}.get(bits)
+        if per is None:
+            per = t.int8_mac_pj * (bits / 8.0) ** 1.6
+        return macs * per
+
+    def dram_energy(self, nbytes: float, activation_rate: float = 0.05) -> float:
+        t = self.tech
+        accesses = nbytes / t.hbm_burst_bytes
+        return nbytes * 8 * t.hbm_pj_per_bit + accesses * activation_rate * t.hbm_activation_energy_pj
+
+    def sram_energy(self, nbytes_read: float, nbytes_written: float = 0.0) -> float:
+        t = self.tech
+        return nbytes_read * t.sram_read_pj_per_byte + nbytes_written * t.sram_write_pj_per_byte
+
+    def kv_passes(self, workload: AttentionWorkload, bits: int = 8) -> float:
+        """How many times the K (or V) tensor streams from DRAM.
+
+        If one head's K working set fits on chip it is fetched once and
+        reused across every query block (the short-sequence regime where all
+        designs look alike); otherwise each query block re-streams it —
+        ``BLOCK_QUERIES`` then decides how fast traffic grows with queries
+        (the Fig. 5f tiling-difficulty mechanism).  Decoding always streams
+        per step: there is no query-side reuse.
+        """
+        if workload.decode:
+            return float(workload.num_queries)
+        per_head_kv = workload.seq_len * workload.head_dim * bits / 8.0
+        if per_head_kv <= self.tech.sram_kv_bytes:  # K resident, V streamed on demand
+            return 1.0
+        return float(np.ceil(workload.num_queries / self.BLOCK_QUERIES))
+
+    def sram_for(self, macs: float, dram_bytes: float, reuse: float = 16.0) -> float:
+        """SRAM energy for a compute phase.
+
+        Operands are read from SRAM once per ``reuse`` MACs (PE-array operand
+        reuse); every DRAM byte is written into SRAM once on fill.
+        """
+        return self.sram_energy(macs / max(1.0, reuse) * 2.0, dram_bytes)
+
+    def compute_cycles(self, macs: float, utilization: Optional[float] = None) -> float:
+        u = utilization if utilization is not None else self.executor_utilization
+        return macs / (self.PEAK_INT8_MACS_PER_CYCLE * max(1e-6, u))
+
+    def dram_cycles(self, nbytes: float) -> float:
+        return nbytes / self.tech.hbm_bytes_per_cycle
+
+    def static_energy(self, cycles: float) -> float:
+        return cycles * self.tech.cycle_time_s * self.tech.static_power_w * 1e12
+
+    def softmax_energy(self, elements: float) -> float:
+        return elements * self.tech.fp16_exp_pj
+
+    # -- interface -------------------------------------------------------
+    def cost(self, workload: AttentionWorkload) -> CostReport:
+        raise NotImplementedError
+
+    def keep_fraction(self, workload: AttentionWorkload) -> float:
+        """Achieved keep fraction at iso-accuracy.
+
+        ``oracle_keep × KEEP_INFLATION + KEEP_FLOOR``: the multiplicative
+        term models estimate noise, the additive floor the borderline band a
+        coarse estimate cannot prune at a 0%-loss tolerance (stale cross-
+        layer guidance has the largest floor, exact bit-level bounds none).
+        """
+        return min(
+            1.0,
+            workload.oracle_keep * getattr(self, "KEEP_INFLATION", 1.0)
+            + getattr(self, "KEEP_FLOOR", 0.0),
+        )

@@ -1,0 +1,106 @@
+"""BitWave (HPCA'24): bit-column sparsity accelerator (Fig. 23a comparator).
+
+BitWave exploits zero bit-columns via bit-flipping, but only *zero* bits —
+it cannot turn dense-1 columns into work reductions the way bidirectional
+sparsity does, so its per-lane workload variance is higher: lanes whose
+operands have many effective bits straggle (intra-PE stall) and lanes with
+different key statistics diverge (inter-PE stall), worsening as lanes scale.
+This model mirrors the QK-PU lane simulation with one-sided costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
+from repro.quant.bitplane import BitPlanes
+from repro.sim.pe import lane_task_costs, simulate_lane
+from repro.sim.qkpu import QKPUResult
+from repro.sim.tech import DEFAULT_TECH
+
+__all__ = ["BitWaveModel", "simulate_bitwave_lanes"]
+
+
+def simulate_bitwave_lanes(
+    planes_processed: np.ndarray,
+    key_planes: BitPlanes,
+    lanes_per_row: int = 16,
+    tech=DEFAULT_TECH,
+) -> QKPUResult:
+    """BitWave-style lane timing: one-sided bit sparsity, in-order issue."""
+    planes_processed = np.atleast_2d(np.asarray(planes_processed, dtype=np.int64))
+    num_rows, num_tokens = planes_processed.shape
+    costs = lane_task_costs(
+        key_planes.planes,
+        subgroup=tech.gsat_subgroup,
+        muxes=max(1, tech.gsat_subgroup // 2),
+        bidirectional=False,  # only bit-0 sparsity
+    )
+    lane_stats = []
+    finishes = []
+    for row in range(num_rows):
+        for lane in range(lanes_per_row):
+            token_ids = np.arange(lane, num_tokens, lanes_per_row)
+            work = [
+                (int(t), costs[: planes_processed[row, t], t])
+                for t in token_ids
+                if planes_processed[row, t] > 0
+            ]
+            # BitWave streams planes with prefetch (no decision-dependent
+            # fetches), but buffers only a couple of tokens — imbalance, not
+            # exposed DRAM latency, is its bottleneck.
+            stats = simulate_lane(
+                work, dram_latency=12.0, scoreboard_entries=5, out_of_order=True
+            )
+            lane_stats.append(stats)
+        finishes.append(max((s.finish_cycle for s in lane_stats[-lanes_per_row:]), default=0.0))
+    return QKPUResult(cycles=max(finishes, default=0.0), lane_stats=lane_stats)
+
+
+class BitWaveModel(AcceleratorModel):
+    name = "bitwave"
+    BLOCK_QUERIES = 16
+    KEEP_INFLATION = 1.0  # dense execution; gains come from bit sparsity only
+    FEATURES = {
+        "computation": "optimized (bit-column sparsity)",
+        "memory": "low (bit packing)",
+        "predictor_free": "yes (no token sparsity)",
+        "tiling": "no",
+        "optimization_level": "bit",
+    }
+
+    #: average effective-bit fraction with one-sided (zero-bit) skipping on
+    #: activation-like data (~0.5 density → half the bits are ones and ALL
+    #: must be processed)
+    ONE_SIDED_BIT_FRACTION = 0.52
+
+    def cost(self, workload: AttentionWorkload) -> CostReport:
+        w = workload
+        bit_ops = w.dense_macs * 8 * self.ONE_SIDED_BIT_FRACTION
+        k_passes = self.kv_passes(w)
+        dram_bytes = (
+            w.kv_bytes(8) * k_passes * 2
+            + w.num_queries * w.head_dim * w.heads_layers
+            + w.num_queries * w.head_dim * 2 * w.heads_layers
+        )
+        # One-sided sparsity → poor balance → low utilization at scale.
+        cycles = max(
+            bit_ops / (self.PEAK_INT8_MACS_PER_CYCLE * 8 * 0.55),
+            self.dram_cycles(dram_bytes),
+        )
+        energy = {
+            "compute": bit_ops * self.tech.bit_serial_add_pj / 8,
+            "softmax": self.softmax_energy(w.dense_pairs),
+            "sram": self.sram_for(w.dense_macs, dram_bytes),
+            "dram": self.dram_energy(dram_bytes),
+            "static": self.static_energy(cycles),
+        }
+        return CostReport(
+            name=self.name,
+            cycles=cycles,
+            energy_pj=energy,
+            dram_bytes=dram_bytes,
+            executor_macs=w.dense_macs,
+            keep_fraction=1.0,
+            tech=self.tech,
+        )

@@ -1,0 +1,60 @@
+"""Dense attention accelerator: no predictor, full QK^T + PV at INT8."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
+
+__all__ = ["DenseAccelerator"]
+
+
+class DenseAccelerator(AcceleratorModel):
+    """Dense INT8 attention on the normalized substrate.
+
+    Serves as the normalization baseline of Figs. 2/23(b) ("Dense
+    Attention") and the no-sparse-modules reference of Figs. 16(a)/19.
+    """
+
+    name = "dense"
+    BLOCK_QUERIES = 64
+    FEATURES = {
+        "computation": "dense",
+        "memory": "none",
+        "predictor_free": "yes (none needed)",
+        "tiling": "no",
+        "optimization_level": "value",
+    }
+
+    def __init__(self, tech=None, exec_bits: int = 8) -> None:
+        super().__init__(tech) if tech is not None else super().__init__()
+        self.exec_bits = exec_bits
+
+    def cost(self, workload: AttentionWorkload) -> CostReport:
+        w = workload
+        macs = w.dense_macs
+        k_passes = self.kv_passes(w)
+        k_bytes = w.kv_bytes(self.exec_bits) * k_passes
+        v_bytes = w.kv_bytes(self.exec_bits) * k_passes
+        q_bytes = w.num_queries * w.head_dim * self.exec_bits / 8 * w.heads_layers
+        out_bytes = w.num_queries * w.head_dim * 2 * w.heads_layers
+        dram_bytes = k_bytes + v_bytes + q_bytes + out_bytes
+
+        compute_cycles = self.compute_cycles(macs)
+        cycles = max(compute_cycles, self.dram_cycles(dram_bytes))
+        energy = {
+            "compute": self.mac_energy(macs, self.exec_bits),
+            "softmax": self.softmax_energy(w.dense_pairs),
+            "sram": self.sram_for(macs, dram_bytes),
+            "dram": self.dram_energy(dram_bytes),
+            "static": self.static_energy(cycles),
+        }
+        return CostReport(
+            name=self.name,
+            cycles=cycles,
+            energy_pj=energy,
+            dram_bytes=dram_bytes,
+            executor_macs=macs,
+            keep_fraction=1.0,
+            tech=self.tech,
+        )

@@ -1,0 +1,90 @@
+"""Energon (TCAD'22): progressive mixed-precision filtering predictor.
+
+Energon filters candidates in rounds of increasing precision: a very low-bit
+pass over everything, then higher-precision passes over shrinking survivor
+sets.  That makes its predictor cheaper than Sanger's single 4-bit full pass
+(the paper credits Energon with a 32% computation reduction) but it still
+cannot reuse predictor work in the executor, and the multi-round K fetches
+keep its memory reduction modest (21% in Fig. 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
+
+__all__ = ["EnergonModel"]
+
+
+class EnergonModel(AcceleratorModel):
+    name = "energon"
+    BLOCK_QUERIES = 8
+    KEEP_INFLATION = 1.25
+    KEEP_FLOOR = 0.08
+    FEATURES = {
+        "computation": "optimized (progressive precision)",
+        "memory": "none",
+        "predictor_free": "no",
+        "tiling": "no",
+        "optimization_level": "multi-bit",
+    }
+
+    #: (bits, fraction of candidates surviving INTO this round)
+    ROUNDS = ((2, 1.0), (4, 0.45), (8, 0.20))
+
+    def __init__(self, tech=None, exec_bits: int = 8) -> None:
+        super().__init__(tech) if tech is not None else super().__init__()
+        self.exec_bits = exec_bits
+
+    def cost(self, workload: AttentionWorkload) -> CostReport:
+        w = workload
+        keep = self.keep_fraction(w)
+        k_passes = self.kv_passes(w)
+
+        pred_compute = 0.0
+        pred_k_bytes = 0.0
+        pred_macs = 0.0
+        for bits, frac in self.ROUNDS[:-1]:
+            macs = w.dense_pairs * w.head_dim * frac
+            pred_macs += macs
+            pred_compute += self.mac_energy(macs, bits)
+            pred_k_bytes += w.kv_bytes(bits) * k_passes * frac
+        pred_memory = self.dram_energy(pred_k_bytes) + self.sram_for(pred_macs, pred_k_bytes)
+
+        exec_macs = 2.0 * keep * w.dense_pairs * w.head_dim
+        exec_k_bytes = w.kv_bytes(self.exec_bits) * k_passes * keep
+        exec_v_bytes = w.kv_bytes(self.exec_bits) * k_passes * keep
+        q_bytes = w.num_queries * w.head_dim * self.exec_bits / 8 * w.heads_layers
+        out_bytes = w.num_queries * w.head_dim * 2 * w.heads_layers
+        exec_bytes = exec_k_bytes + exec_v_bytes + q_bytes + out_bytes
+
+        pred_cycles = max(
+            self.compute_cycles(pred_macs * 0.4, utilization=0.85),
+            self.dram_cycles(pred_k_bytes),
+        )
+        exec_cycles = max(
+            self.compute_cycles(exec_macs, utilization=0.52),
+            self.dram_cycles(exec_bytes),
+        )
+        cycles = pred_cycles + exec_cycles
+
+        energy = {
+            "predictor_compute": pred_compute,
+            "predictor_memory": pred_memory,
+            "compute": self.mac_energy(exec_macs, self.exec_bits),
+            "softmax": self.softmax_energy(keep * w.dense_pairs),
+            "sram": self.sram_for(exec_macs, exec_bytes),
+            "dram": self.dram_energy(exec_bytes),
+            "static": self.static_energy(cycles),
+        }
+        return CostReport(
+            name=self.name,
+            cycles=cycles,
+            energy_pj=energy,
+            dram_bytes=pred_k_bytes + exec_bytes,
+            predictor_macs=pred_macs,
+            executor_macs=exec_macs,
+            keep_fraction=keep,
+            tech=self.tech,
+        )

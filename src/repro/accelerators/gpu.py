@@ -1,0 +1,86 @@
+"""Nvidia H100 baseline (TensorRT-LLM + FlashAttention-3).
+
+The paper measures a physical H100 (CUDA-event timing, ``nvprof`` phase
+exclusion, ``nvidia-smi`` active-minus-idle power, batch size tuned per
+dataset — §VI-A).  None of that is reproducible offline, so this model is
+**anchored to the paper's own measured gap** instead of raw H100 datasheet
+physics: the dense ASIC reference (Fig. 19) is 4.0× more energy-efficient
+and ~1.5× faster than the measured H100 on the evaluated workload mix, so
+the GPU baseline is the dense accelerator's cost scaled by those factors.
+
+Two GPU-side software modes reproduce Fig. 18(b):
+
+* ``use_bui_gf`` — running the BUI-GF sparsity criterion as a GPU kernel
+  buys only ~8% latency / 1.3× efficiency (irregular gathers defeat
+  bit-level early exit on SIMT hardware);
+* ``use_fa3`` on top — FlashAttention-3 tiling raises that to ~14% latency /
+  3.1× efficiency via memory-traffic reduction.
+
+The anchoring constants are substitution artifacts documented in DESIGN.md;
+every ratio against the GPU inherits the paper's measured baseline by
+construction, while ratios among the ASIC designs remain fully model-driven.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
+from repro.accelerators.dense_acc import DenseAccelerator
+from repro.sim.tech import TechConfig
+
+__all__ = ["GPUModel"]
+
+
+class GPUModel(AcceleratorModel):
+    name = "gpu"
+    FEATURES = {
+        "computation": "dense FP16/INT8 tensor cores",
+        "memory": "FlashAttention-3 tiling",
+        "predictor_free": "n/a",
+        "tiling": "yes",
+        "optimization_level": "value",
+    }
+
+    #: Fig. 19 anchors: dense ASIC is 4.0× more energy-efficient and 1.5×
+    #: higher-throughput than the measured H100 on the paper's workloads.
+    ASIC_ENERGY_GAIN = 4.0
+    ASIC_THROUGHPUT_GAIN = 1.5
+
+    #: Fig. 18(b) software-mode modifiers (measured on the H100).
+    BUI_GF_LATENCY_GAIN = 1.0 / (1.0 - 0.08)
+    BUI_GF_ENERGY_GAIN = 1.3
+    FA3_LATENCY_GAIN = 1.0 / (1.0 - 0.14)
+    FA3_ENERGY_GAIN = 3.1
+
+    def __init__(
+        self,
+        tech: Optional[TechConfig] = None,
+        use_fa3: bool = False,
+        use_bui_gf: bool = False,
+    ) -> None:
+        super().__init__(tech) if tech is not None else super().__init__()
+        self.use_fa3 = use_fa3
+        self.use_bui_gf = use_bui_gf
+        self._dense = DenseAccelerator(tech) if tech is not None else DenseAccelerator()
+
+    def cost(self, workload: AttentionWorkload) -> CostReport:
+        ref = self._dense.cost(workload)
+        cycles = ref.cycles * self.ASIC_THROUGHPUT_GAIN
+        energy_scale = self.ASIC_ENERGY_GAIN
+        if self.use_bui_gf:
+            cycles /= self.BUI_GF_LATENCY_GAIN
+            energy_scale /= self.BUI_GF_ENERGY_GAIN
+            if self.use_fa3:
+                cycles = ref.cycles * self.ASIC_THROUGHPUT_GAIN / self.FA3_LATENCY_GAIN
+                energy_scale = self.ASIC_ENERGY_GAIN / self.FA3_ENERGY_GAIN
+        energy = {"gpu_dynamic": ref.total_energy_pj * energy_scale}
+        return CostReport(
+            name=self.name,
+            cycles=cycles,
+            energy_pj=energy,
+            dram_bytes=ref.dram_bytes * (0.5 if self.use_fa3 else 1.0),
+            executor_macs=ref.executor_macs,
+            keep_fraction=ref.keep_fraction if not self.use_bui_gf else workload.oracle_keep,
+            tech=self.tech,
+        )

@@ -1,0 +1,95 @@
+"""SpAtten (HPCA'21): cascade token & head pruning with top-k hardware.
+
+SpAtten avoids a dedicated low-bit predictor by accumulating attention
+probabilities across layers and pruning tokens/heads cumulatively (Table I:
+"sparsity guided by preceding layer scores").  Without retraining that
+guidance is stale, so at iso-accuracy it keeps far more tokens than an
+oracle (the paper's Fig. 14 shows SpAtten with the lowest reduction);
+fine-tuning (``finetuned=True``, the paper's SpAtten*) recovers most of it.
+Its progressive quantization fetches MSBs first and LSBs only when needed,
+which we model as a fractional-byte fetch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
+
+__all__ = ["SpAttenModel"]
+
+
+class SpAttenModel(AcceleratorModel):
+    name = "spatten"
+    BLOCK_QUERIES = 8
+    KEEP_INFLATION = 2.4  # stale cross-layer guidance without retraining
+    KEEP_FLOOR = 0.30
+    KEEP_INFLATION_FINETUNED = 1.25
+    KEEP_FLOOR_FINETUNED = 0.20
+    FEATURES = {
+        "computation": "optimized (cascade pruning)",
+        "memory": "low (progressive quantization)",
+        "predictor_free": "previous-layer scores (needs retrain)",
+        "tiling": "no",
+        "optimization_level": "multi-bit",
+    }
+
+    def __init__(self, tech=None, exec_bits: int = 8, finetuned: bool = False) -> None:
+        super().__init__(tech) if tech is not None else super().__init__()
+        self.exec_bits = exec_bits
+        self.finetuned = finetuned
+        if finetuned:
+            self.name = "spatten*"
+
+    def keep_fraction(self, workload: AttentionWorkload) -> float:
+        if self.finetuned:
+            inflation, floor = self.KEEP_INFLATION_FINETUNED, self.KEEP_FLOOR_FINETUNED
+        else:
+            inflation, floor = self.KEEP_INFLATION, self.KEEP_FLOOR
+        return min(1.0, workload.oracle_keep * inflation + floor)
+
+    def cost(self, workload: AttentionWorkload) -> CostReport:
+        w = workload
+        keep = self.keep_fraction(w)
+        k_passes = self.kv_passes(w)
+
+        # Cumulative-score bookkeeping + top-k engine stand in for the
+        # predictor: O(S log S)-ish sort work per row, plus score buffers.
+        sort_ops = w.dense_pairs * np.log2(max(2.0, w.seq_len)) / w.seq_len
+        pred_compute = sort_ops * self.tech.comparator_pj * 4
+        pred_memory = self.sram_energy(w.dense_pairs * 2 / w.seq_len * w.seq_len)
+
+        # Execution over surviving tokens; progressive quantization fetches
+        # ~60% of bytes on average (MSB half always, LSB half on demand).
+        exec_macs = 2.0 * keep * w.dense_pairs * w.head_dim
+        byte_frac = 0.6
+        exec_k_bytes = w.kv_bytes(self.exec_bits) * k_passes * keep * byte_frac * 2
+        exec_v_bytes = w.kv_bytes(self.exec_bits) * k_passes * keep
+        q_bytes = w.num_queries * w.head_dim * self.exec_bits / 8 * w.heads_layers
+        out_bytes = w.num_queries * w.head_dim * 2 * w.heads_layers
+        exec_bytes = exec_k_bytes + exec_v_bytes + q_bytes + out_bytes
+
+        cycles = max(
+            self.compute_cycles(exec_macs, utilization=0.55),
+            self.dram_cycles(exec_bytes),
+        ) + sort_ops / self.PEAK_INT8_MACS_PER_CYCLE
+
+        energy = {
+            "predictor_compute": pred_compute,
+            "predictor_memory": pred_memory,
+            "compute": self.mac_energy(exec_macs, self.exec_bits),
+            "softmax": self.softmax_energy(keep * w.dense_pairs),
+            "sram": self.sram_for(exec_macs, exec_bytes),
+            "dram": self.dram_energy(exec_bytes),
+            "static": self.static_energy(cycles),
+        }
+        return CostReport(
+            name=self.name,
+            cycles=cycles,
+            energy_pj=energy,
+            dram_bytes=exec_bytes,
+            predictor_macs=sort_ops,
+            executor_macs=exec_macs,
+            keep_fraction=keep,
+            tech=self.tech,
+        )

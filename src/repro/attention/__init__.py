@@ -1,0 +1,15 @@
+"""Reference attention implementations and software sparse-attention baselines."""
+
+from repro.attention.dense import dense_attention, attention_scores, softmax
+from repro.attention.flash import flash_attention
+from repro.attention.masks import causal_mask, window_mask, sink_recent_mask
+
+__all__ = [
+    "dense_attention",
+    "attention_scores",
+    "softmax",
+    "flash_attention",
+    "causal_mask",
+    "window_mask",
+    "sink_recent_mask",
+]

@@ -1,0 +1,39 @@
+"""Software-only sparse attention baselines (paper Fig. 15a/b comparators).
+
+Each baseline returns a retained-key mask plus a cost model (the "sparsity
+level" of Fig. 15 — prediction cost + execution cost relative to dense), so
+the accuracy-vs-sparsity study can place every method on the same axes:
+
+* :mod:`streaming_llm` — static sinks + recency window (StreamingLLM).
+* :mod:`minference`   — dynamic pattern selection over a fixed pattern menu.
+* :mod:`double_sparsity` — channel-subset score estimation + top-k.
+* :mod:`topk_oracle`  — exact-score top-k (the accuracy upper bound).
+"""
+
+from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
+from repro.attention.baselines.streaming_llm import streaming_llm_attention
+from repro.attention.baselines.minference import minference_attention
+from repro.attention.baselines.double_sparsity import double_sparsity_attention
+from repro.attention.baselines.topk_oracle import topk_oracle_attention
+from repro.attention.baselines.spatten_cascade import CascadeResult, spatten_cascade
+from repro.attention.baselines.h2o import H2OState, h2o_decode
+from repro.attention.baselines.quest import quest_attention, build_page_summaries
+from repro.attention.baselines.dtatrans import DTATransResult, dtatrans_layer, dtatrans_stack
+
+__all__ = [
+    "SparseAttentionResult",
+    "sparse_attention_from_mask",
+    "streaming_llm_attention",
+    "minference_attention",
+    "double_sparsity_attention",
+    "topk_oracle_attention",
+    "CascadeResult",
+    "spatten_cascade",
+    "H2OState",
+    "h2o_decode",
+    "quest_attention",
+    "build_page_summaries",
+    "DTATransResult",
+    "dtatrans_layer",
+    "dtatrans_stack",
+]

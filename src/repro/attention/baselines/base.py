@@ -1,0 +1,57 @@
+"""Shared result type and helpers for software sparse-attention baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.attention.dense import dense_attention
+
+__all__ = ["SparseAttentionResult", "sparse_attention_from_mask"]
+
+
+@dataclass(frozen=True)
+class SparseAttentionResult:
+    """Output + retained mask + normalized cost for a sparse method.
+
+    ``sparsity_level`` follows the paper's Fig. 15 definition: the ratio of
+    the method's total compute (prediction + sparse execution) to dense
+    execution — 1 means dense cost, 1/8 means an 8× reduction.
+    """
+
+    output: np.ndarray
+    retained: np.ndarray
+    prediction_cost: float
+    execution_cost: float
+
+    @property
+    def sparsity_level(self) -> float:
+        return self.prediction_cost + self.execution_cost
+
+    @property
+    def keep_fraction(self) -> float:
+        return float(np.mean(self.retained))
+
+
+def sparse_attention_from_mask(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    keep: np.ndarray,
+    prediction_cost: float,
+    scale: Optional[float] = None,
+) -> SparseAttentionResult:
+    """Execute attention over a retained mask and account its cost.
+
+    Execution cost is the retained fraction (sparse QK + PV work relative to
+    dense); prediction cost is supplied by the specific method's model.
+    """
+    out = dense_attention(q, k, v, mask=keep, scale=scale)
+    return SparseAttentionResult(
+        output=out,
+        retained=np.asarray(keep, dtype=bool),
+        prediction_cost=float(prediction_cost),
+        execution_cost=float(np.mean(keep)),
+    )

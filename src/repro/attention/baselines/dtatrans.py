@@ -1,0 +1,104 @@
+"""DTATrans-style dynamic token-bitwidth allocation (TCAD'22 comparator).
+
+DTATrans leverages the *previous layer's* attention distribution to assign
+per-token bit-widths in the current layer: important tokens compute at full
+precision, weak ones at reduced precision, the weakest are dropped.  Like
+SpAtten it is predictor-free but guidance-stale — the paper's Fig. 15 shows
+both needing an accuracy-compensation fine-tune to match PADE.
+
+The functional model: tokens are ranked by the previous layer's importance;
+the top band runs at 8 bits, the middle band at 4 bits (adding quantization
+noise to their logits), the rest are pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.attention.dense import attention_scores, softmax
+from repro.attention.masks import causal_mask
+
+__all__ = ["DTATransResult", "dtatrans_layer", "dtatrans_stack"]
+
+
+@dataclass(frozen=True)
+class DTATransResult:
+    """One layer's allocation outcome."""
+
+    output: np.ndarray
+    full_precision: np.ndarray  # (S,) bool — 8-bit tokens
+    low_precision: np.ndarray  # (S,) bool — 4-bit tokens
+    pruned: np.ndarray  # (S,) bool
+    lost_mass: float
+
+
+def _quantize_logits(logits: np.ndarray, bits: int) -> np.ndarray:
+    """Emulate computing scores with a ``bits``-wide token representation."""
+    if logits.size == 0:
+        return logits
+    span = float(np.max(np.abs(logits))) or 1.0
+    step = span / (2 ** (bits - 1) - 1)
+    return np.round(logits / step) * step
+
+
+def dtatrans_layer(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    guidance: Optional[np.ndarray],
+    keep_fraction: float,
+    low_bits: int = 4,
+    query_offset: Optional[int] = None,
+) -> Tuple[DTATransResult, np.ndarray]:
+    """Run one layer; returns the result and this layer's true importances.
+
+    ``guidance`` is the previous layer's per-token importance (None for the
+    first layer = everything full precision).  The keep budget is split
+    half/half between the 8-bit and 4-bit bands.
+    """
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    num_keys = k.shape[0]
+    offset = num_keys - q.shape[0] if query_offset is None else query_offset
+    logits = attention_scores(q, k)
+    causal = causal_mask(q.shape[0], num_keys, offset)
+    probs_true = softmax(np.where(causal, logits, -np.inf), axis=-1)
+    importance_now = probs_true.sum(axis=0)
+
+    if guidance is None:
+        full = np.ones(num_keys, dtype=bool)
+        low = np.zeros(num_keys, dtype=bool)
+    else:
+        budget = max(2, int(round(keep_fraction * num_keys)))
+        order = np.argsort(guidance)[::-1]
+        full = np.zeros(num_keys, dtype=bool)
+        low = np.zeros(num_keys, dtype=bool)
+        full[order[: budget // 2]] = True
+        low[order[budget // 2 : budget]] = True
+    pruned = ~(full | low)
+
+    adjusted = logits.copy()
+    adjusted[:, low] = _quantize_logits(logits[:, low], low_bits)
+    adjusted = np.where(causal & ~pruned[None, :], adjusted, -np.inf)
+    weights = softmax(adjusted, axis=-1)
+    output = weights @ np.asarray(v, dtype=np.float64)
+    lost = float(np.where(pruned[None, :], probs_true, 0.0).sum(axis=-1).mean())
+    return (
+        DTATransResult(output=output, full_precision=full, low_precision=low,
+                       pruned=pruned, lost_mass=lost),
+        importance_now,
+    )
+
+
+def dtatrans_stack(
+    layer_qkv: List[tuple], keep_fraction: float, low_bits: int = 4
+) -> List[DTATransResult]:
+    """Run a stack of layers with previous-layer guidance chaining."""
+    guidance: Optional[np.ndarray] = None
+    results: List[DTATransResult] = []
+    for q, k, v in layer_qkv:
+        res, guidance = dtatrans_layer(q, k, v, guidance, keep_fraction, low_bits)
+        results.append(res)
+    return results

@@ -1,0 +1,96 @@
+"""H2O-style heavy-hitter oracle cache eviction (additional comparator).
+
+H2O (Heavy-Hitter Oracle) keeps a fixed KV budget during decoding: at each
+step the tokens with the lowest *accumulated* attention scores are evicted
+(plus a protected recency window).  Unlike the cascade (SpAtten) this uses
+the *current* head's scores, so its guidance is fresh — but eviction is
+irreversible, so a token that becomes important after eviction is lost.
+
+Included as an extra point for the Fig. 15 accuracy study: H2O sits between
+DoubleSparsity (re-selects every step) and StreamingLLM (static).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.attention.dense import attention_scores, softmax
+
+__all__ = ["H2OState", "h2o_decode"]
+
+
+@dataclass
+class H2OState:
+    """Decoding state: which cache slots remain + accumulated importance."""
+
+    alive: np.ndarray  # (S,) bool
+    accumulated: np.ndarray  # (S,) float
+
+    @property
+    def cache_size(self) -> int:
+        return int(self.alive.sum())
+
+
+def h2o_decode(
+    q_steps: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    budget_fraction: float,
+    recent_tokens: int = 16,
+    scale: Optional[float] = None,
+) -> tuple:
+    """Run H2O eviction over a sequence of decode queries.
+
+    Parameters
+    ----------
+    q_steps:
+        Decode queries, shape ``(T, H)`` — step ``t`` attends keys
+        ``[0, S0 + t)`` where ``S0 = S - T`` (the prompt length).
+    k / v:
+        Full K/V including the decoded positions, shape ``(S, H)``.
+    budget_fraction:
+        Cache budget as a fraction of the full context.
+    recent_tokens:
+        Recency window never evicted.
+
+    Returns ``(outputs, lost_mass_per_step, state)``.
+    """
+    q_steps = np.atleast_2d(np.asarray(q_steps, dtype=np.float64))
+    num_steps = q_steps.shape[0]
+    num_keys = k.shape[0]
+    prompt = num_keys - num_steps
+    if scale is None:
+        scale = 1.0 / np.sqrt(q_steps.shape[1])
+    budget = max(recent_tokens + 1, int(round(budget_fraction * num_keys)))
+
+    state = H2OState(alive=np.zeros(num_keys, dtype=bool), accumulated=np.zeros(num_keys))
+    state.alive[:prompt] = True
+    outputs = np.zeros((num_steps, v.shape[1]))
+    lost: List[float] = []
+
+    for t in range(num_steps):
+        visible = prompt + t
+        state.alive[prompt + t - 1 if t > 0 else prompt - 1] = True  # newly decoded token
+        logits = attention_scores(q_steps[t : t + 1], k[:visible], scale)[0]
+        probs_full = softmax(logits[None, :])[0]
+
+        mask = state.alive[:visible]
+        masked = np.where(mask, logits, -np.inf)
+        probs = softmax(masked[None, :])[0]
+        outputs[t] = probs @ v[:visible]
+        lost.append(float(probs_full[~mask].sum()))
+
+        state.accumulated[:visible] += probs_full
+        # Evict down to budget, protecting the recency window.
+        alive_idx = np.flatnonzero(state.alive[:visible])
+        if alive_idx.size > budget:
+            protected = alive_idx >= visible - recent_tokens
+            evictable = alive_idx[~protected]
+            excess = alive_idx.size - budget
+            if excess > 0 and evictable.size:
+                order = evictable[np.argsort(state.accumulated[evictable])]
+                state.alive[order[:excess]] = False
+    return outputs, lost, state

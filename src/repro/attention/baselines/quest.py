@@ -1,0 +1,105 @@
+"""Quest-style page-granular dynamic selection (additional comparator).
+
+Quest partitions the KV cache into fixed-size *pages* and keeps per-page
+min/max channel summaries; at decode time it upper-bounds each page's best
+possible score from the summaries and fetches only the top pages.  It is a
+coarse-granularity cousin of PADE's bound-based filtering: sound bounds, but
+at page granularity the bound slack forces fetching whole pages for single
+heavy hitters.
+
+Included as an extra comparator: its *selection* is bound-driven like
+BUI-GF, so comparing the two isolates the value of bit-level granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
+from repro.attention.masks import causal_mask
+
+__all__ = ["PageSummaries", "build_page_summaries", "quest_attention"]
+
+
+@dataclass(frozen=True)
+class PageSummaries:
+    """Per-page elementwise min/max of K."""
+
+    k_min: np.ndarray  # (pages, H)
+    k_max: np.ndarray  # (pages, H)
+    page_size: int
+
+    @property
+    def num_pages(self) -> int:
+        return self.k_min.shape[0]
+
+
+def build_page_summaries(k: np.ndarray, page_size: int = 16) -> PageSummaries:
+    """Offline pass: fold K into per-page channel extrema."""
+    k = np.asarray(k, dtype=np.float64)
+    num_keys = k.shape[0]
+    pages = int(np.ceil(num_keys / page_size))
+    k_min = np.full((pages, k.shape[1]), np.inf)
+    k_max = np.full((pages, k.shape[1]), -np.inf)
+    for p in range(pages):
+        chunk = k[p * page_size : (p + 1) * page_size]
+        k_min[p] = chunk.min(axis=0)
+        k_max[p] = chunk.max(axis=0)
+    return PageSummaries(k_min=k_min, k_max=k_max, page_size=page_size)
+
+
+def page_score_upper_bound(q_row: np.ndarray, summaries: PageSummaries) -> np.ndarray:
+    """Sound per-page upper bound: positive q picks k_max, negative k_min."""
+    q = np.asarray(q_row, dtype=np.float64)
+    pos = np.where(q > 0, q, 0.0)
+    neg = np.where(q < 0, q, 0.0)
+    return summaries.k_max @ pos + summaries.k_min @ neg
+
+
+def quest_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    keep_fraction: float,
+    page_size: int = 16,
+    query_offset: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> SparseAttentionResult:
+    """Sparse attention fetching only the top-bounded pages per query."""
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    k = np.asarray(k, dtype=np.float64)
+    num_queries, num_keys = q.shape[0], k.shape[0]
+    offset = num_keys - num_queries if query_offset is None else query_offset
+    summaries = build_page_summaries(k, page_size)
+    page_budget = max(1, int(round(keep_fraction * summaries.num_pages)))
+
+    keep = np.zeros((num_queries, num_keys), dtype=bool)
+    for i in range(num_queries):
+        bounds = page_score_upper_bound(q[i], summaries)
+        top_pages = np.argsort(bounds)[::-1][:page_budget]
+        for p in top_pages:
+            keep[i, p * page_size : (p + 1) * page_size] = True
+    keep &= causal_mask(num_queries, num_keys, offset)
+
+    # Prediction cost: the summary dot products (2 channels per page vs S
+    # keys) — cheap, the page slack is the real price.
+    prediction_cost = 2.0 * summaries.num_pages / max(1, num_keys)
+    return sparse_attention_from_mask(q, k, v, keep, prediction_cost, scale=scale)
+
+
+def page_bound_soundness(q_row: np.ndarray, k: np.ndarray, page_size: int = 16) -> Tuple[float, bool]:
+    """Check the bound dominates every true in-page score (test helper)."""
+    summaries = build_page_summaries(k, page_size)
+    bounds = page_score_upper_bound(q_row, summaries)
+    scores = k @ np.asarray(q_row, dtype=np.float64)
+    ok = True
+    slack = []
+    for p in range(summaries.num_pages):
+        chunk = scores[p * page_size : (p + 1) * page_size]
+        if chunk.size:
+            ok &= bool(bounds[p] >= chunk.max() - 1e-9)
+            slack.append(float(bounds[p] - chunk.max()))
+    return float(np.mean(slack)), ok

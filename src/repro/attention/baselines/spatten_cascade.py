@@ -1,0 +1,101 @@
+"""SpAtten-style cascade token pruning (functional baseline).
+
+SpAtten (HPCA'21) avoids a dedicated predictor by accumulating attention
+probabilities *across layers*: tokens whose cumulative importance falls
+below a threshold are pruned for all subsequent layers (cascade).  Without
+retraining, the guidance is stale — a token unimportant in early layers may
+matter later — which is exactly why the paper's Fig. 15 shows SpAtten (and
+DTATrans) needing fine-tuning to match PADE.
+
+This functional implementation runs a stack of synthetic layers, carries the
+cumulative scores forward, prunes bottom tokens layer by layer, and reports
+the attention mass the cascade loses versus per-layer oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.attention.dense import attention_scores, softmax
+from repro.attention.masks import causal_mask
+
+__all__ = ["CascadeResult", "spatten_cascade"]
+
+
+@dataclass(frozen=True)
+class CascadeResult:
+    """Per-layer retained sets and lost-mass accounting."""
+
+    retained_per_layer: List[np.ndarray]  # (S,) bool per layer
+    lost_mass_per_layer: List[float]
+    cumulative_scores: np.ndarray
+
+    @property
+    def mean_keep(self) -> float:
+        return float(np.mean([r.mean() for r in self.retained_per_layer]))
+
+    @property
+    def mean_lost_mass(self) -> float:
+        return float(np.mean(self.lost_mass_per_layer))
+
+
+def spatten_cascade(
+    layer_qkv: List[tuple],
+    keep_fraction: float,
+    query_offset: Optional[int] = None,
+    stale_layers: int = 1,
+) -> CascadeResult:
+    """Run cascade pruning over a stack of per-layer (Q, K, V) triples.
+
+    Parameters
+    ----------
+    layer_qkv:
+        One (Q, K, V) triple per layer (same key count each layer).
+    keep_fraction:
+        Token budget per layer (the cascade only shrinks the set).
+    stale_layers:
+        How many layers behind the guidance runs (1 = previous layer's
+        scores decide this layer's pruning, the SpAtten scheme).
+    """
+    num_keys = layer_qkv[0][1].shape[0]
+    cumulative = np.zeros(num_keys)
+    active = np.ones(num_keys, dtype=bool)
+    budget = max(1, int(round(keep_fraction * num_keys)))
+
+    retained_layers: List[np.ndarray] = []
+    lost_masses: List[float] = []
+    score_history: List[np.ndarray] = []
+
+    for layer_idx, (q, k, v) in enumerate(layer_qkv):
+        q = np.atleast_2d(q)
+        offset = num_keys - q.shape[0] if query_offset is None else query_offset
+        logits = attention_scores(q, k)
+        causal = causal_mask(q.shape[0], num_keys, offset)
+        probs = softmax(np.where(causal, logits, -np.inf), axis=-1)
+        token_importance = probs.sum(axis=0)
+        score_history.append(token_importance)
+
+        if layer_idx >= stale_layers:
+            # Prune using the *cumulative* importance up to `stale_layers`
+            # behind — the cascade can only remove tokens, never restore.
+            guidance = cumulative
+            candidates = np.flatnonzero(active)
+            if candidates.size > budget:
+                order = candidates[np.argsort(guidance[candidates])[::-1]]
+                keep_idx = order[:budget]
+                new_active = np.zeros(num_keys, dtype=bool)
+                new_active[keep_idx] = True
+                active = new_active
+
+        retained_layers.append(active.copy())
+        lost_masses.append(float(np.where(active, 0.0, probs).sum(axis=-1).mean()))
+        cumulative = cumulative + token_importance
+
+    return CascadeResult(
+        retained_per_layer=retained_layers,
+        lost_mass_per_layer=lost_masses,
+        cumulative_scores=cumulative,
+    )

@@ -1,0 +1,54 @@
+"""StreamingLLM baseline: static attention sinks + recency window.
+
+Xiao et al.'s StreamingLLM keeps the first few "sink" tokens and a sliding
+recency window, with no input-dependent selection.  The paper (Fig. 15)
+observes it performs worst among the compared methods because the static
+pattern cannot capture input-dependent heavy hitters — exactly the behaviour
+this implementation exhibits on the synthetic workloads with off-pattern
+heavy hitters.
+
+There is no predictor, so prediction cost is zero; the sparsity level is the
+kept fraction alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
+from repro.attention.masks import causal_mask, sink_recent_mask
+
+__all__ = ["streaming_llm_attention", "streaming_llm_budget_to_window"]
+
+
+def streaming_llm_budget_to_window(
+    num_keys: int, keep_fraction: float, sink_tokens: int = 4
+) -> int:
+    """Window width that spends a keep-fraction budget after the sinks."""
+    budget = max(1, int(round(keep_fraction * num_keys)) - sink_tokens)
+    return budget
+
+
+def streaming_llm_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    keep_fraction: float,
+    sink_tokens: int = 4,
+    query_offset: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> SparseAttentionResult:
+    """Sparse attention with the StreamingLLM sink+window pattern.
+
+    ``keep_fraction`` is the key budget per query (the Fig. 15 x-axis);
+    it is split between ``sink_tokens`` sinks and a recency window.
+    """
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    num_queries, num_keys = q.shape[0], np.asarray(k).shape[0]
+    offset = num_keys - num_queries if query_offset is None else query_offset
+    window = streaming_llm_budget_to_window(num_keys, keep_fraction, sink_tokens)
+    keep = sink_recent_mask(num_queries, num_keys, sink_tokens, window, offset)
+    keep &= causal_mask(num_queries, num_keys, offset)
+    return sparse_attention_from_mask(q, k, v, keep, prediction_cost=0.0, scale=scale)

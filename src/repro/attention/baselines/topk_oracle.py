@@ -1,0 +1,57 @@
+"""Exact-score top-k oracle: the accuracy upper bound at a given budget.
+
+No real method can beat selecting the true top-k scores per query; the
+accuracy-vs-sparsity study uses this as the reference curve against which
+PADE and the software baselines are placed.  Its "prediction" is a full
+dense score pass, so its sparsity level is >= 1 — it is an accuracy oracle,
+not an efficiency point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
+from repro.attention.dense import attention_scores
+from repro.attention.masks import causal_mask
+
+__all__ = ["topk_oracle_attention", "topk_mask"]
+
+
+def topk_mask(
+    logits: np.ndarray, budget: int, causal: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Keep-mask of the ``budget`` highest logits per row."""
+    masked = logits if causal is None else np.where(causal, logits, -np.inf)
+    keep = np.zeros(masked.shape, dtype=bool)
+    for i in range(masked.shape[0]):
+        finite = np.isfinite(masked[i])
+        take = min(budget, int(finite.sum()))
+        if take > 0:
+            top = np.argpartition(masked[i], -take)[-take:]
+            keep[i, top] = True
+    if causal is not None:
+        keep &= causal
+    return keep
+
+
+def topk_oracle_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    keep_fraction: float,
+    query_offset: Optional[int] = None,
+    scale: Optional[float] = None,
+) -> SparseAttentionResult:
+    """Attention over the true top-k keys per query."""
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    k = np.asarray(k, dtype=np.float64)
+    num_queries, num_keys = q.shape[0], k.shape[0]
+    offset = num_keys - num_queries if query_offset is None else query_offset
+    budget = max(1, int(round(keep_fraction * num_keys)))
+    logits = attention_scores(q, k, scale)
+    causal = causal_mask(num_queries, num_keys, offset)
+    keep = topk_mask(logits, budget, causal)
+    return sparse_attention_from_mask(q, k, v, keep, prediction_cost=1.0, scale=scale)

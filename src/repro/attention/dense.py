@@ -1,0 +1,64 @@
+"""Reference dense softmax attention (the accuracy/IO baseline).
+
+Everything in the reproduction is validated against this implementation:
+PADE's output must converge to it as the guard grows, and ISTA's online
+softmax must match it exactly on the retained key set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["softmax", "attention_scores", "dense_attention", "masked_dense_attention"]
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax; rows that are entirely ``-inf`` yield zeros."""
+    logits = np.asarray(logits, dtype=np.float64)
+    m = np.max(logits, axis=axis, keepdims=True)
+    m = np.where(np.isfinite(m), m, 0.0)
+    e = np.exp(logits - m)
+    denom = e.sum(axis=axis, keepdims=True)
+    return np.divide(e, denom, out=np.zeros_like(e), where=denom > 0)
+
+
+def attention_scores(
+    q: np.ndarray, k: np.ndarray, scale: Optional[float] = None
+) -> np.ndarray:
+    """Scaled logits ``Q K^T * scale`` (default ``1/sqrt(H)``)."""
+    q = np.atleast_2d(np.asarray(q, dtype=np.float64))
+    k = np.asarray(k, dtype=np.float64)
+    if scale is None:
+        scale = 1.0 / np.sqrt(q.shape[-1])
+    return (q @ k.T) * scale
+
+
+def dense_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    scale: Optional[float] = None,
+) -> np.ndarray:
+    """Full softmax attention.  ``mask`` is a bool keep-mask ``(P, S)`` or ``(S,)``."""
+    logits = attention_scores(q, k, scale)
+    if mask is not None:
+        keep = np.asarray(mask, dtype=bool)
+        if keep.ndim == 1:
+            keep = np.broadcast_to(keep, logits.shape)
+        logits = np.where(keep, logits, -np.inf)
+    weights = softmax(logits, axis=-1)
+    return weights @ np.asarray(v, dtype=np.float64)
+
+
+def masked_dense_attention(
+    q: np.ndarray, k: np.ndarray, v: np.ndarray, keep: np.ndarray, scale: Optional[float] = None
+) -> np.ndarray:
+    """Dense attention restricted to an explicit retained-key mask.
+
+    This is the oracle a sparse method is compared against: given the *same*
+    retained set, the outputs must agree (ISTA invariant #5 in DESIGN.md).
+    """
+    return dense_attention(q, k, v, mask=keep, scale=scale)

@@ -1,0 +1,37 @@
+"""Attention masks shared by the reference implementations and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["causal_mask", "window_mask", "sink_recent_mask"]
+
+
+def causal_mask(num_queries: int, num_keys: int, query_offset: int = 0) -> np.ndarray:
+    """Keep-mask where query ``i`` sees keys ``<= query_offset + i``."""
+    rows = np.arange(num_queries)[:, None] + query_offset
+    cols = np.arange(num_keys)[None, :]
+    return cols <= rows
+
+
+def window_mask(num_queries: int, num_keys: int, window: int, query_offset: int = 0) -> np.ndarray:
+    """Sliding-window keep-mask of width ``window`` ending at each query."""
+    rows = np.arange(num_queries)[:, None] + query_offset
+    cols = np.arange(num_keys)[None, :]
+    return (cols <= rows) & (cols > rows - window)
+
+
+def sink_recent_mask(
+    num_queries: int,
+    num_keys: int,
+    sink_tokens: int,
+    recent_tokens: int,
+    query_offset: int = 0,
+) -> np.ndarray:
+    """StreamingLLM-style keep-mask: attention sinks + recency window."""
+    keep = window_mask(num_queries, num_keys, recent_tokens, query_offset)
+    if sink_tokens:
+        causal = causal_mask(num_queries, num_keys, query_offset)
+        keep = keep.copy()
+        keep[:, :sink_tokens] |= causal[:, :sink_tokens]
+    return keep

@@ -1,0 +1,116 @@
+"""Command-line interface: regenerate any paper experiment from the shell.
+
+    python -m repro.cli list                 # show available experiments
+    python -m repro.cli fig14                # regenerate one figure's data
+    python -m repro.cli table2 --json        # machine-readable output
+    python -m repro.cli all                  # run everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.eval import harness as H
+
+#: experiment id -> (callable, one-line description)
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (H.table1_features, "Table I: accelerator feature matrix"),
+    "table2": (H.table2_accuracy, "Table II: accuracy across 22 benchmarks"),
+    "table3": (H.table3_config, "Table III: PADE hardware configuration"),
+    "fig2": (H.fig2_power_breakdown, "Fig.2a: predictor/executor power split"),
+    "fig2b": (H.fig2_ratio_vs_seqlen, "Fig.2b: predictor ratio vs sequence length"),
+    "fig4": (H.fig4_bsf_reduction, "Fig.4c: BSF vs stage-splitting reductions"),
+    "fig5": (H.fig5_untiled_memory, "Fig.5f: untiled memory growth"),
+    "fig10": (H.fig10_max_update_overhead, "Fig.10b: head-tail interleaving"),
+    "fig14": (H.fig14_comp_mem, "Fig.14: computation/memory across models"),
+    "fig15": (H.fig15_accuracy_vs_sparsity, "Fig.15ab: accuracy vs sparsity level"),
+    "fig15c": (H.fig15_speedup_energy, "Fig.15c: gains vs software methods"),
+    "fig16": (H.fig16_ablation, "Fig.16a: technique ablation"),
+    "fig16b": (H.fig16_alpha_tradeoff, "Fig.16b: alpha trade-off"),
+    "fig17": (H.fig17_gsat_dse, "Fig.17a: GSAT sub-group DSE"),
+    "fig17b": (H.fig17_scoreboard_dse, "Fig.17b: scoreboard DSE"),
+    "fig18": (H.fig18_bit_overhead, "Fig.18a: bit-serial overhead"),
+    "fig18b": (H.fig18_gpu_comparison, "Fig.18b: PADE vs H100"),
+    "fig19": (H.fig19_gain_breakdown, "Fig.19: gain waterfall"),
+    "fig20": (H.fig20_area_power, "Fig.20: area/power breakdown"),
+    "fig21": (H.fig21_sota_comparison, "Fig.21: SOTA comparison"),
+    "fig23": (H.fig23_workload_balance, "Fig.23a: workload balance vs BitWave"),
+    "fig23b": (H.fig23_bandwidth, "Fig.23b: bandwidth utilization"),
+    "fig24": (H.fig24_system_integration, "Fig.24: GPU+PADE system"),
+    "fig25": (H.fig25_mx_example, "Fig.25: MX-format BUI"),
+    "fig26": (H.fig26_quantization, "Fig.26a: quantization variants"),
+    "fig26b": (H.fig26_decoding, "Fig.26b: long-sequence decoding"),
+}
+
+
+def _render(obj, indent: int = 0) -> None:
+    pad = "  " * indent
+    if isinstance(obj, dict):
+        for k, v in obj.items():
+            if isinstance(v, (dict, list)):
+                print(f"{pad}{k}:")
+                _render(v, indent + 1)
+            else:
+                print(f"{pad}{k}: {_fmt(v)}")
+    elif isinstance(obj, list):
+        for v in obj:
+            _render(v, indent) if isinstance(v, (dict, list)) else print(f"{pad}- {_fmt(v)}")
+    else:
+        print(f"{pad}{_fmt(obj)}")
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4g}"
+    return str(v)
+
+
+def _to_jsonable(obj):
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, (np.floating, np.integer)):
+        return obj.item()
+    return obj
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate PADE (HPCA'26) paper experiments."
+    )
+    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_, desc) in EXPERIMENTS.items():
+            print(f"{name:8s} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if any(n not in EXPERIMENTS for n in names):
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+
+    for name in names:
+        fn, desc = EXPERIMENTS[name]
+        t0 = time.time()
+        data = fn()
+        elapsed = time.time() - t0
+        if args.json:
+            print(json.dumps({name: _to_jsonable(data)}, indent=2))
+        else:
+            print(f"\n### {desc}  ({elapsed:.1f}s)")
+            _render(data)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Bidirectional bit sparsity (BS, paper §IV-B, Eq. 5-6).
+
+A bit-serial dot product between an N-element query and one Key bit plane
+accumulates the query entries at positions where the plane bit is 1:
+
+    sum_j q_j * k_j^b = sum_{j : k_j^b = 1} q_j
+                      = sum_j q_j  -  sum_{j : k_j^b = 0} q_j
+
+Either side of the identity is exact, so the hardware may compute over
+whichever bit value is *rarer*, bounding per-plane work to at most ⌈N/2⌉
+additions — the load-balancing property BS-OOE builds on.  PADE extends this
+from static weights (BBS) to runtime attention operands, so the mode decision
+happens per plane at execution time (the BS scheduler of Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BidirectionalPlan", "plan_plane", "bs_partial_dot", "effective_bits"]
+
+
+@dataclass(frozen=True)
+class BidirectionalPlan:
+    """Execution plan for one Key bit plane under bidirectional sparsity.
+
+    Attributes
+    ----------
+    one_mode:
+        True → accumulate query entries at bit-1 positions; False →
+        accumulate at bit-0 positions and subtract from the full query sum.
+    indices:
+        Positions to accumulate (the rarer bit value's positions).
+    effective_bits:
+        Number of additions the plan performs, ``min(popcount, N - popcount)``.
+    """
+
+    one_mode: bool
+    indices: np.ndarray
+    effective_bits: int
+
+
+def plan_plane(plane_bits: np.ndarray) -> BidirectionalPlan:
+    """Choose the cheaper accumulation direction for one bit plane."""
+    bits = np.asarray(plane_bits).astype(bool)
+    ones = int(bits.sum())
+    zeros = bits.size - ones
+    if ones <= zeros:
+        idx = np.flatnonzero(bits)
+        return BidirectionalPlan(one_mode=True, indices=idx, effective_bits=ones)
+    idx = np.flatnonzero(~bits)
+    return BidirectionalPlan(one_mode=False, indices=idx, effective_bits=zeros)
+
+
+def bs_partial_dot(q_row: np.ndarray, plane_bits: np.ndarray, q_sum: int | None = None) -> int:
+    """Compute ``sum_j q_j * k_j^b`` via the bidirectional identity.
+
+    ``q_sum`` (the full query sum, produced once by the hardware's Q_sum
+    generator) may be passed in to avoid recomputation; it is only needed in
+    0-mode.
+    """
+    q = np.asarray(q_row, dtype=np.int64)
+    plan = plan_plane(plane_bits)
+    partial = int(q[plan.indices].sum())
+    if plan.one_mode:
+        return partial
+    total = int(q.sum()) if q_sum is None else int(q_sum)
+    return total - partial
+
+
+def effective_bits(plane_bits: np.ndarray) -> int:
+    """Work (additions) for a plane under BS: ``min(popcount, N - popcount)``."""
+    bits = np.asarray(plane_bits).astype(bool)
+    ones = int(bits.sum())
+    return min(ones, bits.size - ones)

@@ -1,0 +1,243 @@
+"""Bit-serial-enabled stage fusion (BSF): the unified predict/execute loop.
+
+This module gives the *functional semantics* of PADE's fused pipeline
+(Fig. 4b): the Key matrix is consumed one MSB-first bit plane at a time, a
+guarded filter prunes tokens as soon as their score upper bound falls below
+the threshold, and survivors' partial scores are *reused* — the bits spent on
+speculation are exactly the high-order bits of the final product, so the
+remaining work per retained token is only its not-yet-processed planes.
+Timing/energy behaviour (OOE, scoreboard capacity, DRAM) lives in
+:mod:`repro.sim`; correctness and sparsity statistics live here.
+
+Two entry points:
+
+* :func:`bsf_filter_row` — one query row against all keys (the unit the
+  hardware maps onto one PE row).
+* :func:`bsf_filter` — a batch of query rows (prefill-style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bui import BUILookupTable, build_bui_lut
+from repro.core.bui_gf import GuardedFilter
+from repro.quant.bitplane import BitPlanes, plane_weights
+
+__all__ = ["BSFRowResult", "BSFResult", "bsf_filter_row", "bsf_filter"]
+
+
+@dataclass(frozen=True)
+class BSFRowResult:
+    """Outcome of the fused speculate+execute loop for one query row.
+
+    Attributes
+    ----------
+    retained:
+        Bool mask over keys — tokens that reached the LSB unpruned (the
+        tile-level retention rule of §IV-C).
+    planes_processed:
+        Per-key count of bit planes consumed before pruning/completion
+        (0 for keys masked out a priori, ``bits`` for retained keys).
+    scores:
+        Exact integer scores ``Q_i · K_j`` for retained keys (0 elsewhere);
+        retained keys' scores are exact because all planes were folded in —
+        the "result reuse" of the scoreboard PE lane.
+    bit_plane_loads:
+        Total number of (key, plane) fetches — the memory-side cost.
+    effective_bit_ops:
+        Total additions under bidirectional sparsity,
+        ``sum over processed planes of min(popcount, H - popcount)``.
+    naive_bit_ops:
+        Additions a plain bit-serial design would do (popcount of each
+        processed plane) — the BS savings denominator.
+    threshold_trace:
+        Threshold value after each round (length = rounds executed).
+    """
+
+    retained: np.ndarray
+    planes_processed: np.ndarray
+    scores: np.ndarray
+    bit_plane_loads: int
+    effective_bit_ops: int
+    naive_bit_ops: int
+    threshold_trace: np.ndarray
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of candidate keys pruned (1 - retained/candidates)."""
+        candidates = int((self.planes_processed > 0).sum())
+        if candidates == 0:
+            return 0.0
+        return 1.0 - float(self.retained.sum()) / candidates
+
+
+@dataclass(frozen=True)
+class BSFResult:
+    """Batched :class:`BSFRowResult` for ``P`` query rows against ``S`` keys."""
+
+    retained: np.ndarray  # (P, S) bool
+    planes_processed: np.ndarray  # (P, S) int
+    scores: np.ndarray  # (P, S) int64, exact where retained
+    bit_plane_loads: int
+    effective_bit_ops: int
+    naive_bit_ops: int
+
+    @property
+    def sparsity(self) -> float:
+        candidates = int((self.planes_processed > 0).sum())
+        if candidates == 0:
+            return 0.0
+        return 1.0 - float(self.retained.sum()) / candidates
+
+    @property
+    def mean_planes(self) -> float:
+        """Average planes fetched per candidate key — the early-termination win."""
+        mask = self.planes_processed > 0
+        if not mask.any():
+            return 0.0
+        return float(self.planes_processed[mask].mean())
+
+
+def bsf_filter_row(
+    q_row: np.ndarray,
+    key_planes: BitPlanes,
+    guard: float,
+    lut: Optional[BUILookupTable] = None,
+    allowed: Optional[np.ndarray] = None,
+    protect: Optional[np.ndarray] = None,
+    gfilter: Optional[GuardedFilter] = None,
+) -> BSFRowResult:
+    """Run the fused bit-serial filter for one integer query row.
+
+    Parameters
+    ----------
+    q_row:
+        Integer query vector, shape ``(H,)``.
+    key_planes:
+        Bit planes of the integer Key matrix, value shape ``(S, H)``.
+    guard:
+        ``alpha * radius`` in integer-score units (see
+        :func:`repro.core.bui_gf.guard_in_int_units`).
+    lut:
+        Precomputed BUI LUT for this query (built on the fly if omitted).
+    allowed:
+        Bool mask of candidate keys (e.g. causal visibility); others are
+        never fetched.
+    protect:
+        Bool mask of keys that must survive (sink/recency protection).
+    gfilter:
+        Externally owned :class:`GuardedFilter`.  ISTA passes a filter that
+        persists across observation windows so the threshold keeps tightening
+        as more of the row is seen (Eq. 7 subset safety); when omitted a
+        fresh filter is created.
+    """
+    q = np.asarray(q_row, dtype=np.int64)
+    bits = key_planes.bits
+    num_keys, head_dim = key_planes.value_shape
+    if q.shape != (head_dim,):
+        raise ValueError(f"query shape {q.shape} does not match head dim {head_dim}")
+    if lut is None:
+        lut = build_bui_lut(q[None, :], bits=bits)
+
+    alive = np.ones(num_keys, dtype=bool) if allowed is None else np.asarray(allowed, bool).copy()
+    protected = (
+        np.zeros(num_keys, dtype=bool) if protect is None else np.asarray(protect, bool)
+    )
+    partial = np.zeros(num_keys, dtype=np.int64)
+    planes_processed = np.zeros(num_keys, dtype=np.int64)
+    weights = plane_weights(bits)
+    if gfilter is None:
+        gfilter = GuardedFilter(guard=guard)
+
+    bit_plane_loads = 0
+    effective_bit_ops = 0
+    naive_bit_ops = 0
+    thresholds = []
+
+    for r in range(bits):
+        idx = np.flatnonzero(alive)
+        if idx.size == 0:
+            break
+        plane = key_planes.planes[r][idx].astype(np.int64)  # (A, H)
+        partial[idx] += weights[r] * (plane @ q)
+        planes_processed[idx] = r + 1
+        bit_plane_loads += idx.size
+        popcounts = plane.sum(axis=1)
+        naive_bit_ops += int(popcounts.sum())
+        effective_bit_ops += int(np.minimum(popcounts, head_dim - popcounts).sum())
+
+        lb = partial[idx] + lut.i_min[0, r + 1]
+        ub = partial[idx] + lut.i_max[0, r + 1]
+        decision = gfilter.filter_round(lb, ub, protect=protected[idx])
+        thresholds.append(decision.threshold)
+        alive[idx] = decision.keep
+
+    retained = alive  # survived every plane without pruning
+    scores = np.where(retained, partial, 0)
+    return BSFRowResult(
+        retained=retained,
+        planes_processed=planes_processed,
+        scores=scores,
+        bit_plane_loads=bit_plane_loads,
+        effective_bit_ops=effective_bit_ops,
+        naive_bit_ops=naive_bit_ops,
+        threshold_trace=np.asarray(thresholds, dtype=np.float64),
+    )
+
+
+def bsf_filter(
+    q_int: np.ndarray,
+    key_planes: BitPlanes,
+    guard: float,
+    allowed: Optional[np.ndarray] = None,
+    protect: Optional[np.ndarray] = None,
+) -> BSFResult:
+    """Batched fused filter: ``P`` query rows against the shared Key planes.
+
+    ``allowed`` / ``protect`` may be ``(S,)`` (shared) or ``(P, S)``.
+    """
+    q = np.atleast_2d(np.asarray(q_int, dtype=np.int64))
+    num_queries = q.shape[0]
+    num_keys = key_planes.value_shape[0]
+    lut = build_bui_lut(q, bits=key_planes.bits)
+
+    def row_mask(mask: Optional[np.ndarray], i: int) -> Optional[np.ndarray]:
+        if mask is None:
+            return None
+        arr = np.asarray(mask, dtype=bool)
+        return arr[i] if arr.ndim == 2 else arr
+
+    retained = np.zeros((num_queries, num_keys), dtype=bool)
+    planes = np.zeros((num_queries, num_keys), dtype=np.int64)
+    scores = np.zeros((num_queries, num_keys), dtype=np.int64)
+    loads = ops = naive = 0
+    for i in range(num_queries):
+        row_lut = BUILookupTable(
+            i_min=lut.i_min[i : i + 1], i_max=lut.i_max[i : i + 1], bits=lut.bits
+        )
+        res = bsf_filter_row(
+            q[i],
+            key_planes,
+            guard,
+            lut=row_lut,
+            allowed=row_mask(allowed, i),
+            protect=row_mask(protect, i),
+        )
+        retained[i] = res.retained
+        planes[i] = res.planes_processed
+        scores[i] = res.scores
+        loads += res.bit_plane_loads
+        ops += res.effective_bit_ops
+        naive += res.naive_bit_ops
+    return BSFResult(
+        retained=retained,
+        planes_processed=planes,
+        scores=scores,
+        bit_plane_loads=loads,
+        effective_bit_ops=ops,
+        naive_bit_ops=naive,
+    )

@@ -1,0 +1,119 @@
+"""Bit-wise uncertainty intervals (BUI, paper §IV-A).
+
+After processing the first ``r`` MSB-first bit planes of a Key vector, the
+exact dot product ``Q_i · K_j`` can deviate from the conservative partial
+score ``S^r`` (unknown bits treated as zero) by at most the contribution of
+the remaining planes.  Because every non-sign bit has a positive weight
+(Eq. 2), setting all unknown bits of K to 1 where ``q > 0`` / to 0 where
+``q < 0`` yields the largest possible score, and the flipped assignment the
+smallest (Fig. 6):
+
+    I_max(r) = W(r) * sum(max(q, 0))        I_min(r) = W(r) * sum(min(q, 0))
+    S_max    = S^r + I_max                  S_min    = S^r + I_min
+
+with ``W(r) = 2^(bits - r) - 1`` the total weight of unknown planes.  The
+intervals depend only on the *query*, so the hardware precomputes one
+(I_min, I_max) pair per plane count in a per-query LUT (Fig. 11c) — that LUT
+is what :class:`BUILookupTable` models.
+
+Validation against the paper's worked example (Fig. 6, Q = [6, -5, 9, -4],
+six fractional planes ≡ our integer planes scaled by 4): after the MSB,
+I = (-69.75, +116.25); after two planes, I = (-33.75, +56.25).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.quant.bitplane import unknown_weight_sum
+
+__all__ = ["BUILookupTable", "build_bui_lut", "uncertainty_interval"]
+
+
+def uncertainty_interval(
+    q_row: np.ndarray, bits: int, planes_known: int
+) -> Tuple[int, int]:
+    """Return ``(I_min, I_max)`` for one query row after ``planes_known`` planes.
+
+    ``q_row`` is the integer query vector (any length).  The result bounds the
+    *additional* contribution of the still-unknown Key planes to the dot
+    product, exactly per Eq. (3).
+    """
+    q = np.asarray(q_row, dtype=np.int64)
+    w = unknown_weight_sum(bits, planes_known)
+    pos = int(q[q > 0].sum())
+    neg = int(q[q < 0].sum())
+    return w * neg, w * pos
+
+
+@dataclass(frozen=True)
+class BUILookupTable:
+    """Per-query LUT of uncertainty intervals, one pair per plane count.
+
+    ``i_min`` / ``i_max`` have shape ``(num_queries, bits + 1)``; index ``r``
+    holds the interval after ``r`` planes are known (``r = 0`` is the trivial
+    "nothing known" row, ``r = bits`` is the exact point interval (0, 0)).
+    This mirrors the hardware BUI Generator, which fills an 8-entry LUT per
+    query before the QK computation starts (§V-B step 1).
+    """
+
+    i_min: np.ndarray
+    i_max: np.ndarray
+    bits: int
+
+    @property
+    def num_queries(self) -> int:
+        return self.i_min.shape[0]
+
+    def interval(self, query_index: int, planes_known: int) -> Tuple[int, int]:
+        """LUT read: interval for one query at a given plane count."""
+        return (
+            int(self.i_min[query_index, planes_known]),
+            int(self.i_max[query_index, planes_known]),
+        )
+
+    def bound_scores(
+        self, partial_scores: np.ndarray, planes_known: np.ndarray, query_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(S_min, S_max)`` for one query against many tokens.
+
+        ``partial_scores`` holds conservative partial scores ``S^r`` and
+        ``planes_known`` the per-token plane counts ``r`` (same shape).
+        """
+        r = np.asarray(planes_known, dtype=np.int64)
+        lo = partial_scores + self.i_min[query_index, r]
+        hi = partial_scores + self.i_max[query_index, r]
+        return lo, hi
+
+
+def build_bui_lut(q_int: np.ndarray, bits: int = 8) -> BUILookupTable:
+    """Build the BUI LUT for a batch of integer query rows.
+
+    Parameters
+    ----------
+    q_int:
+        Integer query matrix of shape ``(num_queries, head_dim)``.
+    bits:
+        Bit width of the Key operand being processed serially.
+    """
+    q = np.atleast_2d(np.asarray(q_int, dtype=np.int64))
+    pos = np.where(q > 0, q, 0).sum(axis=1)  # (num_queries,)
+    neg = np.where(q < 0, q, 0).sum(axis=1)
+    # W(0) covers "no planes known": all bits unknown. The sign plane's weight
+    # is negative, so the true r=0 bound is asymmetric; the hardware never
+    # consults r=0 (the MSB is always processed first), so we store the r=1
+    # interval widened by the sign plane for completeness.
+    weights = np.empty(bits + 1, dtype=np.int64)
+    for r in range(1, bits + 1):
+        weights[r] = unknown_weight_sum(bits, r)
+    sign_weight = 1 << (bits - 1)
+    i_min = np.outer(neg, weights).astype(np.int64)
+    i_max = np.outer(pos, weights).astype(np.int64)
+    # r = 0: unknown sign bit contributes in [-sign_weight * pos, -sign_weight * neg]
+    # on top of the r = 1 magnitude interval.
+    i_min[:, 0] = i_min[:, 1] - sign_weight * pos
+    i_max[:, 0] = i_max[:, 1] - sign_weight * neg
+    return BUILookupTable(i_min=i_min, i_max=i_max, bits=bits)

@@ -1,0 +1,85 @@
+"""Configuration for the PADE algorithm and its hardware instantiation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PadeConfig"]
+
+
+@dataclass(frozen=True)
+class PadeConfig:
+    """Algorithm + dataflow parameters of PADE.
+
+    Defaults follow the paper: 8-bit operands, guard radius 5 (in softmax
+    logit units), α in [0.5, 0.6] for the balanced operating point (§VI-D),
+    tile size Bc=16 (Fig. 10b), head-tail interleaving on.
+
+    Attributes
+    ----------
+    bits:
+        Operand bit width; each Key is processed as ``bits`` one-bit planes.
+    alpha:
+        Pruning aggressiveness in ``T = max(S_min) - alpha * radius``
+        (paper Eq. 4).  ``alpha=1`` is the most conservative setting the
+        guard supports; smaller values prune harder.
+    radius:
+        Guard radius in *logit* units (paper default 5).
+    tile_size:
+        ISTA tile size Bc — number of retained keys per V-PU tile.
+    head_tail_interleave:
+        Visit tiles head/tail interleaved (Fig. 10a) instead of left-to-right.
+    scale_logits:
+        Divide logits by sqrt(head_dim) before softmax (standard attention).
+    causal:
+        Restrict each query to keys at or before its own position.
+    sink_tokens / recent_tokens:
+        Keys always retained regardless of the filter (attention-sink
+        protection; 0 disables).  The paper's head-tail update strategy
+        leans on the same locality prior.
+    """
+
+    bits: int = 8
+    alpha: float = 0.6
+    radius: float = 5.0
+    tile_size: int = 16
+    head_tail_interleave: bool = True
+    scale_logits: bool = True
+    causal: bool = False
+    sink_tokens: int = 0
+    recent_tokens: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+        if self.bits < 2:
+            raise ValueError(f"bits must be >= 2, got {self.bits}")
+        if self.tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.sink_tokens < 0 or self.recent_tokens < 0:
+            raise ValueError("sink_tokens / recent_tokens must be non-negative")
+
+    def with_alpha(self, alpha: float) -> "PadeConfig":
+        """Return a copy with a different pruning aggressiveness."""
+        return replace(self, alpha=alpha)
+
+    @classmethod
+    def standard(cls) -> "PadeConfig":
+        """The paper's 'standard' (~0% accuracy loss) operating point."""
+        return cls(alpha=0.6)
+
+    @classmethod
+    def aggressive(cls) -> "PadeConfig":
+        """The paper's 'aggressive' (~1% accuracy loss) operating point."""
+        return cls(alpha=0.5)
+
+    @classmethod
+    def dense(cls) -> "PadeConfig":
+        """A configuration that never prunes (radius 0, alpha 0 ⇒ T = max LB;
+        combined with an infinite guard this degenerates to dense attention).
+
+        Implemented as alpha=0 with radius=inf semantics via a huge radius.
+        """
+        return cls(alpha=1.0, radius=float("inf"))

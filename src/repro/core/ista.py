@@ -1,0 +1,275 @@
+"""Interleaving-based sparsity-tiled attention (ISTA, paper §IV-C, Fig. 10).
+
+ISTA reconciles BUI-GF's row-wise pruning criterion with IO-efficient tiling.
+Two observations make it safe:
+
+1. The softmax denominator grows monotonically as keys are added (Eq. 7), so
+   a token pruned against a *subset* threshold would also be pruned against
+   the full-row threshold — the guarded filter may run inside tiles.
+2. A key is *retained* only once it has survived all the way to its LSB
+   plane; retained keys (with their now-exact scores) are packed into tiles
+   of size ``Bc`` and consumed FlashAttention-style with an online softmax.
+
+The *head-tail interleaved* visitation order exploits attention locality
+(initial + recent tokens dominate): visiting the dominant regions first means
+the running maximum stabilizes early, avoiding the rescale work each max
+update triggers (one subtract, one exponentiation, two scalar-vector
+multiplies — lines 11-12 of Fig. 10c).  Without locality the order is no
+worse than left-to-right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bui import build_bui_lut
+from repro.core.bui_gf import GuardedFilter
+from repro.core.bsf import bsf_filter_row
+from repro.quant.bitplane import BitPlanes
+
+__all__ = ["ISTAResult", "ISTAStats", "head_tail_order", "ista_attention_row", "ista_attention"]
+
+
+def head_tail_order(num_blocks: int) -> List[int]:
+    """Head-tail interleaved block visitation order (Fig. 10a).
+
+    The schedule begins with the initial region, jumps to the recent region,
+    returns to the post-initial region, and repeats:
+    ``[0, n-1, 1, n-2, 2, ...]``.
+
+    >>> head_tail_order(5)
+    [0, 4, 1, 3, 2]
+    """
+    order: List[int] = []
+    lo, hi = 0, num_blocks - 1
+    while lo <= hi:
+        order.append(lo)
+        if hi != lo:
+            order.append(hi)
+        lo += 1
+        hi -= 1
+    return order
+
+
+@dataclass
+class ISTAStats:
+    """Operation counters for the tiled pass (drives Fig. 10b / Fig. 16a)."""
+
+    tiles_flushed: int = 0
+    max_updates: int = 0
+    rescale_vector_ops: int = 0  # element ops spent rescaling O and l
+    exp_ops: int = 0
+    pv_macs: int = 0
+    v_rows_loaded: int = 0
+    bit_plane_loads: int = 0
+    effective_bit_ops: int = 0
+    naive_bit_ops: int = 0
+    retained_keys: int = 0
+    candidate_keys: int = 0
+
+    @property
+    def sparsity(self) -> float:
+        if self.candidate_keys == 0:
+            return 0.0
+        return 1.0 - self.retained_keys / self.candidate_keys
+
+    def merge(self, other: "ISTAStats") -> None:
+        for name in vars(self):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass(frozen=True)
+class ISTAResult:
+    """Attention output + retained set + counters for one or more rows."""
+
+    output: np.ndarray
+    retained: np.ndarray
+    stats: ISTAStats
+
+
+def _iter_key_blocks(
+    allowed_idx: np.ndarray, block: int, interleave: bool
+) -> Iterator[np.ndarray]:
+    """Yield index blocks of the candidate keys in visitation order."""
+    num_blocks = int(np.ceil(allowed_idx.size / block))
+    if num_blocks == 0:
+        return
+    order = head_tail_order(num_blocks) if interleave else list(range(num_blocks))
+    for b in order:
+        yield allowed_idx[b * block : (b + 1) * block]
+
+
+class _OnlineSoftmax:
+    """FlashAttention-style streaming softmax accumulator for one row."""
+
+    def __init__(self, head_dim: int) -> None:
+        self.m = -np.inf
+        self.l = 0.0
+        self.o = np.zeros(head_dim, dtype=np.float64)
+
+    def update(self, logits: np.ndarray, values: np.ndarray, stats: ISTAStats) -> None:
+        """Fold one tile of (logit, V-row) pairs into the running output."""
+        if logits.size == 0:
+            return
+        tile_max = float(logits.max())
+        m_new = max(self.m, tile_max)
+        if m_new > self.m and np.isfinite(self.m):
+            # A max update costs the rescale chain of Fig. 10c lines 11-12.
+            stats.max_updates += 1
+            correction = np.exp(self.m - m_new)
+            self.o *= correction
+            self.l *= correction
+            stats.exp_ops += 1
+            stats.rescale_vector_ops += self.o.size + 1
+        elif not np.isfinite(self.m):
+            stats.max_updates += 1  # first tile initializes the max
+        self.m = m_new
+        p = np.exp(logits - self.m)
+        stats.exp_ops += logits.size
+        self.l += float(p.sum())
+        self.o += p @ values
+        stats.pv_macs += logits.size * self.o.size
+
+    def finalize(self) -> np.ndarray:
+        if self.l == 0.0:
+            return np.zeros_like(self.o)
+        return self.o / self.l
+
+
+def ista_attention_row(
+    q_row_int: np.ndarray,
+    key_planes: BitPlanes,
+    values: np.ndarray,
+    guard: float,
+    logit_scale: float,
+    tile_size: int = 16,
+    observation_block: Optional[int] = None,
+    interleave: bool = True,
+    allowed: Optional[np.ndarray] = None,
+    protect: Optional[np.ndarray] = None,
+) -> ISTAResult:
+    """Run ISTA for one query row.
+
+    Parameters
+    ----------
+    q_row_int:
+        Integer query row, shape ``(H,)``.
+    key_planes:
+        Bit planes of the integer Key matrix (value shape ``(S, H)``).
+    values:
+        Float V matrix, shape ``(S, Hv)``.
+    guard:
+        ``alpha * radius`` in integer-score units.
+    logit_scale:
+        Factor mapping integer scores to softmax logits.
+    tile_size:
+        Bc — retained keys per V-PU tile (Fig. 10c line 3).
+    observation_block:
+        Granularity at which key candidates are streamed through the
+        bit-serial filter (defaults to ``tile_size``).
+    interleave:
+        Use the head-tail interleaved order; ``False`` = left-to-right.
+    allowed / protect:
+        Candidate mask / always-keep mask over keys.
+    """
+    q = np.asarray(q_row_int, dtype=np.int64)
+    num_keys = key_planes.value_shape[0]
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] != num_keys:
+        raise ValueError("values row count must match key count")
+    block = observation_block or tile_size
+    allowed_mask = (
+        np.ones(num_keys, dtype=bool) if allowed is None else np.asarray(allowed, bool)
+    )
+    protected = (
+        np.zeros(num_keys, dtype=bool) if protect is None else np.asarray(protect, bool)
+    )
+    allowed_idx = np.flatnonzero(allowed_mask)
+
+    lut = build_bui_lut(q[None, :], bits=key_planes.bits)
+    gfilter = GuardedFilter(guard=guard)
+    stats = ISTAStats(candidate_keys=int(allowed_idx.size))
+    acc = _OnlineSoftmax(values.shape[1])
+    retained_mask = np.zeros(num_keys, dtype=bool)
+
+    pending_idx: List[int] = []
+    pending_scores: List[int] = []
+
+    def flush(final: bool = False) -> None:
+        while len(pending_idx) >= tile_size or (final and pending_idx):
+            take = min(tile_size, len(pending_idx))
+            idx = np.asarray(pending_idx[:take], dtype=np.int64)
+            sc = np.asarray(pending_scores[:take], dtype=np.int64)
+            del pending_idx[:take], pending_scores[:take]
+            logits = sc.astype(np.float64) * logit_scale
+            acc.update(logits, values[idx], stats)
+            stats.tiles_flushed += 1
+            stats.v_rows_loaded += int(idx.size)
+
+    for block_idx in _iter_key_blocks(allowed_idx, block, interleave):
+        mask = np.zeros(num_keys, dtype=bool)
+        mask[block_idx] = True
+        res = bsf_filter_row(
+            q, key_planes, guard, lut=lut, allowed=mask, protect=protected, gfilter=gfilter
+        )
+        stats.bit_plane_loads += res.bit_plane_loads
+        stats.effective_bit_ops += res.effective_bit_ops
+        stats.naive_bit_ops += res.naive_bit_ops
+        kept = np.flatnonzero(res.retained)
+        retained_mask[kept] = True
+        pending_idx.extend(int(k) for k in kept)
+        pending_scores.extend(int(s) for s in res.scores[kept])
+        flush()
+    flush(final=True)
+
+    stats.retained_keys = int(retained_mask.sum())
+    return ISTAResult(output=acc.finalize(), retained=retained_mask, stats=stats)
+
+
+def ista_attention(
+    q_int: np.ndarray,
+    key_planes: BitPlanes,
+    values: np.ndarray,
+    guard: float,
+    logit_scale: float,
+    tile_size: int = 16,
+    interleave: bool = True,
+    allowed: Optional[np.ndarray] = None,
+    protect: Optional[np.ndarray] = None,
+) -> ISTAResult:
+    """Batched ISTA over ``P`` query rows (outer loop of Fig. 10c).
+
+    ``allowed`` / ``protect`` may be shared ``(S,)`` or per-row ``(P, S)``.
+    """
+    q = np.atleast_2d(np.asarray(q_int, dtype=np.int64))
+    num_queries = q.shape[0]
+    num_keys = key_planes.value_shape[0]
+    outputs = np.zeros((num_queries, values.shape[1]), dtype=np.float64)
+    retained = np.zeros((num_queries, num_keys), dtype=bool)
+    stats = ISTAStats()
+
+    def row_mask(mask: Optional[np.ndarray], i: int) -> Optional[np.ndarray]:
+        if mask is None:
+            return None
+        arr = np.asarray(mask, dtype=bool)
+        return arr[i] if arr.ndim == 2 else arr
+
+    for i in range(num_queries):
+        res = ista_attention_row(
+            q[i],
+            key_planes,
+            values,
+            guard,
+            logit_scale,
+            tile_size=tile_size,
+            interleave=interleave,
+            allowed=row_mask(allowed, i),
+            protect=row_mask(protect, i),
+        )
+        outputs[i] = res.output
+        retained[i] = res.retained
+        stats.merge(res.stats)
+    return ISTAResult(output=outputs, retained=retained, stats=stats)

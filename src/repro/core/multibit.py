@@ -1,0 +1,140 @@
+"""Multi-bit stage fusion (the paper's §VI-G future-work direction).
+
+Single-bit BSF makes a pruning decision after *every* plane, which maximizes
+early-termination opportunities but pays a decision (threshold compare +
+scoreboard round trip) per plane.  Multi-bit fusion consumes ``group`` MSB
+planes per round: per-round work grows, decision overhead and scoreboard
+traffic shrink, and the uncertainty interval after each round is exactly the
+single-bit interval at the same plane count — so safety is untouched.
+
+The trade-off this module exposes (see ``bench_ablation_multibit``):
+
+* ``group = 1``: finest termination — minimum plane fetches, maximum
+  decision overhead (the shipping PADE design);
+* ``group = 2/4``: ≤ one extra plane per pruned token on average, but 2–4×
+  fewer decisions and scoreboard accesses;
+* ``group = bits``: degenerates to value-level execution (single decision,
+  no early termination).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bui import BUILookupTable, build_bui_lut
+from repro.core.bui_gf import GuardedFilter
+from repro.quant.bitplane import BitPlanes, plane_weights
+
+__all__ = ["MultiBitResult", "multibit_filter_row", "multibit_filter"]
+
+
+@dataclass(frozen=True)
+class MultiBitResult:
+    """Outcome of the grouped fused filter for one query row."""
+
+    retained: np.ndarray
+    planes_processed: np.ndarray  # plane count, always a multiple of `group`
+    scores: np.ndarray
+    bit_plane_loads: int
+    decision_rounds: int  # threshold-compare rounds actually executed
+    group: int
+
+    @property
+    def sparsity(self) -> float:
+        candidates = int((self.planes_processed > 0).sum())
+        if candidates == 0:
+            return 0.0
+        return 1.0 - float(self.retained.sum()) / candidates
+
+    @property
+    def mean_planes(self) -> float:
+        mask = self.planes_processed > 0
+        return float(self.planes_processed[mask].mean()) if mask.any() else 0.0
+
+
+def multibit_filter_row(
+    q_row: np.ndarray,
+    key_planes: BitPlanes,
+    guard: float,
+    group: int = 2,
+    lut: Optional[BUILookupTable] = None,
+    allowed: Optional[np.ndarray] = None,
+    protect: Optional[np.ndarray] = None,
+) -> MultiBitResult:
+    """Fused filter consuming ``group`` bit planes per decision round.
+
+    Semantics match :func:`repro.core.bsf.bsf_filter_row` with decisions
+    made only at plane counts that are multiples of ``group``; with
+    ``group=1`` the two are identical (tested invariant).
+    """
+    q = np.asarray(q_row, dtype=np.int64)
+    bits = key_planes.bits
+    if bits % group != 0:
+        raise ValueError(f"group {group} must divide operand bits {bits}")
+    num_keys, head_dim = key_planes.value_shape
+    if q.shape != (head_dim,):
+        raise ValueError(f"query shape {q.shape} does not match head dim {head_dim}")
+    if lut is None:
+        lut = build_bui_lut(q[None, :], bits=bits)
+
+    alive = np.ones(num_keys, dtype=bool) if allowed is None else np.asarray(allowed, bool).copy()
+    protected = np.zeros(num_keys, dtype=bool) if protect is None else np.asarray(protect, bool)
+    partial = np.zeros(num_keys, dtype=np.int64)
+    planes_processed = np.zeros(num_keys, dtype=np.int64)
+    weights = plane_weights(bits)
+    gfilter = GuardedFilter(guard=guard)
+
+    loads = 0
+    rounds = 0
+    for start in range(0, bits, group):
+        idx = np.flatnonzero(alive)
+        if idx.size == 0:
+            break
+        for r in range(start, start + group):
+            plane = key_planes.planes[r][idx].astype(np.int64)
+            partial[idx] += weights[r] * (plane @ q)
+            loads += idx.size
+        planes_processed[idx] = start + group
+        rounds += 1
+        known = start + group
+        lb = partial[idx] + lut.i_min[0, known]
+        ub = partial[idx] + lut.i_max[0, known]
+        decision = gfilter.filter_round(lb, ub, protect=protected[idx])
+        alive[idx] = decision.keep
+
+    return MultiBitResult(
+        retained=alive,
+        planes_processed=planes_processed,
+        scores=np.where(alive, partial, 0),
+        bit_plane_loads=loads,
+        decision_rounds=rounds,
+        group=group,
+    )
+
+
+def multibit_filter(
+    q_int: np.ndarray,
+    key_planes: BitPlanes,
+    guard: float,
+    group: int = 2,
+    allowed: Optional[np.ndarray] = None,
+) -> "list[MultiBitResult]":
+    """Batched grouped filter (one result per query row)."""
+    q = np.atleast_2d(np.asarray(q_int, dtype=np.int64))
+    lut = build_bui_lut(q, bits=key_planes.bits)
+    results = []
+    for i in range(q.shape[0]):
+        row_lut = BUILookupTable(
+            i_min=lut.i_min[i : i + 1], i_max=lut.i_max[i : i + 1], bits=lut.bits
+        )
+        mask = None
+        if allowed is not None:
+            arr = np.asarray(allowed, dtype=bool)
+            mask = arr[i] if arr.ndim == 2 else arr
+        results.append(
+            multibit_filter_row(q[i], key_planes, guard, group=group, lut=row_lut, allowed=mask)
+        )
+    return results

@@ -1,0 +1,133 @@
+"""BUI under the MXINT micro-scaling format (paper §VI-F, Fig. 25).
+
+MXINT quantizes Q and K in 32-element channel groups, each with its own
+scale.  The dot product then decomposes per group:
+
+    A = sum_g  dQ_g * dK_g * (Q_g^int · K_g^int)
+
+Since each group-local integer dot product has its own bit-wise uncertainty
+interval (computed exactly as in :mod:`repro.core.bui`), the overall interval
+is obtained by (1) scaling each group interval by ``dQ_g * dK_g`` and
+(2) summing minima and maxima across groups — the two steps in Fig. 25(b).
+The result bounds the *float-domain* score, so guarded filtering proceeds
+unchanged on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.quant.bitplane import BitPlanes, decompose_bitplanes, plane_weights, unknown_weight_sum
+from repro.quant.mxint import MXQuantizedTensor
+
+__all__ = ["MXBUILookupTable", "build_mx_bui_lut", "mx_partial_score", "mx_score_bounds"]
+
+
+@dataclass(frozen=True)
+class MXBUILookupTable:
+    """Group-wise uncertainty-mass table for one batch of MX queries.
+
+    ``pos_mass`` / ``neg_mass`` have shape ``(num_queries, num_groups)`` and
+    hold ``sum(max(q, 0))`` / ``sum(min(q, 0))`` of each query group's
+    *integer* payload.  The interval after ``r`` known Key planes is
+
+        I_min = W(r) * sum_g scale_g * neg_mass_g
+        I_max = W(r) * sum_g scale_g * pos_mass_g
+
+    where ``scale_g = dQ_g * dK_g`` couples the query LUT with the Key
+    token's group scales at decision time (the hardware expands the LUT with
+    the calibration factors, step 1 of Fig. 25b).
+    """
+
+    pos_mass: np.ndarray
+    neg_mass: np.ndarray
+    bits: int
+    group_size: int
+
+    def interval(
+        self, query_index: int, k_group_scales: np.ndarray, q_group_scales: np.ndarray,
+        planes_known: int,
+    ) -> Tuple[float, float]:
+        """Float-domain ``(I_min, I_max)`` for one (query, key) pair."""
+        w = unknown_weight_sum(self.bits, planes_known)
+        coupling = np.asarray(q_group_scales, np.float64) * np.asarray(k_group_scales, np.float64)
+        i_min = w * float((coupling * self.neg_mass[query_index]).sum())
+        i_max = w * float((coupling * self.pos_mass[query_index]).sum())
+        return i_min, i_max
+
+
+def build_mx_bui_lut(q_mx: MXQuantizedTensor) -> MXBUILookupTable:
+    """Build the group-wise BUI mass table from an MX-quantized query batch."""
+    q = np.atleast_2d(q_mx.data)
+    num_queries = q.shape[0]
+    num_groups = q.shape[1] // q_mx.group_size
+    grouped = q.reshape(num_queries, num_groups, q_mx.group_size).astype(np.int64)
+    pos = np.where(grouped > 0, grouped, 0).sum(axis=2)
+    neg = np.where(grouped < 0, grouped, 0).sum(axis=2)
+    return MXBUILookupTable(
+        pos_mass=pos, neg_mass=neg, bits=q_mx.bits, group_size=q_mx.group_size
+    )
+
+
+def mx_partial_score(
+    q_row_int: np.ndarray,
+    k_row_planes: BitPlanes,
+    q_group_scales: np.ndarray,
+    k_group_scales: np.ndarray,
+    group_size: int,
+    planes_known: int,
+) -> float:
+    """Conservative float-domain partial score after ``planes_known`` planes.
+
+    Group-local integer partial dot products (unknown bits zero) are scaled
+    by ``dQ_g * dK_g`` and summed — the MX analogue of ``S^r`` in Eq. (3).
+    """
+    q = np.asarray(q_row_int, dtype=np.int64)
+    head_dim = q.size
+    weights = plane_weights(k_row_planes.bits)
+    k_partial = np.zeros(head_dim, dtype=np.int64)
+    for r in range(planes_known):
+        k_partial += weights[r] * k_row_planes.planes[r].astype(np.int64)
+    num_groups = head_dim // group_size
+    total = 0.0
+    for g in range(num_groups):
+        sl = slice(g * group_size, (g + 1) * group_size)
+        total += float(q_group_scales[g]) * float(k_group_scales[g]) * float(
+            np.dot(q[sl], k_partial[sl])
+        )
+    return total
+
+
+def mx_score_bounds(
+    q_mx: MXQuantizedTensor,
+    k_mx: MXQuantizedTensor,
+    query_index: int,
+    key_index: int,
+    planes_known: int,
+) -> Tuple[float, float]:
+    """Float-domain ``(S_min, S_max)`` for one MX (query, key) pair.
+
+    Convenience wrapper combining :func:`mx_partial_score` with the scaled
+    group intervals; used by the Fig. 25 bench and the soundness tests.
+    """
+    q_data = np.atleast_2d(q_mx.data)
+    k_data = np.atleast_2d(k_mx.data)
+    q_scales = np.atleast_2d(q_mx.scales)
+    k_scales = np.atleast_2d(k_mx.scales)
+    lut = build_mx_bui_lut(q_mx)
+    k_planes = decompose_bitplanes(k_data[key_index], bits=k_mx.bits)
+    s_partial = mx_partial_score(
+        q_data[query_index],
+        k_planes,
+        q_scales[query_index],
+        k_scales[key_index],
+        q_mx.group_size,
+        planes_known,
+    )
+    i_min, i_max = lut.interval(
+        query_index, k_scales[key_index], q_scales[query_index], planes_known
+    )
+    return s_partial + i_min, s_partial + i_max

@@ -1,0 +1,92 @@
+"""Runtime validators for PADE's safety invariants.
+
+A deployment integrating the fused filter can cheaply audit its decisions
+(e.g. on sampled rows) against the guarantees the algorithm makes.  These
+checkers are also the test suite's failure-injection oracles: corrupting a
+scoreboard entry or an interval must trip them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.quant.bitplane import BitPlanes, partial_reconstruct
+
+__all__ = ["ValidationReport", "validate_retention", "validate_partial_scores"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of one validation pass."""
+
+    ok: bool
+    violations: List[str]
+
+    def __bool__(self) -> bool:  # truthiness = validity
+        return self.ok
+
+
+def validate_retention(
+    q_int: np.ndarray,
+    k_int: np.ndarray,
+    retained: np.ndarray,
+    guard: float,
+    protect: Optional[np.ndarray] = None,
+    max_report: int = 10,
+) -> ValidationReport:
+    """Check the no-false-prune guarantee on a retention mask.
+
+    Every (row, key) whose exact integer score is within ``guard`` of that
+    row's exact maximum must be retained.  (The converse — pruning far-away
+    keys — is a quality property, not a safety one, and is not enforced.)
+    """
+    q = np.atleast_2d(np.asarray(q_int, dtype=np.int64))
+    k = np.asarray(k_int, dtype=np.int64)
+    retained = np.atleast_2d(np.asarray(retained, dtype=bool))
+    exact = q @ k.T
+    violations: List[str] = []
+    for i in range(q.shape[0]):
+        must_keep = exact[i] >= exact[i].max() - guard
+        if protect is not None:
+            must_keep |= np.atleast_2d(protect)[0] if np.asarray(protect).ndim == 1 else protect[i]
+        bad = np.flatnonzero(must_keep & ~retained[i])
+        for j in bad[:max_report]:
+            violations.append(
+                f"row {i}: key {j} pruned but score {exact[i, j]} within guard "
+                f"{guard} of max {exact[i].max()}"
+            )
+    return ValidationReport(ok=not violations, violations=violations)
+
+
+def validate_partial_scores(
+    q_row: np.ndarray,
+    key_planes: BitPlanes,
+    partial_scores: np.ndarray,
+    planes_known: np.ndarray,
+    max_report: int = 10,
+) -> ValidationReport:
+    """Check that cached partial scores match the plane-prefix ground truth.
+
+    This is the scoreboard-integrity audit: entry ``j`` must equal
+    ``q · partial_reconstruct(K_j, planes_known_j)``; a bit flip in the
+    scoreboard (or a mis-sequenced plane update) is caught here.
+    """
+    q = np.asarray(q_row, dtype=np.int64)
+    partial_scores = np.asarray(partial_scores, dtype=np.int64)
+    planes_known = np.asarray(planes_known, dtype=np.int64)
+    violations: List[str] = []
+    for r in np.unique(planes_known):
+        idx = np.flatnonzero(planes_known == r)
+        if idx.size == 0 or r == 0:
+            continue
+        truth = partial_reconstruct(key_planes, int(r))[idx] @ q
+        bad = idx[truth != partial_scores[idx]]
+        for j in bad[:max_report]:
+            violations.append(
+                f"key {j}: cached partial {partial_scores[j]} != ground truth "
+                f"at {r} planes"
+            )
+    return ValidationReport(ok=not violations, violations=violations)

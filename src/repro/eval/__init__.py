@@ -1,0 +1,35 @@
+"""Experiment harness regenerating every table and figure of the paper.
+
+* :mod:`repro.eval.workloads` — named benchmark workloads + measured
+  pipeline statistics (keep fractions, mean planes) that parameterize the
+  analytic models.
+* :mod:`repro.eval.metrics` — reductions, speedups, geometric means.
+* :mod:`repro.eval.harness` — one function per experiment (``fig2_*`` ...
+  ``fig26_*``, ``table1`` ... ``table3``), each returning plain data.
+* :mod:`repro.eval.reporting` — ASCII renderers used by the benches.
+"""
+
+from repro.eval.workloads import (
+    WORKLOADS,
+    Workload,
+    PipelineStats,
+    measure_pipeline_stats,
+    build_attention_workload,
+)
+from repro.eval.metrics import geomean, reduction, speedup
+from repro.eval import harness
+from repro.eval.reporting import print_table, print_series
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "PipelineStats",
+    "measure_pipeline_stats",
+    "build_attention_workload",
+    "geomean",
+    "reduction",
+    "speedup",
+    "harness",
+    "print_table",
+    "print_series",
+]

@@ -1,0 +1,38 @@
+"""Small metric helpers shared by the harness and the benches."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["geomean", "reduction", "speedup", "normalize"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's cross-benchmark aggregate)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def reduction(baseline: float, value: float) -> float:
+    """Fractional reduction of ``value`` relative to ``baseline``."""
+    if baseline <= 0:
+        return 0.0
+    return 1.0 - value / baseline
+
+
+def speedup(baseline: float, value: float) -> float:
+    """``baseline / value`` with a zero guard."""
+    return baseline / value if value > 0 else float("inf")
+
+
+def normalize(values: Iterable[float], reference: float) -> list:
+    """Divide every value by a reference (figure-normalization helper)."""
+    if reference == 0:
+        raise ValueError("reference must be non-zero")
+    return [v / reference for v in values]

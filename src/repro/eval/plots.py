@@ -1,0 +1,68 @@
+"""ASCII plotting for the regenerated figures (offline-friendly).
+
+Matplotlib is unavailable in the reproduction environment, so the benches
+and examples can render series as unicode bar/line charts — enough to
+eyeball the shapes the paper's figures show.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+__all__ = ["bar_chart", "line_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def bar_chart(
+    title: str, labels: Sequence[str], values: Sequence[float], width: int = 40
+) -> str:
+    """Horizontal bar chart with value annotations."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    vmax = max(values) if values else 1.0
+    vmax = vmax if vmax > 0 else 1.0
+    label_w = max((len(l) for l in labels), default=0)
+    lines = [f"== {title} =="]
+    for label, value in zip(labels, values):
+        frac = max(0.0, value / vmax)
+        full = int(frac * width)
+        rem = int((frac * width - full) * 8)
+        bar = "█" * full + (_BLOCKS[rem] if rem else "")
+        lines.append(f"{label.ljust(label_w)} |{bar.ljust(width)}| {value:.3g}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    title: str,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+) -> str:
+    """Multi-series scatter/line chart on a character grid."""
+    if not series:
+        return f"== {title} == (no data)"
+    all_y = [y for ys in series.values() for y in ys]
+    ymin, ymax = min(all_y), max(all_y)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for (name, ys), marker in zip(series.items(), markers):
+        for x, y in zip(xs, ys):
+            col = int((x - xmin) / (xmax - xmin) * (width - 1))
+            row = height - 1 - int((y - ymin) / (ymax - ymin) * (height - 1))
+            grid[row][col] = marker
+    lines = [f"== {title} =="]
+    for i, row in enumerate(grid):
+        y_label = ymax - (ymax - ymin) * i / (height - 1)
+        lines.append(f"{y_label:10.3g} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(f"{'':11s}{xmin:<10.4g}{'':>{max(0, width - 20)}}{xmax:>10.4g}")
+    legend = "  ".join(f"{m}={n}" for (n, _), m in zip(series.items(), markers))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

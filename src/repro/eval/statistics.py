@@ -1,0 +1,80 @@
+"""Measurement statistics following the paper's protocol (§VI-A).
+
+The paper's GPU measurements run each experiment 2000 times and *discard
+the top and bottom 15% before averaging* — a 15% trimmed mean.  This module
+provides that estimator plus a bootstrap confidence interval, and a
+``repeat_measure`` harness for anything in the reproduction that has run-to-
+run variance (randomized workload draws, for instance), so reported numbers
+can carry uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["Measurement", "paper_trimmed_mean", "bootstrap_ci", "repeat_measure"]
+
+#: the paper discards the top and bottom 15% of runs
+PAPER_TRIM_FRACTION = 0.15
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A repeated measurement summarized the paper's way."""
+
+    samples: Tuple[float, ...]
+    trimmed_mean: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def relative_halfwidth(self) -> float:
+        if self.trimmed_mean == 0:
+            return 0.0
+        return (self.ci_high - self.ci_low) / 2 / abs(self.trimmed_mean)
+
+
+def paper_trimmed_mean(samples: Sequence[float], trim: float = PAPER_TRIM_FRACTION) -> float:
+    """15%-trimmed mean (the paper's averaging rule)."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("no samples")
+    return float(stats.trim_mean(arr, trim))
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_boot: int = 2000,
+    trim: float = PAPER_TRIM_FRACTION,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap CI of the trimmed mean."""
+    arr = np.asarray(list(samples), dtype=np.float64)
+    if arr.size < 2:
+        return float(arr[0]), float(arr[0])
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    boots = stats.trim_mean(arr[idx], trim, axis=1)
+    lo = float(np.percentile(boots, (1 - confidence) / 2 * 100))
+    hi = float(np.percentile(boots, (1 + confidence) / 2 * 100))
+    return lo, hi
+
+
+def repeat_measure(
+    fn: Callable[[np.random.Generator], float],
+    repeats: int = 20,
+    seed: int = 0,
+) -> Measurement:
+    """Run ``fn`` with independent rngs and summarize per the paper's rule."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    root = np.random.default_rng(seed)
+    samples = tuple(float(fn(np.random.default_rng(root.integers(0, 2**63)))) for _ in range(repeats))
+    tm = paper_trimmed_mean(samples) if repeats >= 3 else float(np.mean(samples))
+    lo, hi = bootstrap_ci(samples) if repeats >= 3 else (min(samples), max(samples))
+    return Measurement(samples=samples, trimmed_mean=tm, ci_low=lo, ci_high=hi)

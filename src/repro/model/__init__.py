@@ -1,0 +1,35 @@
+"""Transformer workload substrate.
+
+The paper evaluates on real LLMs/ViTs; offline we substitute a controllable
+substrate (see DESIGN.md §2):
+
+* :mod:`repro.model.configs` — architecture presets matching the evaluated
+  models (heads, GQA groups, head dim, layers).
+* :mod:`repro.model.synthetic` — QKV generators whose attention-score
+  structure (sinks, locality, heavy hitters, peakedness) is controlled
+  exactly, so sparsity behaviour is reproducible.
+* :mod:`repro.model.transformer` — numpy MHA/GQA attention layers with
+  pluggable attention operators (dense / PADE / baselines).
+* :mod:`repro.model.tasks` — the 22-benchmark suite with the proxy accuracy
+  model used to regenerate Table II and Figs. 15/16.
+"""
+
+from repro.model.configs import ModelConfig, MODEL_PRESETS, get_model
+from repro.model.synthetic import AttentionProfile, synthesize_qkv, PROFILE_PRESETS
+from repro.model.transformer import AttentionLayer, MultiHeadAttention
+from repro.model.tasks import Task, TASKS, evaluate_task, lost_attention_mass
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_PRESETS",
+    "get_model",
+    "AttentionProfile",
+    "synthesize_qkv",
+    "PROFILE_PRESETS",
+    "AttentionLayer",
+    "MultiHeadAttention",
+    "Task",
+    "TASKS",
+    "evaluate_task",
+    "lost_attention_mass",
+]

@@ -1,0 +1,81 @@
+"""Calibrate synthetic attention profiles to target sparsity statistics.
+
+The reproduction's Table II / Fig. 16(b) fidelity rests on the synthetic
+score distribution hitting the right (keep fraction, lost mass) pair at the
+paper's operating points.  This module automates that calibration: given
+targets, it searches the profile's cluster geometry so a user can re-anchor
+the substrate to a different regime (e.g. the paper's denser keep ≈ 0.3
+regime discussed in EXPERIMENTS.md note 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attention.dense import softmax
+from repro.core.config import PadeConfig
+from repro.core.pade_attention import pade_attention
+from repro.model.synthetic import AttentionProfile, synthesize_qkv
+
+__all__ = ["CalibrationTarget", "measure_profile", "calibrate_profile"]
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """Desired operating point at a given α."""
+
+    alpha: float = 0.6
+    keep_fraction: float = 0.10
+    lost_mass: float = 0.01
+    seq_len: int = 1024
+    head_dim: int = 64
+
+
+def measure_profile(
+    profile: AttentionProfile,
+    target: CalibrationTarget,
+    seed: int = 7,
+) -> Tuple[float, float]:
+    """Measured (keep fraction, lost mass) of a profile at the target's α."""
+    rng = np.random.default_rng(seed)
+    q, k, v = synthesize_qkv(8, target.seq_len, target.head_dim, profile, rng)
+    res = pade_attention(q, k, v, PadeConfig(alpha=target.alpha))
+    logits = (res.q_int.data @ res.k_int.data.T) * res.logit_scale
+    probs = softmax(logits, axis=-1)
+    lost = float(np.where(res.retained, 0.0, probs).sum(axis=-1).mean())
+    return 1.0 - res.sparsity, lost
+
+
+def calibrate_profile(
+    target: CalibrationTarget,
+    base: Optional[AttentionProfile] = None,
+    iterations: int = 6,
+    seed: int = 7,
+) -> AttentionProfile:
+    """Search cluster size and width toward the target operating point.
+
+    Coordinate descent on two knobs: the relevant-set size (``num_heavy`` —
+    scales the keep fraction) and ``cluster_width`` (scales the lost mass at
+    fixed guard).  Coarse by design: the goal is landing within ~25% of the
+    target, enough to re-anchor the proxy-accuracy suite.
+    """
+    profile = base or AttentionProfile()
+    for _ in range(iterations):
+        keep, lost = measure_profile(profile, target, seed)
+        # Knob 1: relevant-set size ∝ keep fraction.
+        if keep > 0:
+            ratio = np.clip(target.keep_fraction / keep, 0.5, 2.0)
+            new_heavy = int(np.clip(round(profile.num_heavy * ratio), 1, target.seq_len // 2))
+            new_local = int(np.clip(round(profile.local_width * ratio), 4, target.seq_len // 2))
+            profile = replace(profile, num_heavy=new_heavy, local_width=new_local)
+        # Knob 2: cluster width vs lost mass (wider cluster → guard cuts more).
+        keep, lost = measure_profile(profile, target, seed)
+        if lost > 0 and target.lost_mass > 0:
+            width_ratio = np.clip((target.lost_mass / max(lost, 1e-5)) ** 0.3, 0.8, 1.25)
+            profile = replace(
+                profile, cluster_width=float(np.clip(profile.cluster_width * width_ratio, 0.5, 8.0))
+            )
+    return profile

@@ -1,0 +1,74 @@
+"""Architecture presets for the models the paper evaluates (§VI-A).
+
+Only the attention-relevant dimensions matter to PADE: number of heads,
+KV-head grouping (MHA vs GQA), head dimension, layer count, and the typical
+sequence lengths of the paired tasks.  Parameter counts are retained for
+reporting only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ModelConfig", "MODEL_PRESETS", "get_model"]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Attention-relevant shape of one evaluated model."""
+
+    name: str
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    head_dim: int
+    modality: str  # "nlp" or "cv"
+    params_b: float  # billions, for reporting
+
+    @property
+    def hidden_dim(self) -> int:
+        return self.num_heads * self.head_dim
+
+    @property
+    def gqa_group(self) -> int:
+        """Queries sharing one KV head (1 = MHA)."""
+        return self.num_heads // self.num_kv_heads
+
+    @property
+    def is_gqa(self) -> bool:
+        return self.num_kv_heads < self.num_heads
+
+    def attention_flops(self, seq_len: int, num_queries: int | None = None) -> int:
+        """Dense attention MACs for one forward pass over all layers/heads.
+
+        ``num_queries`` defaults to ``seq_len`` (prefill); decode passes 1.
+        """
+        p = seq_len if num_queries is None else num_queries
+        per_head = 2 * p * seq_len * self.head_dim  # QK^T + PV
+        return per_head * self.num_heads * self.num_layers
+
+    def kv_bytes(self, seq_len: int, bits: int = 8) -> int:
+        """KV-cache footprint across layers at the given element width."""
+        per_layer = 2 * seq_len * self.num_kv_heads * self.head_dim
+        return per_layer * self.num_layers * bits // 8
+
+
+MODEL_PRESETS: Dict[str, ModelConfig] = {
+    "llama2-7b": ModelConfig("llama2-7b", 32, 32, 32, 128, "nlp", 7.0),
+    "llama3-8b": ModelConfig("llama3-8b", 32, 32, 8, 128, "nlp", 8.0),
+    "opt-1b3": ModelConfig("opt-1b3", 24, 32, 32, 64, "nlp", 1.3),
+    "bloom-1b7": ModelConfig("bloom-1b7", 24, 16, 16, 128, "nlp", 1.7),
+    "qwen-7b": ModelConfig("qwen-7b", 32, 32, 32, 128, "nlp", 7.0),
+    "vit-l/16": ModelConfig("vit-l/16", 24, 16, 16, 64, "cv", 0.3),
+    "pvt": ModelConfig("pvt", 16, 8, 8, 64, "cv", 0.06),
+}
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a preset by name (case-insensitive)."""
+    key = name.lower()
+    if key not in MODEL_PRESETS:
+        known = ", ".join(sorted(MODEL_PRESETS))
+        raise KeyError(f"unknown model {name!r}; known models: {known}")
+    return MODEL_PRESETS[key]

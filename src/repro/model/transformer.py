@@ -1,0 +1,135 @@
+"""Minimal numpy attention layers with pluggable attention operators.
+
+These classes give the reproduction an end-to-end "model" to run: multi-head
+(or grouped-query) attention whose per-head computation can be dense
+reference attention, PADE, or any baseline with the same signature.  They
+also expose the per-head workload description the accelerator models consume
+(sequence length, head counts, GQA sharing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.attention.dense import dense_attention
+from repro.core.config import PadeConfig
+from repro.core.pade_attention import PadeAttentionResult, pade_attention
+from repro.model.configs import ModelConfig
+from repro.model.synthetic import AttentionProfile, PROFILE_PRESETS, synthesize_qkv
+
+__all__ = ["HeadResult", "AttentionLayer", "MultiHeadAttention", "generate_layer_qkv"]
+
+AttentionFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+
+@dataclass
+class HeadResult:
+    """Per-head output plus the PADE statistics (when PADE ran the head)."""
+
+    output: np.ndarray
+    pade: Optional[PadeAttentionResult] = None
+
+
+def generate_layer_qkv(
+    model: ModelConfig,
+    seq_len: int,
+    num_queries: Optional[int] = None,
+    profile: Optional[AttentionProfile] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[tuple]:
+    """Synthesize per-KV-head (Q, K, V) triples for one layer.
+
+    GQA models share one K/V across ``gqa_group`` query heads: the returned
+    list has ``num_kv_heads`` entries, each ``(Q, K, V)`` with Q of shape
+    ``(gqa_group * P, H)`` stacked by query head.
+    """
+    rng = rng or np.random.default_rng(0)
+    profile = profile or (
+        PROFILE_PRESETS["cv"] if model.modality == "cv" else PROFILE_PRESETS["nlp"]
+    )
+    p = num_queries if num_queries is not None else min(8, seq_len)
+    triples = []
+    for _ in range(model.num_kv_heads):
+        qs = []
+        k = v = None
+        for _ in range(model.gqa_group):
+            q_h, k_h, v_h = synthesize_qkv(p, seq_len, model.head_dim, profile, rng)
+            qs.append(q_h)
+            if k is None:
+                k, v = k_h, v_h  # the group shares the first head's KV
+        triples.append((np.vstack(qs), k, v))
+    return triples
+
+
+@dataclass
+class AttentionLayer:
+    """One attention layer: runs every (KV-)head through an operator."""
+
+    model: ModelConfig
+    config: Optional[PadeConfig] = None
+    use_pade: bool = True
+
+    def run(
+        self,
+        triples: List[tuple],
+        dense_fn: AttentionFn = dense_attention,
+    ) -> List[HeadResult]:
+        """Execute all heads; returns per-head outputs and PADE stats."""
+        results: List[HeadResult] = []
+        for q, k, v in triples:
+            if self.use_pade:
+                res = pade_attention(q, k, v, self.config)
+                results.append(HeadResult(output=res.output, pade=res))
+            else:
+                results.append(HeadResult(output=dense_fn(q, k, v)))
+        return results
+
+    def mean_sparsity(self, results: List[HeadResult]) -> float:
+        vals = [r.pade.sparsity for r in results if r.pade is not None]
+        return float(np.mean(vals)) if vals else 0.0
+
+
+@dataclass
+class MultiHeadAttention:
+    """A stack of attention layers for one model preset.
+
+    The per-layer attention profiles are perturbed slightly so layers do not
+    share identical sparsity (real models vary layer-to-layer, Fig. 4c).
+    """
+
+    model: ModelConfig
+    config: Optional[PadeConfig] = None
+    use_pade: bool = True
+    seed: int = 0
+    layer_results: List[List[HeadResult]] = field(default_factory=list)
+
+    def run_prefill(
+        self, seq_len: int, num_layers: Optional[int] = None, num_queries: Optional[int] = None
+    ) -> List[List[HeadResult]]:
+        """Run ``num_layers`` layers (default: 4, the paper's profiling cut)."""
+        layers = num_layers if num_layers is not None else min(4, self.model.num_layers)
+        rng = np.random.default_rng(self.seed)
+        base = PROFILE_PRESETS["cv"] if self.model.modality == "cv" else PROFILE_PRESETS["nlp"]
+        self.layer_results = []
+        for layer_idx in range(layers):
+            peaked = base.peakedness * float(rng.uniform(0.85, 1.15))
+            profile = base.scaled(peaked)
+            triples = generate_layer_qkv(
+                self.model, seq_len, num_queries, profile, rng
+            )
+            layer = AttentionLayer(self.model, self.config, self.use_pade)
+            self.layer_results.append(layer.run(triples))
+        return self.layer_results
+
+    @property
+    def mean_sparsity(self) -> float:
+        vals = [
+            r.pade.sparsity
+            for layer in self.layer_results
+            for r in layer
+            if r.pade is not None
+        ]
+        return float(np.mean(vals)) if vals else 0.0

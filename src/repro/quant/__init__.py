@@ -1,0 +1,47 @@
+"""Quantization substrate for the PADE reproduction.
+
+This package provides the numeric building blocks the PADE accelerator
+operates on:
+
+* :mod:`repro.quant.integer` — symmetric INT8/INT4 post-training quantization
+  (the paper's executor precision) plus a QAT-shaped variant used by the
+  Fig. 26 quantization study.
+* :mod:`repro.quant.bitplane` — 2's-complement bit-plane decomposition, the
+  representation underlying the bit-serial stage-fusion (BSF) strategy.
+* :mod:`repro.quant.mxint` — group-wise MXINT micro-scaling format used by
+  the Fig. 25 extension study.
+"""
+
+from repro.quant.integer import (
+    QuantizedTensor,
+    quantize_symmetric,
+    dequantize,
+    quantization_error,
+    qat_calibrated_scale,
+)
+from repro.quant.bitplane import (
+    BitPlanes,
+    decompose_bitplanes,
+    reconstruct_from_planes,
+    partial_reconstruct,
+    plane_weights,
+    unknown_weight_sum,
+)
+from repro.quant.mxint import MXQuantizedTensor, quantize_mxint, dequantize_mxint
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_symmetric",
+    "dequantize",
+    "quantization_error",
+    "qat_calibrated_scale",
+    "BitPlanes",
+    "decompose_bitplanes",
+    "reconstruct_from_planes",
+    "partial_reconstruct",
+    "plane_weights",
+    "unknown_weight_sum",
+    "MXQuantizedTensor",
+    "quantize_mxint",
+    "dequantize_mxint",
+]

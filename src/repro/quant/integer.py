@@ -1,0 +1,156 @@
+"""Symmetric integer quantization.
+
+PADE executes self-attention at 8-bit integer precision (Table III); the
+Fig. 26 study additionally evaluates INT4 and QAT-shaped distributions.  This
+module implements the post-training symmetric quantizer used throughout the
+reproduction: a single power-free scale per tensor (or per row), zero-point
+fixed at 0, and round-to-nearest-even semantics matching common PTQ stacks
+(GPTQ / SmoothQuant style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize_symmetric",
+    "dequantize",
+    "quantization_error",
+    "qat_calibrated_scale",
+    "int_range",
+]
+
+
+def int_range(bits: int) -> Tuple[int, int]:
+    """Return the representable ``(min, max)`` of a signed ``bits``-wide int.
+
+    >>> int_range(8)
+    (-128, 127)
+    >>> int_range(4)
+    (-8, 7)
+    """
+    if bits < 2:
+        raise ValueError(f"need at least 2 bits for signed quantization, got {bits}")
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """An integer tensor together with its dequantization scale.
+
+    Attributes
+    ----------
+    data:
+        Integer payload, stored as ``int64`` so downstream dot products never
+        overflow (a 64-dim INT8 dot product peaks around ``2**20``).
+    scale:
+        Either a scalar or an array broadcastable against ``data``;
+        ``float_value = data * scale``.
+    bits:
+        Bit width of the quantization grid (the payload is *logically* a
+        ``bits``-wide 2's-complement integer even though stored wider).
+    """
+
+    data: np.ndarray
+    scale: np.ndarray
+    bits: int
+
+    def __post_init__(self) -> None:
+        qmin, qmax = int_range(self.bits)
+        lo = int(self.data.min()) if self.data.size else 0
+        hi = int(self.data.max()) if self.data.size else 0
+        if lo < qmin or hi > qmax:
+            raise ValueError(
+                f"payload out of range for int{self.bits}: [{lo}, {hi}] "
+                f"not within [{qmin}, {qmax}]"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def dequantize(self) -> np.ndarray:
+        """Return the float reconstruction ``data * scale``."""
+        return self.data.astype(np.float64) * self.scale
+
+    def bytes_per_element(self) -> float:
+        """Storage cost of one element in bytes at the logical bit width."""
+        return self.bits / 8.0
+
+
+def _resolve_scale(
+    values: np.ndarray, bits: int, axis: Optional[int], scale: Optional[np.ndarray]
+) -> np.ndarray:
+    if scale is not None:
+        return np.asarray(scale, dtype=np.float64)
+    _, qmax = int_range(bits)
+    if axis is None:
+        max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+        resolved = np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
+    else:
+        max_abs = np.max(np.abs(values), axis=axis, keepdims=True)
+        resolved = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    return resolved.astype(np.float64)
+
+
+def quantize_symmetric(
+    values: np.ndarray,
+    bits: int = 8,
+    axis: Optional[int] = None,
+    scale: Optional[np.ndarray] = None,
+) -> QuantizedTensor:
+    """Quantize ``values`` onto a symmetric signed integer grid.
+
+    Parameters
+    ----------
+    values:
+        Float tensor to quantize.
+    bits:
+        Target bit width (8 for the paper's default executor, 4 for Fig. 26).
+    axis:
+        If given, compute an independent scale along this axis (per-token
+        quantization); otherwise one scale covers the whole tensor.
+    scale:
+        Explicit scale override (used by calibrated/QAT flows); values are
+        clipped into the representable range.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    resolved = _resolve_scale(values, bits, axis, scale)
+    qmin, qmax = int_range(bits)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = np.rint(values / resolved)
+    q = np.clip(q, qmin, qmax).astype(np.int64)
+    return QuantizedTensor(data=q, scale=resolved, bits=bits)
+
+
+def dequantize(q: QuantizedTensor) -> np.ndarray:
+    """Functional alias for :meth:`QuantizedTensor.dequantize`."""
+    return q.dequantize()
+
+
+def quantization_error(values: np.ndarray, q: QuantizedTensor) -> float:
+    """Root-mean-square reconstruction error of ``q`` against ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    diff = values - q.dequantize()
+    return float(np.sqrt(np.mean(diff * diff))) if diff.size else 0.0
+
+
+def qat_calibrated_scale(values: np.ndarray, bits: int = 8, percentile: float = 99.9) -> float:
+    """Return a clipping scale emulating quantization-aware training.
+
+    QAT learns clipping ranges tighter than the absolute maximum, which makes
+    the post-quantization distribution more *uniform* — the effect the paper
+    leans on in Fig. 26(a) (uniform data reduces the sparsity that predictor
+    designs such as SOFA rely on).  We emulate this by clipping at a high
+    percentile instead of the max.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 1.0
+    _, qmax = int_range(bits)
+    bound = float(np.percentile(np.abs(values), percentile))
+    return bound / qmax if bound > 0 else 1.0

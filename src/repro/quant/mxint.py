@@ -1,0 +1,88 @@
+"""MXINT micro-scaling format (32-element groups).
+
+The MX format (Rouhani et al., and paper §VI-F / Fig. 25) quantizes along the
+channel dimension in fixed-size groups, each with its own scale.  PADE stays
+compatible by scaling the bit uncertainty interval group-wise and summing
+(see :mod:`repro.core.mx`).  This module provides the group quantizer itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.quant.integer import int_range
+
+__all__ = ["MXQuantizedTensor", "quantize_mxint", "dequantize_mxint", "DEFAULT_GROUP_SIZE"]
+
+DEFAULT_GROUP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class MXQuantizedTensor:
+    """Group-quantized tensor: last axis split into groups of ``group_size``.
+
+    Attributes
+    ----------
+    data:
+        Integer payload (int64), same shape as the source tensor.
+    scales:
+        Per-group scales with shape ``source_shape[:-1] + (num_groups,)``.
+    bits:
+        Element bit width.
+    group_size:
+        Number of consecutive last-axis elements sharing a scale.
+    """
+
+    data: np.ndarray
+    scales: np.ndarray
+    bits: int
+    group_size: int
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def num_groups(self) -> int:
+        return self.scales.shape[-1]
+
+    def group_slice(self, g: int) -> slice:
+        start = g * self.group_size
+        return slice(start, start + self.group_size)
+
+    def dequantize(self) -> np.ndarray:
+        return dequantize_mxint(self)
+
+
+def quantize_mxint(
+    values: np.ndarray, bits: int = 8, group_size: int = DEFAULT_GROUP_SIZE
+) -> MXQuantizedTensor:
+    """Quantize ``values`` with a shared scale per ``group_size`` channel group.
+
+    The last axis must be a multiple of ``group_size`` (the paper groups
+    64-length head dims into two 32-element groups).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    last = values.shape[-1]
+    if last % group_size != 0:
+        raise ValueError(f"last axis {last} is not a multiple of group size {group_size}")
+    num_groups = last // group_size
+    grouped = values.reshape(values.shape[:-1] + (num_groups, group_size))
+    _, qmax = int_range(bits)
+    max_abs = np.max(np.abs(grouped), axis=-1)
+    scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    q = np.rint(grouped / scales[..., None])
+    q = np.clip(q, -qmax - 1, qmax).astype(np.int64)
+    return MXQuantizedTensor(
+        data=q.reshape(values.shape), scales=scales, bits=bits, group_size=group_size
+    )
+
+
+def dequantize_mxint(q: MXQuantizedTensor) -> np.ndarray:
+    """Reconstruct floats from an :class:`MXQuantizedTensor`."""
+    grouped = q.data.reshape(q.data.shape[:-1] + (q.num_groups, q.group_size))
+    out = grouped.astype(np.float64) * q.scales[..., None]
+    return out.reshape(q.data.shape)

@@ -1,0 +1,69 @@
+"""Cycle-approximate simulator of the PADE accelerator.
+
+Components mirror the paper's architecture (Fig. 11):
+
+* :mod:`repro.sim.tech` — 28 nm / 800 MHz technology and energy constants
+  (Table III, §VI-A normalization protocol).
+* :mod:`repro.sim.dram` — HBM2 pseudo-channel model with row-buffer
+  behaviour and the bit-plane-first data layout (Fig. 22).
+* :mod:`repro.sim.sram` — on-chip K/V/Q buffers.
+* :mod:`repro.sim.gsat` — grouped lightweight sparsity ANDer tree
+  (functional + area/power DSE, Fig. 17a).
+* :mod:`repro.sim.scheduler` — BS scheduler with temporally reused priority
+  encoder (Fig. 12).
+* :mod:`repro.sim.pe` / :mod:`repro.sim.qkpu` — bit-wise PE lanes with
+  scoreboards and the out-of-order QK processing unit.
+* :mod:`repro.sim.rars` — reuse-aware reorder scheduler for V vectors
+  (Fig. 13).
+* :mod:`repro.sim.vpu` — systolic array + APM value processing unit.
+* :mod:`repro.sim.accelerator` — the full-accelerator simulation entry
+  point with ablation switches (Figs. 16a, 19, 23).
+* :mod:`repro.sim.area` — area/power breakdown model (Fig. 20).
+"""
+
+from repro.sim.tech import TechConfig, DEFAULT_TECH
+from repro.sim.dram import HBMModel, DramStats, DataLayout
+from repro.sim.sram import SramBuffer
+from repro.sim.gsat import GSATConfig, gsat_cycles, gsat_area_power
+from repro.sim.scheduler import BSScheduler
+from repro.sim.rars import rars_schedule, naive_schedule, ScheduleResult
+from repro.sim.qkpu import QKPUResult, simulate_qkpu
+from repro.sim.vpu import VPUResult, simulate_vpu
+from repro.sim.accelerator import PadeAccelerator, AcceleratorConfig, SimReport
+from repro.sim.area import area_breakdown, power_breakdown
+from repro.sim.kv_cache import KVCache, DecodeStepTraffic
+from repro.sim.layout import KBitPlaneLayout, RowMajorLayout, row_buffer_hit_rate
+from repro.sim.trace import LaneTrace, render_gantt, trace_lane
+
+__all__ = [
+    "TechConfig",
+    "DEFAULT_TECH",
+    "HBMModel",
+    "DramStats",
+    "DataLayout",
+    "SramBuffer",
+    "GSATConfig",
+    "gsat_cycles",
+    "gsat_area_power",
+    "BSScheduler",
+    "rars_schedule",
+    "naive_schedule",
+    "ScheduleResult",
+    "QKPUResult",
+    "simulate_qkpu",
+    "VPUResult",
+    "simulate_vpu",
+    "PadeAccelerator",
+    "AcceleratorConfig",
+    "SimReport",
+    "area_breakdown",
+    "power_breakdown",
+    "KVCache",
+    "DecodeStepTraffic",
+    "KBitPlaneLayout",
+    "RowMajorLayout",
+    "row_buffer_hit_rate",
+    "LaneTrace",
+    "render_gantt",
+    "trace_lane",
+]

@@ -1,0 +1,106 @@
+"""Area and power breakdown of PADE (paper Fig. 20).
+
+The paper reports 4.53 mm² / 591 mW at TSMC 28 nm, 800 MHz, with component
+shares from Synopsys DC.  Offline we model the breakdown with the paper's
+shares as the calibrated operating point and expose the structural scaling
+knobs the DSE figures need (GSAT sub-group size, scoreboard entries, lane
+count) — scaling a component scales its share accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.gsat import gsat_area_power
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["TOTAL_AREA_MM2", "TOTAL_POWER_MW", "area_breakdown", "power_breakdown", "scaled_breakdown"]
+
+TOTAL_AREA_MM2 = 4.53
+TOTAL_POWER_MW = 591.0
+
+#: Fig. 20(a) component shares (fractions of total area).
+AREA_SHARES: Dict[str, float] = {
+    "pe_lane": 0.341,
+    "v_pu": 0.285,
+    "on_chip_buffer": 0.230,
+    "scoreboard": 0.037,
+    "bui_gf_module": 0.029,
+    "bs_rars_scheduler": 0.028,
+    "decision_unit": 0.021,
+    "bui_generator": 0.020,
+    "others": 0.032,
+}
+
+#: Fig. 20(b) component shares (fractions of total power).
+POWER_SHARES: Dict[str, float] = {
+    "pe_lane": 0.416,
+    "v_pu": 0.298,
+    "on_chip_buffer": 0.143,
+    "bui_gf_module": 0.062,
+    "bui_generator": 0.059,
+    "scoreboard": 0.033,
+    "decision_unit": 0.016,
+    "bs_rars_scheduler": 0.013,
+    "others": 0.028,
+}
+
+
+def area_breakdown() -> Dict[str, float]:
+    """Component areas in mm² at the paper's design point.
+
+    The paper's figure labels sum to slightly over 100%; shares are
+    renormalized so the components add up to the reported 4.53 mm².
+    """
+    total = sum(AREA_SHARES.values())
+    return {name: share / total * TOTAL_AREA_MM2 for name, share in AREA_SHARES.items()}
+
+
+def power_breakdown() -> Dict[str, float]:
+    """Component powers in mW at the paper's design point (renormalized)."""
+    total = sum(POWER_SHARES.values())
+    return {name: share / total * TOTAL_POWER_MW for name, share in POWER_SHARES.items()}
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """Structural knobs that scale the breakdown away from the default."""
+
+    gsat_subgroup: int = 8
+    scoreboard_entries: int = 32
+    num_lanes: int = 128
+
+
+def scaled_breakdown(point: DesignPoint, tech: TechConfig = DEFAULT_TECH) -> Dict[str, float]:
+    """Area breakdown (mm²) for a non-default design point.
+
+    PE-lane area follows the GSAT DSE curve; scoreboard area scales linearly
+    with entries; lane-count scales lanes, scoreboards, and decision units.
+    Used by the Fig. 17 design-space exploration.
+    """
+    base = area_breakdown()
+    ref_area, _ = gsat_area_power(tech.gsat_subgroup)
+    new_area, _ = gsat_area_power(point.gsat_subgroup)
+    lane_ratio = point.num_lanes / tech.num_lanes
+    out = dict(base)
+    out["pe_lane"] = base["pe_lane"] * (new_area / ref_area) * lane_ratio
+    out["scoreboard"] = (
+        base["scoreboard"] * (point.scoreboard_entries / tech.scoreboard_entries) * lane_ratio
+    )
+    out["decision_unit"] = base["decision_unit"] * lane_ratio
+    return out
+
+
+def overhead_summary() -> Dict[str, float]:
+    """The paper's headline overhead claims, derivable from the shares.
+
+    BUI support (generator + GF modules) ≈ 4.9% area / 12.1% power; stage
+    fusion support (scoreboard + decision unit) ≈ 5.8% area / 4.9% power.
+    """
+    return {
+        "bui_area_frac": AREA_SHARES["bui_generator"] + AREA_SHARES["bui_gf_module"],
+        "bui_power_frac": POWER_SHARES["bui_generator"] + POWER_SHARES["bui_gf_module"],
+        "fusion_area_frac": AREA_SHARES["scoreboard"] + AREA_SHARES["decision_unit"],
+        "fusion_power_frac": POWER_SHARES["scoreboard"] + POWER_SHARES["decision_unit"],
+    }

@@ -1,0 +1,164 @@
+"""HBM2 model: pseudo channels, row buffers, bursts, and data layouts.
+
+PADE co-designs the DRAM layout with the access pattern (Fig. 22): K is
+bank-interleaved along the *bit* dimension (each bank stores one bit plane)
+so that streaming one plane of many consecutive keys hits the open row,
+while Q/V are interleaved along the hidden dimension for contiguous 8-bit
+reads.  Without that layout, fetching one bit plane of one key strides
+through memory and pays a row activation almost every access — the behaviour
+behind the "PADE w/o DL" bars of Fig. 23(b).
+
+The model is transaction-level: a stream of ``num_accesses`` reads of
+``bytes_per_access`` is characterized by its row-buffer hit rate, from which
+cycles (max of bandwidth-limited and latency-limited), energy (4 pJ/bit +
+activation energy) and activation counts follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["DataLayout", "DramStats", "HBMModel"]
+
+
+class DataLayout(Enum):
+    """How a tensor is arranged across banks/rows (Fig. 22)."""
+
+    BIT_PLANE_FIRST = "bit_plane_first"  # K with PADE's custom layout
+    ROW_MAJOR = "row_major"  # element-contiguous (Q/V, or K without DL)
+
+
+@dataclass
+class DramStats:
+    """Aggregate result of one or more access streams."""
+
+    bytes_transferred: float = 0.0
+    cycles: float = 0.0
+    activations: float = 0.0
+    energy_pj: float = 0.0
+    accesses: int = 0
+
+    def merge(self, other: "DramStats") -> "DramStats":
+        return DramStats(
+            bytes_transferred=self.bytes_transferred + other.bytes_transferred,
+            cycles=self.cycles + other.cycles,
+            activations=self.activations + other.activations,
+            energy_pj=self.energy_pj + other.energy_pj,
+            accesses=self.accesses + other.accesses,
+        )
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Achieved fraction of peak bandwidth over the stream's duration."""
+        if self.cycles <= 0:
+            return 0.0
+        peak = DEFAULT_TECH.hbm_bytes_per_cycle * self.cycles
+        return min(1.0, self.bytes_transferred / peak)
+
+
+class HBMModel:
+    """Transaction-level HBM2 cost model.
+
+    Parameters
+    ----------
+    tech:
+        Technology constants (channels, per-channel bandwidth, tRC ...).
+    """
+
+    def __init__(self, tech: TechConfig = DEFAULT_TECH) -> None:
+        self.tech = tech
+
+    # ------------------------------------------------------------------
+    # Row-buffer behaviour per layout/pattern
+    # ------------------------------------------------------------------
+    def hit_rate(
+        self,
+        layout: DataLayout,
+        access_bytes: int,
+        stride_bytes: Optional[int] = None,
+    ) -> float:
+        """Row-buffer hit probability of a stream.
+
+        Sequential streams hit until they cross a row boundary; strided
+        streams (bit-plane gathers without the custom layout) miss whenever
+        the stride exceeds the row span.
+        """
+        row = self.tech.hbm_row_bytes
+        if layout is DataLayout.BIT_PLANE_FIRST:
+            # Planes of consecutive keys are contiguous: one miss per row.
+            return max(0.0, 1.0 - access_bytes / row)
+        stride = stride_bytes if stride_bytes is not None else access_bytes
+        if stride >= row:
+            return 0.0
+        return max(0.0, 1.0 - stride / row)
+
+    # ------------------------------------------------------------------
+    # Stream costing
+    # ------------------------------------------------------------------
+    def stream(
+        self,
+        num_accesses: int,
+        bytes_per_access: float,
+        hit_rate: float,
+        overlap_latency: bool = True,
+    ) -> DramStats:
+        """Cost a stream of accesses with a given row-buffer hit rate.
+
+        ``overlap_latency`` models a pipelined memory controller: misses pay
+        tRC but across ``hbm_channels`` banks in parallel, so the effective
+        serialized latency is the per-channel share.  Without overlap (the
+        naive bit-serial stall of Fig. 5d) every miss serializes fully.
+        """
+        t = self.tech
+        total_bytes = num_accesses * bytes_per_access
+        # Each access moves at least one burst.
+        bursts = num_accesses * max(1.0, np.ceil(bytes_per_access / t.hbm_burst_bytes))
+        transfer_cycles = bursts * t.hbm_burst_bytes / t.hbm_bytes_per_cycle
+        misses = num_accesses * (1.0 - hit_rate)
+        if overlap_latency:
+            latency_cycles = misses * t.hbm_trc_cycles / t.hbm_channels
+        else:
+            latency_cycles = misses * t.hbm_trc_cycles
+        cycles = max(transfer_cycles, latency_cycles)
+        energy = total_bytes * 8 * t.hbm_pj_per_bit + misses * t.hbm_activation_energy_pj
+        return DramStats(
+            bytes_transferred=total_bytes,
+            cycles=float(cycles),
+            activations=float(misses),
+            energy_pj=float(energy),
+            accesses=num_accesses,
+        )
+
+    # ------------------------------------------------------------------
+    # Tensor-specific convenience wrappers
+    # ------------------------------------------------------------------
+    def read_bit_planes(
+        self, num_plane_reads: int, head_dim: int, custom_layout: bool = True
+    ) -> DramStats:
+        """Cost of fetching ``num_plane_reads`` single-key bit planes.
+
+        One plane of one key is ``head_dim`` bits.  With the bit-plane-first
+        layout (Fig. 22) planes of consecutive keys stream sequentially;
+        without it each plane read gathers strided bits and pays activations.
+        """
+        plane_bytes = head_dim / 8.0
+        layout = DataLayout.BIT_PLANE_FIRST if custom_layout else DataLayout.ROW_MAJOR
+        stride = None if custom_layout else self.tech.operand_bits * head_dim // 8
+        hr = self.hit_rate(layout, int(np.ceil(plane_bytes)), stride)
+        return self.stream(num_plane_reads, plane_bytes, hr)
+
+    def read_rows(self, num_rows: int, row_bytes: float, sequential: bool = True) -> DramStats:
+        """Cost of fetching whole vectors (Q or V rows, or full K vectors)."""
+        hr = self.hit_rate(DataLayout.ROW_MAJOR, int(np.ceil(row_bytes))) if sequential else 0.0
+        return self.stream(num_rows, row_bytes, hr)
+
+    def write_rows(self, num_rows: int, row_bytes: float) -> DramStats:
+        """Cost of writing output rows (same bandwidth/energy model)."""
+        hr = self.hit_rate(DataLayout.ROW_MAJOR, int(np.ceil(row_bytes)))
+        return self.stream(num_rows, row_bytes, hr)

@@ -1,0 +1,98 @@
+"""KV-cache substrate for decode-phase simulation.
+
+Autoregressive decoding appends one K/V row per step and re-reads the whole
+cache each step; PADE's layout writes new K rows bit-plane-first (the GPU
+performs the conversion during K generation, Fig. 24a).  The cache model
+tracks footprint, append traffic, and per-step read traffic under PADE's
+plane/retention filters — the quantities the Fig. 26(b) decoding study and
+:meth:`repro.sim.accelerator.PadeAccelerator.run_decode` consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["KVCache", "DecodeStepTraffic"]
+
+
+@dataclass(frozen=True)
+class DecodeStepTraffic:
+    """DRAM traffic of one decode step for one (kv-)head."""
+
+    k_bytes: float
+    v_bytes: float
+    append_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.k_bytes + self.v_bytes + self.append_bytes
+
+
+@dataclass
+class KVCache:
+    """Per-head KV cache with bit-plane-aware accounting.
+
+    Attributes
+    ----------
+    head_dim / bits:
+        Row geometry; one K row stores ``bits`` planes of ``head_dim`` bits.
+    length:
+        Current number of cached tokens.
+    """
+
+    head_dim: int = 64
+    bits: int = 8
+    length: int = 0
+    tech: TechConfig = field(default=DEFAULT_TECH, repr=False)
+    appended_bytes: float = 0.0
+
+    @property
+    def row_bytes(self) -> float:
+        return self.head_dim * self.bits / 8.0
+
+    @property
+    def plane_bytes(self) -> float:
+        return self.head_dim / 8.0
+
+    @property
+    def footprint_bytes(self) -> float:
+        return 2.0 * self.length * self.row_bytes  # K + V
+
+    def append(self, tokens: int = 1) -> float:
+        """Add K+V rows (both written once, K in bit-plane-first layout)."""
+        nbytes = tokens * 2.0 * self.row_bytes
+        self.length += tokens
+        self.appended_bytes += nbytes
+        return nbytes
+
+    def step_traffic(
+        self,
+        mean_planes: float,
+        keep_fraction: float,
+        resident_fraction: float = 0.0,
+    ) -> DecodeStepTraffic:
+        """Read traffic of one decode step under PADE's filters.
+
+        ``mean_planes`` planes of every candidate K row are fetched (early
+        termination), only ``keep_fraction`` of V rows are fetched, and an
+        optional ``resident_fraction`` of the cache (e.g. the recency window
+        pinned in SRAM) is excluded from DRAM traffic.
+        """
+        if not 0 <= keep_fraction <= 1:
+            raise ValueError(f"keep_fraction must be in [0, 1], got {keep_fraction}")
+        planes = float(np.clip(mean_planes, 0.0, self.bits))
+        dram_tokens = self.length * (1.0 - np.clip(resident_fraction, 0.0, 1.0))
+        k_bytes = dram_tokens * self.plane_bytes * planes
+        v_bytes = dram_tokens * self.row_bytes * keep_fraction
+        return DecodeStepTraffic(
+            k_bytes=float(k_bytes), v_bytes=float(v_bytes), append_bytes=2.0 * self.row_bytes
+        )
+
+    def dense_step_traffic(self) -> DecodeStepTraffic:
+        """Dense baseline: full K and V every step."""
+        return self.step_traffic(mean_planes=self.bits, keep_fraction=1.0)

@@ -1,0 +1,97 @@
+"""DRAM/SRAM address mapping for the bit-plane-first layout (paper Fig. 22).
+
+PADE's DRAM layout interleaves K along the *bit* dimension — bank ``b``
+stores bit plane ``b`` of consecutive keys — so streaming one plane of many
+keys walks sequentially through one bank's rows (row-buffer hits), while
+Q/V interleave along the hidden dimension for contiguous byte reads.  This
+module gives the exact address arithmetic the :mod:`repro.sim.dram` cost
+model abstracts, so layout decisions can be unit-tested and visualized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["Address", "KBitPlaneLayout", "RowMajorLayout", "row_buffer_hit_rate"]
+
+
+@dataclass(frozen=True)
+class Address:
+    """A decoded DRAM address."""
+
+    bank: int
+    row: int
+    column: int
+
+
+class KBitPlaneLayout:
+    """Bit-plane-first mapping for the K tensor.
+
+    Plane ``r`` of token ``t`` (a ``head_dim``-bit string = ``head_dim/8``
+    bytes) lives in bank ``r mod banks`` at byte offset
+    ``t * head_dim/8`` within that bank — planes of consecutive tokens are
+    contiguous inside one bank.
+    """
+
+    def __init__(self, head_dim: int = 64, bits: int = 8, tech: TechConfig = DEFAULT_TECH):
+        self.head_dim = head_dim
+        self.bits = bits
+        self.tech = tech
+        self.plane_bytes = head_dim // 8
+        self.banks = tech.hbm_channels
+
+    def locate(self, token: int, plane: int) -> Address:
+        bank = plane % self.banks
+        byte = token * self.plane_bytes
+        row = byte // self.tech.hbm_row_bytes
+        column = byte % self.tech.hbm_row_bytes
+        return Address(bank=bank, row=row, column=column)
+
+    def stream(self, tokens: Iterator[int], plane: int) -> List[Address]:
+        return [self.locate(t, plane) for t in tokens]
+
+
+class RowMajorLayout:
+    """Element-contiguous mapping (Q/V, or K without the custom layout).
+
+    Token ``t``'s full ``bits``-wide vector is contiguous; extracting a
+    single bit plane of one token touches the token's whole row span.
+    """
+
+    def __init__(self, head_dim: int = 64, bits: int = 8, tech: TechConfig = DEFAULT_TECH):
+        self.head_dim = head_dim
+        self.bits = bits
+        self.tech = tech
+        self.token_bytes = head_dim * bits // 8
+        self.banks = tech.hbm_channels
+
+    def locate(self, token: int, plane: int = 0) -> Address:
+        byte = token * self.token_bytes
+        bank = (byte // self.tech.hbm_burst_bytes) % self.banks
+        per_bank = byte // self.banks
+        row = per_bank // self.tech.hbm_row_bytes
+        column = per_bank % self.tech.hbm_row_bytes
+        return Address(bank=bank, row=row, column=column)
+
+
+def row_buffer_hit_rate(addresses: List[Address], banks: int | None = None) -> float:
+    """Replay an address stream against per-bank open rows.
+
+    Returns the fraction of accesses that hit the currently open row of
+    their bank — the quantity the Fig. 23(b) bandwidth-utilization study
+    turns on.
+    """
+    if not addresses:
+        return 1.0
+    open_rows: dict = {}
+    hits = 0
+    for a in addresses:
+        if open_rows.get(a.bank) == a.row:
+            hits += 1
+        open_rows[a.bank] = a.row
+    return hits / len(addresses)

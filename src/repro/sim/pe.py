@@ -1,0 +1,198 @@
+"""Bit-wise PE lane with scoreboard and decision unit (paper §V-C, Fig. 11b).
+
+One lane owns a GSAT (64-dim × 8-bit × 1-bit dot product), a 32-entry
+scoreboard caching partial scores of in-flight tokens, and a decision unit
+applying BUI-GF and choosing the next bit plane to fetch.  The lane-level
+timing model here is consumed by :mod:`repro.sim.qkpu`:
+
+* a (token, plane) task takes ``cost`` cycles on the GSAT (sub-group
+  imbalance under BS bounds this at ⌈(g/2)/muxes⌉);
+* a surviving token's next plane needs a DRAM round trip; with out-of-order
+  execution the lane processes other ready tokens meanwhile, bounded by the
+  scoreboard capacity (in-flight tokens each hold one entry);
+* without OOE the lane blocks until the requested plane arrives — the
+  exposed-latency pathology of Fig. 5(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["Scoreboard", "LaneStats", "simulate_lane", "lane_task_costs"]
+
+
+@dataclass
+class Scoreboard:
+    """Partial-score cache: token id → (bit index, partial score).
+
+    Mirrors the 32-entry × 45-bit structure of Fig. 11(b); the simulator
+    uses it for capacity accounting and hit/miss statistics, and the
+    functional layer guarantees the values it would hold are exact.
+    """
+
+    entries: int = 32
+    table: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.table)
+
+    @property
+    def full(self) -> bool:
+        return len(self.table) >= self.entries
+
+    def lookup(self, token: int) -> Optional[Tuple[int, int]]:
+        entry = self.table.get(token)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def update(self, token: int, bit_index: int, partial_score: int) -> bool:
+        """Insert/refresh an entry; returns False when capacity blocks it."""
+        if token not in self.table and self.full:
+            return False
+        self.table[token] = (bit_index, partial_score)
+        return True
+
+    def evict(self, token: int) -> None:
+        if token in self.table:
+            del self.table[token]
+            self.evictions += 1
+
+
+@dataclass
+class LaneStats:
+    """Timing outcome for one lane processing its token stream."""
+
+    finish_cycle: float = 0.0
+    busy_cycles: float = 0.0
+    ideal_cycles: float = 0.0
+    mem_stall_cycles: float = 0.0
+    scoreboard_stall_cycles: float = 0.0
+    tasks: int = 0
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_cycles / self.finish_cycle if self.finish_cycle else 1.0
+
+    @property
+    def intra_pe_stall(self) -> float:
+        """Extra compute cycles from sub-group imbalance (actual − ideal)."""
+        return max(0.0, self.busy_cycles - self.ideal_cycles)
+
+
+def lane_task_costs(
+    key_planes: np.ndarray,
+    subgroup: int = 8,
+    muxes: int = 4,
+    bidirectional: bool = True,
+) -> np.ndarray:
+    """Per-(plane, token) GSAT cycles, shape ``(bits, S)``.
+
+    ``key_planes`` is the raw plane array ``(bits, S, H)``.  A plane's cost
+    is the worst sub-group's ⌈effective bits / muxes⌉ (intra-PE imbalance);
+    bidirectional sparsity caps effective bits at ``g/2``, a plain design
+    pays the raw popcount.
+    """
+    bits, num_tokens, head_dim = key_planes.shape
+    groups = head_dim // subgroup
+    reshaped = key_planes.reshape(bits, num_tokens, groups, subgroup).astype(np.int64)
+    pc = reshaped.sum(axis=3)  # (bits, S, groups)
+    eff = np.minimum(pc, subgroup - pc) if bidirectional else pc
+    cost = np.ceil(eff / muxes).astype(np.int64)
+    cost = np.maximum(cost, 1)
+    return cost.max(axis=2)  # worst sub-group per (plane, token)
+
+
+def simulate_lane(
+    token_planes: Sequence[Tuple[int, np.ndarray]],
+    dram_latency: float,
+    scoreboard_entries: int = 32,
+    out_of_order: bool = True,
+) -> LaneStats:
+    """Simulate one lane's schedule over its assigned tokens.
+
+    Parameters
+    ----------
+    token_planes:
+        Sequence of ``(token_id, costs)`` where ``costs`` lists the GSAT
+        cycles of each plane that token actually consumes (length = planes
+        processed before pruning/retention).
+    dram_latency:
+        Cycles from requesting a bit plane to it being ready on chip.
+    scoreboard_entries:
+        Max tokens concurrently in flight on this lane.
+    out_of_order:
+        Process other ready tokens while a plane is in transit (BS-OOE);
+        ``False`` models the naive blocking design.
+    """
+    stats = LaneStats()
+    if not token_planes:
+        return stats
+    # Ideal: one cycle per plane task (perfectly balanced sub-groups).
+    stats.ideal_cycles = sum(float(len(c)) for _, c in token_planes)
+
+    if not out_of_order:
+        # In-order: the MSB plane of the next token is prefetched while the
+        # current token computes (its address is known a priori), but every
+        # *decision-dependent* continuation plane exposes the full DRAM
+        # round trip — the Fig. 5(d) pathology BS-OOE removes.
+        t = 0.0
+        for _token, costs in token_planes:
+            for plane_idx, cost in enumerate(costs):
+                if plane_idx > 0:
+                    t += dram_latency
+                    stats.mem_stall_cycles += dram_latency
+                t += float(cost)
+                stats.busy_cycles += float(cost)
+                stats.tasks += 1
+        stats.finish_cycle = t
+        return stats
+
+    # Out-of-order: tokens admitted up to scoreboard capacity; the lane
+    # always runs the earliest-ready in-flight token.
+    pending = list(token_planes)
+    inflight: List[List] = []  # [ready_time, token, plane_idx, costs]
+    t = 0.0
+
+    def admit() -> None:
+        while pending and len(inflight) < scoreboard_entries:
+            token, costs = pending.pop(0)
+            inflight.append([t + dram_latency, token, 0, costs])
+
+    admit()
+    while inflight:
+        ready = [item for item in inflight if item[0] <= t]
+        if not ready:
+            t_next = min(item[0] for item in inflight)
+            if len(inflight) >= scoreboard_entries and pending:
+                # More work exists but the scoreboard cannot admit it.
+                stats.scoreboard_stall_cycles += t_next - t
+            else:
+                stats.mem_stall_cycles += t_next - t
+            t = t_next
+            ready = [item for item in inflight if item[0] <= t]
+        item = min(ready, key=lambda it: it[0])
+        _, token, plane_idx, costs = item
+        cost = float(costs[plane_idx])
+        t += cost
+        stats.busy_cycles += cost
+        stats.tasks += 1
+        if plane_idx + 1 < len(costs):
+            item[0] = t + dram_latency  # request next plane
+            item[2] = plane_idx + 1
+        else:
+            inflight.remove(item)
+            admit()
+    stats.finish_cycle = t
+    return stats

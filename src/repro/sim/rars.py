@@ -1,0 +1,156 @@
+"""Reuse-aware reorder scheduling (RARS) for V vectors (paper §V-E, Fig. 13).
+
+After sparsification, each score row retains an irregular subset of V
+vectors.  The V-PU keeps ``buffer_vectors`` V rows resident; each score row
+can consume at most ``row_rate`` of them per round.  A naive left-to-right
+order lets rows pull disjoint vectors, forcing evictions of still-needed
+shared vectors that must be reloaded later.
+
+RARS instead (1) prioritizes the V vectors shared by the most pending score
+rows (V2/V3 in the paper's example, shared by S0/S1/S3) so every consumer
+drains them while resident, and (2) evicts the vectors with the least
+remaining demand — a ~30% memory-access reduction in the Fig. 13 example.
+
+The hardware realization (Fig. 13c) is an FSM + bitmask-indexed ID buffers +
+issuing FIFO; :class:`RARSSchedulerModel` accounts its bookkeeping cost.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+import numpy as np
+
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["ScheduleResult", "naive_schedule", "rars_schedule", "requirements_from_mask", "RARSSchedulerModel"]
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one block of score rows onto the V-PU."""
+
+    rounds: List[List[int]]  # V indices loaded each round
+    total_loads: int  # loads including reloads
+    unique_vectors: int  # lower bound: each needed V loaded once
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def reload_overhead(self) -> float:
+        """Fraction of loads that are redundant reloads."""
+        if self.total_loads == 0:
+            return 0.0
+        return 1.0 - self.unique_vectors / self.total_loads
+
+
+def _demand(pending: List[Set[int]]) -> Dict[int, int]:
+    d: Dict[int, int] = {}
+    for p in pending:
+        for v in p:
+            d[v] = d.get(v, 0) + 1
+    return d
+
+
+def _run_schedule(
+    requirements: Sequence[Sequence[int]],
+    buffer_vectors: int,
+    row_rate: int,
+    reuse_aware: bool,
+) -> ScheduleResult:
+    pending: List[Set[int]] = [set(r) for r in requirements]
+    unique = len(set().union(*pending)) if pending else 0
+    buffer: "OrderedDict[int, None]" = OrderedDict()  # resident Vs, LRU order
+    rounds: List[List[int]] = []
+    total_loads = 0
+
+    while any(pending):
+        demand = _demand(pending)
+        if reuse_aware:
+            # Shared-demand-first: everyone works on the most shared vectors.
+            wanted: List[int] = sorted(demand, key=lambda v: (-demand[v], v))[:row_rate]
+            # Rows left out add their own next vector (keeps progress even
+            # with disjoint requirement sets).
+            for p in pending:
+                if p and not (p & set(wanted)) and len(wanted) < buffer_vectors:
+                    wanted.append(min(p))
+        else:
+            # Left-to-right: each row asks for its lowest-index pending Vs.
+            wanted = []
+            for p in pending:
+                for v in sorted(p)[:row_rate]:
+                    if v not in wanted:
+                        wanted.append(v)
+            wanted = wanted[:buffer_vectors]
+
+        loaded_this_round: List[int] = []
+        for v in wanted:
+            if v in buffer:
+                buffer.move_to_end(v)
+                continue
+            if len(buffer) >= buffer_vectors:
+                if reuse_aware:
+                    # Evict the resident vector with the least remaining demand.
+                    victim = min(buffer, key=lambda u: (demand.get(u, 0), -u))
+                else:
+                    victim = next(iter(buffer))  # LRU
+                del buffer[victim]
+            buffer[v] = None
+            loaded_this_round.append(v)
+            total_loads += 1
+        rounds.append(loaded_this_round)
+
+        # Rows consume up to row_rate resident vectors they still need,
+        # preferring the round's wanted set.
+        resident = list(buffer)
+        for p in pending:
+            usable = [v for v in wanted if v in p and v in buffer]
+            extra = [v for v in resident if v in p and v not in usable]
+            for v in (usable + extra)[:row_rate]:
+                p.discard(v)
+
+    return ScheduleResult(rounds=rounds, total_loads=total_loads, unique_vectors=unique)
+
+
+def naive_schedule(
+    requirements: Sequence[Sequence[int]],
+    buffer_vectors: int = 4,
+    row_rate: int = 2,
+) -> ScheduleResult:
+    """Left-to-right execution with LRU eviction (Fig. 13a/b)."""
+    return _run_schedule(requirements, buffer_vectors, row_rate, reuse_aware=False)
+
+
+def rars_schedule(
+    requirements: Sequence[Sequence[int]],
+    buffer_vectors: int = 4,
+    row_rate: int = 2,
+) -> ScheduleResult:
+    """Reuse-aware order: shared-demand-first issue + demand-aware eviction."""
+    return _run_schedule(requirements, buffer_vectors, row_rate, reuse_aware=True)
+
+
+def requirements_from_mask(retained: np.ndarray) -> List[List[int]]:
+    """Convert a ``(rows, S)`` retained mask into per-row V index lists."""
+    retained = np.asarray(retained, dtype=bool)
+    return [list(np.flatnonzero(row)) for row in retained]
+
+
+@dataclass
+class RARSSchedulerModel:
+    """Bookkeeping cost of the hardware scheduler (FSM + ID buffers + FIFO)."""
+
+    tech: TechConfig = field(default=DEFAULT_TECH, repr=False)
+
+    def schedule_energy_pj(self, result: ScheduleResult, num_rows: int) -> float:
+        """Energy of FSM decisions and ID-buffer traffic for one schedule."""
+        fsm_steps = result.num_rounds * (num_rows + 1)
+        id_buffer_accesses = result.total_loads + result.num_rounds
+        return (
+            fsm_steps * self.tech.register_pj
+            + id_buffer_accesses * self.tech.scoreboard_access_pj
+        )

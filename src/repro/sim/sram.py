@@ -1,0 +1,59 @@
+"""On-chip SRAM buffers (Table III: 320 KB K/V + 32 KB Q).
+
+The buffer model tracks occupancy, counts accesses, and converts them to
+energy.  Capacity overflows do not raise — they return the number of bytes
+that *spill*, which the accelerator model converts into extra DRAM traffic
+(the tiling-difficulty mechanism of Fig. 5f: without ISTA, working sets that
+exceed the buffer are re-fetched from DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["SramBuffer"]
+
+
+@dataclass
+class SramBuffer:
+    """A capacity-tracked scratchpad with access-energy accounting."""
+
+    name: str
+    capacity_bytes: int
+    tech: TechConfig = field(default=DEFAULT_TECH, repr=False)
+    occupied_bytes: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    spilled_bytes: float = 0.0
+
+    def allocate(self, nbytes: float) -> float:
+        """Reserve space; returns the bytes that did NOT fit (spill)."""
+        free = self.capacity_bytes - self.occupied_bytes
+        fit = min(nbytes, max(0.0, free))
+        self.occupied_bytes += fit
+        spill = nbytes - fit
+        self.spilled_bytes += spill
+        return spill
+
+    def release(self, nbytes: float) -> None:
+        """Free previously allocated space."""
+        self.occupied_bytes = max(0.0, self.occupied_bytes - nbytes)
+
+    def read(self, nbytes: float) -> None:
+        self.bytes_read += nbytes
+
+    def write(self, nbytes: float) -> None:
+        self.bytes_written += nbytes
+
+    @property
+    def energy_pj(self) -> float:
+        return (
+            self.bytes_read * self.tech.sram_read_pj_per_byte
+            + self.bytes_written * self.tech.sram_write_pj_per_byte
+        )
+
+    @property
+    def utilization(self) -> float:
+        return self.occupied_bytes / self.capacity_bytes if self.capacity_bytes else 0.0

@@ -1,0 +1,87 @@
+"""Technology constants: TSMC 28 nm @ 800 MHz, HBM2 @ 256 GB/s.
+
+All energy numbers are per-operation estimates at 28 nm consistent with the
+sources the paper cites (CACTI for SRAM, O'Connor et al. 4 pJ/bit for HBM,
+standard-cell figures for MACs).  Absolute joules are *model inputs*, not
+synthesis results — the evaluation compares designs under identical
+constants, mirroring the paper's normalization protocol (§VI-A: same PE
+area, 800 MHz, 352 KB SRAM, 256 GB/s @ 4 pJ/bit for every design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TechConfig", "DEFAULT_TECH"]
+
+
+@dataclass(frozen=True)
+class TechConfig:
+    """Shared technology/energy constants (28 nm unless noted)."""
+
+    # --- Clocking ------------------------------------------------------
+    frequency_hz: float = 800e6
+    #: seconds per cycle
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.frequency_hz
+
+    # --- Off-chip memory (Table III) ------------------------------------
+    hbm_channels: int = 16
+    hbm_channel_gbps: float = 16.0  # GB/s per pseudo channel
+    hbm_pj_per_bit: float = 4.0
+    hbm_trc_ns: float = 50.0
+    hbm_burst_bytes: int = 32  # BL=4 x 64 bit
+    hbm_row_bytes: int = 1024  # row-buffer span per pseudo channel
+    hbm_activation_energy_pj: float = 909.0  # per row activation (HBM2 class)
+
+    @property
+    def hbm_total_gbps(self) -> float:
+        return self.hbm_channels * self.hbm_channel_gbps
+
+    @property
+    def hbm_bytes_per_cycle(self) -> float:
+        return self.hbm_total_gbps * 1e9 / self.frequency_hz
+
+    @property
+    def hbm_trc_cycles(self) -> int:
+        return int(round(self.hbm_trc_ns * 1e-9 * self.frequency_hz))
+
+    # --- On-chip SRAM (CACTI-class per-byte access energies) ------------
+    sram_kv_bytes: int = 320 * 1024
+    sram_q_bytes: int = 32 * 1024
+    sram_read_pj_per_byte: float = 0.60
+    sram_write_pj_per_byte: float = 0.80
+
+    # --- Compute energies (pJ per op at 28 nm) --------------------------
+    int8_mac_pj: float = 0.30
+    int16_mac_pj: float = 1.10
+    int4_mult_pj: float = 0.08
+    bit_serial_add_pj: float = 0.055  # one guarded 8-bit accumulate in GSAT
+    shift_pj: float = 0.012  # bit-plane weighting shift
+    fp16_exp_pj: float = 3.2  # APM exponentiation
+    fp16_mac_pj: float = 1.5
+    comparator_pj: float = 0.020  # decision-unit compare
+    scoreboard_access_pj: float = 0.045  # 45-bit entry read/write
+    register_pj: float = 0.010
+    encoder_pj: float = 0.015  # priority-encoder step
+
+    # --- Static power (leakage + clock tree, burns during stalls too) ----
+    static_power_w: float = 0.08
+
+    # --- Structural parameters (Table III) -------------------------------
+    pe_rows: int = 8
+    lanes_per_row: int = 16
+    lane_dims: int = 64  # 64-dim x 8 bit x 1 bit GSAT per lane
+    scoreboard_entries: int = 32
+    vpu_rows: int = 8
+    vpu_cols: int = 16
+    operand_bits: int = 8
+    gsat_subgroup: int = 8
+
+    @property
+    def num_lanes(self) -> int:
+        return self.pe_rows * self.lanes_per_row
+
+
+DEFAULT_TECH = TechConfig()

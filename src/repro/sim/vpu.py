@@ -1,0 +1,106 @@
+"""Value processing unit: 8×16 systolic array + APM + RARS (paper §V-A).
+
+The V-PU consumes the retained scores ISTA hands over tile by tile: the APM
+exponentiates scores (FP16), the output-stationary systolic array multiplies
+probabilities with V rows, and the RARS scheduler orders V fetches to
+minimize reloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.rars import (
+    RARSSchedulerModel,
+    ScheduleResult,
+    naive_schedule,
+    rars_schedule,
+    requirements_from_mask,
+)
+from repro.sim.tech import DEFAULT_TECH, TechConfig
+
+__all__ = ["VPUResult", "simulate_vpu"]
+
+
+@dataclass
+class VPUResult:
+    """Timing/energy of the V phase for one query block."""
+
+    cycles: float
+    macs: int
+    exp_ops: int
+    v_vector_loads: int
+    unique_v_vectors: int
+    schedule: Optional[ScheduleResult]
+    compute_energy_pj: float
+    apm_energy_pj: float
+    scheduler_energy_pj: float
+
+    @property
+    def energy_pj(self) -> float:
+        return self.compute_energy_pj + self.apm_energy_pj + self.scheduler_energy_pj
+
+    @property
+    def reload_overhead(self) -> float:
+        if self.v_vector_loads == 0:
+            return 0.0
+        return 1.0 - self.unique_v_vectors / self.v_vector_loads
+
+
+def simulate_vpu(
+    retained: np.ndarray,
+    head_dim: int,
+    tech: TechConfig = DEFAULT_TECH,
+    use_rars: bool = True,
+    rescale_vector_ops: int = 0,
+    buffer_vectors: int = 8,
+    row_rate: int = 2,
+) -> VPUResult:
+    """Simulate the V phase over a retained mask ``(P, S)``.
+
+    Parameters
+    ----------
+    retained:
+        Which V rows each query row needs (from the functional run).
+    head_dim:
+        V row width (MAC count per retained score).
+    use_rars:
+        Schedule V loads reuse-aware vs naive left-to-right (Fig. 13).
+    rescale_vector_ops:
+        Online-softmax max-update rescale work from ISTA's counters, charged
+        to the array.
+    """
+    retained = np.atleast_2d(np.asarray(retained, dtype=bool))
+    num_rows = retained.shape[0]
+    requirements = requirements_from_mask(retained)
+    scheduler = rars_schedule if use_rars else naive_schedule
+    schedule = scheduler(requirements, buffer_vectors=buffer_vectors, row_rate=row_rate)
+
+    retained_scores = int(retained.sum())
+    macs = retained_scores * head_dim + rescale_vector_ops
+    exp_ops = retained_scores
+
+    throughput = tech.vpu_rows * tech.vpu_cols  # MACs per cycle
+    pipeline_fill = tech.vpu_rows + tech.vpu_cols
+    compute_cycles = macs / throughput + pipeline_fill
+    apm_cycles = exp_ops / max(1, tech.lanes_per_row * tech.pe_rows)
+    cycles = max(compute_cycles, apm_cycles)
+
+    compute_energy = macs * tech.int8_mac_pj
+    apm_energy = exp_ops * tech.fp16_exp_pj + rescale_vector_ops * tech.fp16_mac_pj
+    sched_energy = RARSSchedulerModel(tech).schedule_energy_pj(schedule, num_rows)
+
+    return VPUResult(
+        cycles=float(cycles),
+        macs=macs,
+        exp_ops=exp_ops,
+        v_vector_loads=schedule.total_loads,
+        unique_v_vectors=schedule.unique_vectors,
+        schedule=schedule,
+        compute_energy_pj=float(compute_energy),
+        apm_energy_pj=float(apm_energy),
+        scheduler_energy_pj=float(sched_energy),
+    )

@@ -1,0 +1,36 @@
+"""Shared fixtures and hypothesis profiles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_qkv(rng):
+    """A small structured attention problem (8 queries, 128 keys, dim 32)."""
+    from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+
+    return synthesize_qkv(8, 128, 32, PROFILE_PRESETS["nlp"], rng)
+
+
+@pytest.fixture
+def medium_qkv(rng):
+    """A mid-size problem (8 queries, 512 keys, dim 64) for sim tests."""
+    from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+
+    return synthesize_qkv(8, 512, 64, PROFILE_PRESETS["nlp"], rng)

@@ -1,0 +1,153 @@
+"""Tests for the analytic accelerator models (paper §VI comparisons)."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    ALL_MODELS,
+    AttentionWorkload,
+    DenseAccelerator,
+    DotaModel,
+    EnergonModel,
+    GPUModel,
+    PadeAnalyticModel,
+    SangerModel,
+    SofaModel,
+    SpAttenModel,
+)
+
+
+@pytest.fixture
+def prefill_2k():
+    return AttentionWorkload(
+        num_queries=2048, seq_len=2048, head_dim=128, num_heads=32, num_layers=32,
+        oracle_keep=0.11, mean_planes=3.9,
+    )
+
+
+@pytest.fixture
+def decode_8k():
+    return AttentionWorkload(
+        num_queries=256, seq_len=8192, head_dim=128, num_heads=32, num_layers=32,
+        oracle_keep=0.05, mean_planes=3.5, decode=True,
+    )
+
+
+ASIC_DESIGNS = [
+    DenseAccelerator, SangerModel, SpAttenModel, EnergonModel, DotaModel, SofaModel,
+    PadeAnalyticModel,
+]
+
+
+class TestSanity:
+    @pytest.mark.parametrize("cls", ASIC_DESIGNS)
+    def test_positive_costs(self, cls, prefill_2k):
+        r = cls().cost(prefill_2k)
+        assert r.cycles > 0 and r.total_energy_pj > 0 and r.dram_bytes > 0
+        assert all(v >= 0 for v in r.energy_pj.values())
+
+    @pytest.mark.parametrize("cls", ASIC_DESIGNS)
+    def test_decode_scales_with_steps(self, cls, decode_8k):
+        from dataclasses import replace
+
+        short = cls().cost(replace(decode_8k, num_queries=64))
+        long = cls().cost(decode_8k)
+        assert long.total_energy_pj > short.total_energy_pj
+
+    def test_features_table_complete(self):
+        for name in ("sanger", "spatten", "energon", "dota", "sofa", "pade", "dense"):
+            feats = ALL_MODELS[name].FEATURES
+            assert {"computation", "memory", "predictor_free", "tiling"} <= set(feats)
+
+
+class TestPaperOrderings:
+    """The qualitative results of Figs. 14/18/21 that must hold."""
+
+    def test_pade_most_energy_efficient(self, prefill_2k):
+        pade = PadeAnalyticModel().cost(prefill_2k).total_energy_pj
+        for cls in (DenseAccelerator, SangerModel, SpAttenModel, EnergonModel, DotaModel, SofaModel):
+            assert cls().cost(prefill_2k).total_energy_pj > pade
+
+    def test_pade_fastest(self, prefill_2k):
+        pade = PadeAnalyticModel().cost(prefill_2k).cycles
+        for cls in (DenseAccelerator, SangerModel, EnergonModel, SofaModel):
+            assert cls().cost(prefill_2k).cycles >= pade * 0.99
+
+    def test_pade_has_no_predictor_energy(self, prefill_2k):
+        assert PadeAnalyticModel().cost(prefill_2k).predictor_energy_pj == 0.0
+
+    def test_stage_splitters_pay_predictor(self, decode_8k):
+        """In the generation phase (the paper's motivating regime) the
+        predictor's full-K traffic is a first-order cost."""
+        for cls in (SangerModel, EnergonModel, DotaModel, SofaModel):
+            r = cls().cost(decode_8k)
+            active = r.total_energy_pj - r.energy_pj.get("static", 0.0)
+            assert r.predictor_energy_pj > 0.15 * (active - r.predictor_energy_pj)
+
+    def test_sofa_best_of_predictor_designs(self, prefill_2k):
+        sofa = SofaModel().cost(prefill_2k).total_energy_pj
+        for cls in (SangerModel, SpAttenModel, EnergonModel, DotaModel):
+            assert cls().cost(prefill_2k).total_energy_pj > sofa
+
+    def test_spatten_finetune_recovers_sparsity(self, prefill_2k):
+        raw = SpAttenModel().cost(prefill_2k)
+        tuned = SpAttenModel(finetuned=True).cost(prefill_2k)
+        assert tuned.keep_fraction < raw.keep_fraction
+        assert tuned.total_energy_pj < raw.total_energy_pj
+
+    def test_predictor_ratio_grows_with_seqlen(self):
+        """Fig. 2(b): predictor/executor ratio increases with SL."""
+        ratios = []
+        for s in (1024, 4096, 16384):
+            w = AttentionWorkload(num_queries=s, seq_len=s, head_dim=128,
+                                  oracle_keep=0.11 * (1024 / s) ** 0.5, mean_planes=3.9)
+            r = SangerModel().cost(w)
+            ratios.append(r.predictor_energy_pj / r.executor_energy_pj)
+        assert ratios[0] < ratios[-1]
+
+    def test_gqa_reduces_pade_traffic(self, prefill_2k):
+        from dataclasses import replace
+
+        mha = PadeAnalyticModel().cost(prefill_2k)
+        gqa = PadeAnalyticModel().cost(replace(prefill_2k, num_kv_heads=8))
+        assert gqa.dram_bytes < mha.dram_bytes
+
+
+class TestGPUAnchoring:
+    def test_asic_anchors(self, prefill_2k):
+        gpu = GPUModel().cost(prefill_2k)
+        dense = DenseAccelerator().cost(prefill_2k)
+        assert gpu.total_energy_pj == pytest.approx(4.0 * dense.total_energy_pj)
+        assert gpu.cycles == pytest.approx(1.5 * dense.cycles)
+
+    def test_software_modes_match_fig18(self, prefill_2k):
+        gpu = GPUModel().cost(prefill_2k)
+        gf = GPUModel(use_bui_gf=True).cost(prefill_2k)
+        fa3 = GPUModel(use_bui_gf=True, use_fa3=True).cost(prefill_2k)
+        assert gf.cycles / gpu.cycles == pytest.approx(0.92, abs=0.01)
+        assert fa3.cycles / gpu.cycles == pytest.approx(0.86, abs=0.01)
+        assert gpu.total_energy_pj / gf.total_energy_pj == pytest.approx(1.3, rel=0.01)
+        assert gpu.total_energy_pj / fa3.total_energy_pj == pytest.approx(3.1, rel=0.01)
+
+    def test_pade_vs_gpu_headline(self, prefill_2k):
+        """Fig. 18/19 headline: several-fold speedup, tens-fold efficiency."""
+        gpu = GPUModel().cost(prefill_2k)
+        pade = PadeAnalyticModel().cost(prefill_2k)
+        speedup = gpu.cycles / pade.cycles
+        egain = gpu.total_energy_pj / pade.total_energy_pj
+        assert 3.0 < speedup < 20.0
+        assert 10.0 < egain < 60.0
+
+
+class TestWorkloadProperties:
+    def test_dense_ops_definition(self, prefill_2k):
+        w = prefill_2k
+        assert w.dense_macs == 2 * w.num_queries * w.seq_len * w.num_heads * w.num_layers * w.head_dim
+
+    def test_kv_bytes_scale_with_bits(self, prefill_2k):
+        assert prefill_2k.kv_bytes(4) == prefill_2k.kv_bytes(8) / 2
+
+    def test_report_metrics(self, prefill_2k):
+        r = PadeAnalyticModel().cost(prefill_2k)
+        assert r.throughput_gops(prefill_2k) > 0
+        assert r.gops_per_watt(prefill_2k) > 0

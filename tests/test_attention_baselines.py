@@ -1,0 +1,112 @@
+"""Tests for the software sparse-attention baselines (Fig. 15 comparators)."""
+
+import numpy as np
+import pytest
+
+from repro.attention.baselines import (
+    double_sparsity_attention,
+    minference_attention,
+    streaming_llm_attention,
+    topk_oracle_attention,
+)
+from repro.attention.baselines.double_sparsity import select_heavy_channels
+from repro.attention.dense import attention_scores, softmax
+from repro.attention.masks import causal_mask
+from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+
+
+@pytest.fixture
+def problem(rng):
+    return synthesize_qkv(8, 256, 32, PROFILE_PRESETS["nlp"], rng)
+
+
+def lost_mass(q, k, retained):
+    logits = attention_scores(q, k)
+    causal = causal_mask(q.shape[0], k.shape[0], k.shape[0] - q.shape[0])
+    probs = softmax(np.where(causal, logits, -np.inf), axis=-1)
+    return float(np.where(retained, 0.0, probs).sum(axis=-1).mean())
+
+
+class TestStreamingLLM:
+    def test_budget_respected(self, problem):
+        q, k, v = problem
+        res = streaming_llm_attention(q, k, v, keep_fraction=0.25)
+        assert res.keep_fraction <= 0.30
+
+    def test_no_prediction_cost(self, problem):
+        q, k, v = problem
+        assert streaming_llm_attention(q, k, v, 0.25).prediction_cost == 0.0
+
+    def test_static_pattern_misses_heavy_hitters(self, problem):
+        """With off-pattern heavy hitters the static mask loses more mass
+        than the oracle at the same budget (the paper's Fig. 15 finding)."""
+        q, k, v = problem
+        budget = 0.2
+        static = streaming_llm_attention(q, k, v, budget)
+        oracle = topk_oracle_attention(q, k, v, budget)
+        assert lost_mass(q, k, static.retained) > lost_mass(q, k, oracle.retained)
+
+    def test_sinks_always_kept(self, problem):
+        q, k, v = problem
+        res = streaming_llm_attention(q, k, v, 0.1, sink_tokens=4)
+        assert res.retained[:, :4].all()
+
+
+class TestMInference:
+    def test_output_shape_and_cost(self, problem):
+        q, k, v = problem
+        res = minference_attention(q, k, v, keep_fraction=0.25)
+        assert res.output.shape == q.shape
+        assert 0 < res.prediction_cost <= 1.0
+
+    def test_adapts_better_than_static(self, problem):
+        q, k, v = problem
+        budget = 0.15
+        mi = minference_attention(q, k, v, budget)
+        st = streaming_llm_attention(q, k, v, budget)
+        assert lost_mass(q, k, mi.retained) <= lost_mass(q, k, st.retained) + 0.10
+
+    def test_causal_respected(self, problem):
+        q, k, v = problem
+        res = minference_attention(q, k, v, 0.3)
+        causal = causal_mask(8, 256, 248)
+        assert not (res.retained & ~causal).any()
+
+
+class TestDoubleSparsity:
+    def test_channel_selection_picks_high_energy(self, rng):
+        k = rng.normal(size=(64, 16))
+        k[:, 3] *= 100
+        channels = select_heavy_channels(k, 0.25)
+        assert 3 in channels
+        assert channels.size == 4
+
+    def test_more_accurate_than_static_at_same_budget(self, problem):
+        q, k, v = problem
+        budget = 0.15
+        ds = double_sparsity_attention(q, k, v, budget)
+        st = streaming_llm_attention(q, k, v, budget)
+        assert lost_mass(q, k, ds.retained) < lost_mass(q, k, st.retained)
+
+    def test_prediction_cost_is_channel_fraction(self, problem):
+        q, k, v = problem
+        res = double_sparsity_attention(q, k, v, 0.2, channel_fraction=0.125)
+        assert res.prediction_cost == 0.125
+
+
+class TestTopKOracle:
+    def test_budget_exact(self, problem):
+        q, k, v = problem
+        res = topk_oracle_attention(q, k, v, keep_fraction=0.1)
+        budget = round(0.1 * 256)
+        causal = causal_mask(8, 256, 248)
+        per_row = res.retained.sum(axis=1)
+        assert np.all(per_row <= budget)
+        assert not (res.retained & ~causal).any()
+
+    def test_oracle_dominates_all_heuristics(self, problem):
+        q, k, v = problem
+        budget = 0.1
+        oracle = lost_mass(q, k, topk_oracle_attention(q, k, v, budget).retained)
+        for fn in (streaming_llm_attention, minference_attention, double_sparsity_attention):
+            assert oracle <= lost_mass(q, k, fn(q, k, v, budget).retained) + 1e-9

@@ -1,0 +1,80 @@
+"""Tests for the reference dense attention implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.attention.dense import attention_scores, dense_attention, masked_dense_attention, softmax
+
+logits_arrays = arrays(
+    np.float64, st.tuples(st.integers(1, 6), st.integers(1, 12)),
+    elements=st.floats(-50, 50, allow_nan=False, width=64),
+)
+
+
+class TestSoftmax:
+    @given(logits_arrays)
+    def test_rows_sum_to_one(self, logits):
+        w = softmax(logits)
+        np.testing.assert_allclose(w.sum(axis=-1), 1.0, rtol=1e-12)
+
+    @given(logits_arrays)
+    def test_shift_invariance(self, logits):
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 7.5), rtol=1e-9)
+
+    def test_fully_masked_row_yields_zeros(self):
+        w = softmax(np.array([[-np.inf, -np.inf]]))
+        assert w.tolist() == [[0.0, 0.0]]
+
+    def test_extreme_logits_stable(self):
+        w = softmax(np.array([[1e4, -1e4]]))
+        assert np.isfinite(w).all()
+        assert w[0, 0] == pytest.approx(1.0)
+
+    def test_monotone_in_logits(self):
+        w = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert w[0, 0] < w[0, 1] < w[0, 2]
+
+
+class TestAttention:
+    def test_scores_default_scale(self, rng):
+        q = rng.normal(size=(2, 16))
+        k = rng.normal(size=(5, 16))
+        np.testing.assert_allclose(
+            attention_scores(q, k), q @ k.T / 4.0, rtol=1e-12
+        )
+
+    def test_uniform_scores_average_values(self):
+        q = np.zeros((1, 4))
+        k = np.ones((3, 4))
+        v = np.arange(12, dtype=float).reshape(3, 4)
+        np.testing.assert_allclose(dense_attention(q, k, v)[0], v.mean(axis=0))
+
+    def test_one_hot_attention_selects_value(self):
+        q = np.array([[100.0, 0.0]])
+        k = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        v = np.array([[1.0, 2.0], [3.0, 4.0]])
+        out = dense_attention(q, k, v, scale=1.0)
+        np.testing.assert_allclose(out[0], v[0], atol=1e-10)
+
+    def test_mask_broadcasting_1d(self, rng):
+        q, k, v = rng.normal(size=(2, 8)), rng.normal(size=(6, 8)), rng.normal(size=(6, 8))
+        keep = np.array([True, False, True, False, True, False])
+        out = dense_attention(q, k, v, mask=keep)
+        ref = dense_attention(q, k[keep], v[keep])
+        np.testing.assert_allclose(out, ref, rtol=1e-10)
+
+    def test_masked_equals_submatrix(self, rng):
+        q, k, v = rng.normal(size=(3, 8)), rng.normal(size=(6, 8)), rng.normal(size=(6, 8))
+        keep = np.zeros((3, 6), dtype=bool)
+        keep[:, [1, 4]] = True
+        out = masked_dense_attention(q, k, v, keep)
+        ref = dense_attention(q, k[[1, 4]], v[[1, 4]])
+        np.testing.assert_allclose(out, ref, rtol=1e-10)
+
+    def test_single_query_vector(self, rng):
+        q = rng.normal(size=8)
+        k, v = rng.normal(size=(4, 8)), rng.normal(size=(4, 8))
+        assert dense_attention(q, k, v).shape == (1, 8)

@@ -1,0 +1,45 @@
+"""Tests for mask constructors."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.attention.masks import causal_mask, sink_recent_mask, window_mask
+
+
+class TestCausal:
+    @given(st.integers(1, 16), st.integers(1, 32))
+    def test_lower_triangular_at_zero_offset(self, p, s):
+        m = causal_mask(p, s)
+        for i in range(p):
+            assert m[i, : min(i + 1, s)].all()
+            assert not m[i, i + 1 :].any()
+
+    def test_decode_sees_everything(self):
+        assert causal_mask(1, 16, query_offset=15).all()
+
+
+class TestWindow:
+    def test_window_width(self):
+        m = window_mask(1, 10, window=3, query_offset=9)
+        assert m[0].tolist() == [False] * 7 + [True] * 3
+
+    def test_window_clipped_at_start(self):
+        m = window_mask(1, 10, window=5, query_offset=2)
+        assert m[0].tolist() == [True] * 3 + [False] * 7
+
+    @given(st.integers(1, 8), st.integers(1, 16), st.integers(1, 8))
+    def test_window_subset_of_causal(self, p, s, w):
+        off = max(0, s - p)
+        assert not (window_mask(p, s, w, off) & ~causal_mask(p, s, off)).any()
+
+
+class TestSinkRecent:
+    def test_combines_sinks_and_window(self):
+        m = sink_recent_mask(1, 10, sink_tokens=2, recent_tokens=2, query_offset=9)
+        assert m[0].tolist() == [True, True] + [False] * 6 + [True, True]
+
+    def test_sinks_respect_causality(self):
+        m = sink_recent_mask(1, 10, sink_tokens=4, recent_tokens=1, query_offset=1)
+        # query at position 1 cannot see sinks at positions 2,3
+        assert m[0, :2].all() and not m[0, 2:4].any()

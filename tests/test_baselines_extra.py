@@ -1,0 +1,103 @@
+"""Tests for the extra comparators: H2O eviction and Quest page selection."""
+
+import numpy as np
+import pytest
+
+from repro.attention.baselines.h2o import h2o_decode
+from repro.attention.baselines.quest import (
+    build_page_summaries,
+    page_bound_soundness,
+    page_score_upper_bound,
+    quest_attention,
+)
+from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+
+
+@pytest.fixture
+def decode_problem(rng):
+    return synthesize_qkv(16, 256, 32, PROFILE_PRESETS["nlp"], rng)
+
+
+class TestH2O:
+    def test_budget_enforced(self, decode_problem):
+        q, k, v = decode_problem
+        _, _, state = h2o_decode(q, k, v, budget_fraction=0.25)
+        assert state.cache_size <= round(0.25 * 256) + 1
+
+    def test_full_budget_loses_nothing(self, decode_problem):
+        q, k, v = decode_problem
+        _, lost, _ = h2o_decode(q, k, v, budget_fraction=1.0)
+        assert max(lost) < 1e-9
+
+    def test_eviction_is_irreversible(self, decode_problem):
+        """Once evicted, a token's mass is lost for all later steps — the
+        failure mode fresh per-step selection (DoubleSparsity) avoids."""
+        q, k, v = decode_problem
+        outputs, lost, state = h2o_decode(q, k, v, budget_fraction=0.15)
+        assert np.mean(lost[-4:]) >= 0.0
+        assert outputs.shape == (16, 32)
+
+    def test_smaller_budget_loses_more(self, decode_problem):
+        q, k, v = decode_problem
+        _, lost_small, _ = h2o_decode(q, k, v, budget_fraction=0.1)
+        _, lost_big, _ = h2o_decode(q, k, v, budget_fraction=0.5)
+        assert np.mean(lost_small) >= np.mean(lost_big) - 1e-9
+
+    def test_recency_window_protected(self, decode_problem):
+        q, k, v = decode_problem
+        _, _, state = h2o_decode(q, k, v, budget_fraction=0.2, recent_tokens=8)
+        visible = 256
+        assert state.alive[visible - 8 : visible - 1].all()
+
+
+class TestQuest:
+    def test_page_bounds_sound(self, rng):
+        k = rng.normal(size=(128, 16))
+        q = rng.normal(size=16)
+        _, ok = page_bound_soundness(q, k, page_size=16)
+        assert ok
+
+    def test_bound_tightness_improves_with_smaller_pages(self, rng):
+        k = rng.normal(size=(128, 16))
+        q = rng.normal(size=16)
+        slack_big, _ = page_bound_soundness(q, k, page_size=64)
+        slack_small, _ = page_bound_soundness(q, k, page_size=4)
+        assert slack_small < slack_big
+
+    def test_summaries_shapes(self, rng):
+        s = build_page_summaries(rng.normal(size=(100, 8)), page_size=16)
+        assert s.num_pages == 7
+        assert np.all(s.k_min <= s.k_max)
+
+    def test_selects_heavy_pages(self, decode_problem):
+        q, k, v = decode_problem
+        res = quest_attention(q, k, v, keep_fraction=0.3, page_size=16)
+        assert res.output.shape == q.shape
+        assert 0 < res.keep_fraction <= 0.45
+
+    def test_page_granularity_wastes_budget_vs_token_topk(self, decode_problem):
+        """Whole-page fetches for single heavy hitters: at the same keep
+        fraction Quest retains less attention mass than exact token top-k —
+        the granularity argument for PADE's bit/token-level bounds."""
+        from repro.attention.baselines import topk_oracle_attention
+        from repro.attention.dense import attention_scores, softmax
+        from repro.attention.masks import causal_mask
+
+        q, k, v = decode_problem
+        causal = causal_mask(16, 256, 240)
+        probs = softmax(np.where(causal, attention_scores(q, k), -np.inf), axis=-1)
+
+        def lost(mask):
+            return float(np.where(mask, 0.0, probs).sum(axis=-1).mean())
+
+        quest = quest_attention(q, k, v, keep_fraction=0.15, page_size=32)
+        oracle = topk_oracle_attention(q, k, v, keep_fraction=quest.keep_fraction)
+        assert lost(quest.retained) >= lost(oracle.retained) - 1e-9
+
+    def test_upper_bound_positive_negative_split(self):
+        k = np.array([[1.0, -2.0], [3.0, 0.5]])
+        s = build_page_summaries(k, page_size=2)
+        q = np.array([2.0, -1.0])
+        bound = page_score_upper_bound(q, s)[0]
+        # pos part picks k_max = [3, .5]; neg part picks k_min = [1, -2]
+        assert bound == pytest.approx(2 * 3.0 + (-1.0) * (-2.0))

@@ -1,0 +1,65 @@
+"""Property tests for bidirectional bit sparsity (paper Eq. 5-6)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bs import bs_partial_dot, effective_bits, plan_plane
+
+q_vec = arrays(np.int64, st.integers(1, 64), elements=st.integers(-128, 127))
+bit_vec = arrays(np.uint8, st.integers(1, 64), elements=st.integers(0, 1))
+
+
+class TestEquivalence:
+    @given(q_vec, st.data())
+    def test_bs_dot_equals_direct(self, q, data):
+        bits = data.draw(
+            arrays(np.uint8, st.just(q.shape[0]), elements=st.integers(0, 1))
+        )
+        direct = int(np.dot(q, bits.astype(np.int64)))
+        assert bs_partial_dot(q, bits) == direct
+
+    @given(q_vec, st.data())
+    def test_precomputed_qsum_equivalent(self, q, data):
+        bits = data.draw(
+            arrays(np.uint8, st.just(q.shape[0]), elements=st.integers(0, 1))
+        )
+        assert bs_partial_dot(q, bits, q_sum=int(q.sum())) == bs_partial_dot(q, bits)
+
+
+class TestLoadBound:
+    @given(bit_vec)
+    def test_effective_bits_at_most_half(self, bits):
+        assert effective_bits(bits) <= bits.size // 2 + bits.size % 2
+        assert effective_bits(bits) <= bits.size - effective_bits(bits) or bits.size == 0
+
+    @given(bit_vec)
+    def test_plan_selects_rarer_value(self, bits):
+        plan = plan_plane(bits)
+        ones = int(bits.sum())
+        zeros = bits.size - ones
+        assert plan.effective_bits == min(ones, zeros)
+        if plan.one_mode:
+            assert ones <= zeros
+            assert np.all(bits[plan.indices] == 1)
+        else:
+            assert np.all(bits[plan.indices] == 0)
+
+    def test_all_ones_uses_zero_mode(self):
+        plan = plan_plane(np.ones(8, dtype=np.uint8))
+        assert not plan.one_mode
+        assert plan.effective_bits == 0
+
+    def test_all_zeros_is_free(self):
+        plan = plan_plane(np.zeros(8, dtype=np.uint8))
+        assert plan.one_mode
+        assert plan.effective_bits == 0
+
+    def test_dense_plane_work_halved(self):
+        """The worst case for naive bit-serial (all ones) costs nothing
+        under BS — that is the load-balancing property."""
+        bits = np.ones(64, dtype=np.uint8)
+        assert effective_bits(bits) == 0
+        bits[::2] = 0
+        assert effective_bits(bits) == 32

@@ -1,0 +1,137 @@
+"""Tests for the fused bit-serial filter loop (BSF)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bsf import bsf_filter, bsf_filter_row
+from repro.core.bui_gf import GuardedFilter
+from repro.quant.bitplane import decompose_bitplanes
+
+
+def _planes(rng, s=64, h=16):
+    k = rng.integers(-128, 128, size=(s, h))
+    return k, decompose_bitplanes(k, bits=8)
+
+
+class TestRowFilter:
+    def test_infinite_guard_retains_everything(self, rng):
+        k, planes = _planes(rng)
+        q = rng.integers(-128, 128, size=16)
+        res = bsf_filter_row(q, planes, guard=float("inf"))
+        assert res.retained.all()
+        assert np.all(res.planes_processed == 8)
+
+    def test_retained_scores_are_exact(self, rng):
+        k, planes = _planes(rng)
+        q = rng.integers(-128, 128, size=16)
+        res = bsf_filter_row(q, planes, guard=2000.0)
+        exact = k @ q
+        np.testing.assert_array_equal(res.scores[res.retained], exact[res.retained])
+
+    def test_zero_guard_prunes_most(self, rng):
+        k, planes = _planes(rng, s=128)
+        q = rng.integers(-128, 128, size=16)
+        res = bsf_filter_row(q, planes, guard=0.0)
+        assert res.sparsity > 0.5
+
+    def test_guard_safety_no_false_prune(self, rng):
+        """Tokens within `guard` of the exact max must be retained."""
+        k, planes = _planes(rng, s=256)
+        q = rng.integers(-128, 128, size=16)
+        guard = 500.0
+        res = bsf_filter_row(q, planes, guard=guard)
+        exact = k @ q
+        must_keep = exact > exact.max() - guard
+        assert np.all(res.retained[must_keep])
+
+    def test_allowed_mask_limits_candidates(self, rng):
+        k, planes = _planes(rng)
+        q = rng.integers(-128, 128, size=16)
+        allowed = np.zeros(64, dtype=bool)
+        allowed[:10] = True
+        res = bsf_filter_row(q, planes, guard=float("inf"), allowed=allowed)
+        assert not res.retained[10:].any()
+        assert np.all(res.planes_processed[10:] == 0)
+
+    def test_protect_mask_survives(self, rng):
+        k, planes = _planes(rng, s=128)
+        q = rng.integers(-128, 128, size=16)
+        protect = np.zeros(128, dtype=bool)
+        protect[[3, 77]] = True
+        res = bsf_filter_row(q, planes, guard=0.0, protect=protect)
+        assert res.retained[3] and res.retained[77]
+
+    def test_pruned_tokens_stop_loading_planes(self, rng):
+        k, planes = _planes(rng, s=256)
+        q = rng.integers(-128, 128, size=16)
+        res = bsf_filter_row(q, planes, guard=0.0)
+        pruned = ~res.retained
+        # A token may be pruned at the LSB round itself, but on average
+        # pruned tokens terminate well before the LSB.
+        assert res.planes_processed[pruned].mean() < 6.0
+        assert res.bit_plane_loads == int(res.planes_processed.sum())
+
+    def test_effective_ops_bounded_by_naive(self, rng):
+        k, planes = _planes(rng, s=128)
+        q = rng.integers(-128, 128, size=16)
+        res = bsf_filter_row(q, planes, guard=100.0)
+        assert res.effective_bit_ops <= res.naive_bit_ops
+
+    def test_external_filter_threads_state(self, rng):
+        """A shared GuardedFilter tightens across calls (ISTA windows)."""
+        k, planes = _planes(rng, s=128)
+        q = rng.integers(-128, 128, size=16)
+        shared = GuardedFilter(guard=200.0)
+        first_half = np.zeros(128, dtype=bool)
+        first_half[:64] = True
+        r1 = bsf_filter_row(q, planes, 200.0, allowed=first_half, gfilter=shared)
+        t_after_first = shared.threshold
+        r2 = bsf_filter_row(q, planes, 200.0, allowed=~first_half, gfilter=shared)
+        assert shared.threshold >= t_after_first
+        assert r1.retained[:64].sum() + r2.retained[64:].sum() >= 1
+
+    @given(st.floats(0, 5000), st.integers(0, 1 << 16))
+    def test_monotone_in_guard(self, guard, seed):
+        """A larger guard never retains fewer tokens."""
+        rng = np.random.default_rng(seed)
+        k, planes = _planes(rng, s=64)
+        q = rng.integers(-128, 128, size=16)
+        tight = bsf_filter_row(q, planes, guard=guard)
+        loose = bsf_filter_row(q, planes, guard=guard + 500.0)
+        assert np.all(loose.retained | ~tight.retained)
+
+
+class TestBatchFilter:
+    def test_matches_per_row(self, rng):
+        k, planes = _planes(rng, s=64)
+        q = rng.integers(-128, 128, size=(4, 16))
+        batch = bsf_filter(q, planes, guard=300.0)
+        for i in range(4):
+            row = bsf_filter_row(q[i], planes, guard=300.0)
+            np.testing.assert_array_equal(batch.retained[i], row.retained)
+            np.testing.assert_array_equal(batch.scores[i], row.scores)
+
+    def test_per_row_masks(self, rng):
+        k, planes = _planes(rng, s=32)
+        q = rng.integers(-128, 128, size=(2, 16))
+        allowed = np.zeros((2, 32), dtype=bool)
+        allowed[0, :16] = True
+        allowed[1, 16:] = True
+        res = bsf_filter(q, planes, guard=float("inf"), allowed=allowed)
+        assert res.retained[0, :16].all() and not res.retained[0, 16:].any()
+        assert res.retained[1, 16:].all() and not res.retained[1, :16].any()
+
+    def test_aggregate_counters(self, rng):
+        k, planes = _planes(rng, s=64)
+        q = rng.integers(-128, 128, size=(3, 16))
+        res = bsf_filter(q, planes, guard=100.0)
+        assert res.bit_plane_loads == int(res.planes_processed.sum())
+        assert 0 <= res.sparsity <= 1
+        assert 1 <= res.mean_planes <= 8
+
+    def test_shape_validation(self, rng):
+        k, planes = _planes(rng)
+        with pytest.raises(ValueError):
+            bsf_filter_row(np.zeros(7, dtype=np.int64), planes, guard=1.0)

@@ -1,0 +1,103 @@
+"""Property tests for the bit-wise uncertainty interval (paper Eq. 2-3).
+
+The load-bearing invariant of the whole design: the exact dot product always
+lies inside [S_min, S_max], for every prefix of processed planes.
+"""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bui import BUILookupTable, build_bui_lut, uncertainty_interval
+from repro.quant.bitplane import decompose_bitplanes, partial_reconstruct
+
+int8_vec = arrays(np.int64, st.integers(1, 24), elements=st.integers(-128, 127))
+
+
+class TestPaperExample:
+    """Fig. 6 worked example: Q = [6, -5, 9, -4], six planes (scaled by 4)."""
+
+    Q = np.array([6, -5, 9, -4], dtype=np.int64)
+
+    def test_interval_after_msb(self):
+        i_min, i_max = uncertainty_interval(self.Q, bits=6, planes_known=1)
+        assert i_min / 4 == -69.75
+        assert i_max / 4 == 116.25
+
+    def test_interval_after_two_planes(self):
+        i_min, i_max = uncertainty_interval(self.Q, bits=6, planes_known=2)
+        assert i_min / 4 == -33.75
+        assert i_max / 4 == 56.25
+
+    def test_interval_zero_at_lsb(self):
+        assert uncertainty_interval(self.Q, bits=6, planes_known=6) == (0, 0)
+
+
+class TestSoundness:
+    @given(int8_vec, st.data())
+    def test_exact_score_within_bounds(self, q, data):
+        """For every plane prefix, Q·K ∈ [S^r + I_min, S^r + I_max]."""
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**16)))
+        k = rng.integers(-128, 128, size=q.shape[0])
+        exact = int(np.dot(q, k))
+        planes = decompose_bitplanes(k, bits=8)
+        for r in range(1, 9):
+            partial = int(np.dot(q, partial_reconstruct(planes, r)))
+            i_min, i_max = uncertainty_interval(q, bits=8, planes_known=r)
+            assert partial + i_min <= exact <= partial + i_max
+
+    @given(int8_vec)
+    def test_intervals_shrink_monotonically(self, q):
+        widths = []
+        for r in range(1, 9):
+            i_min, i_max = uncertainty_interval(q, bits=8, planes_known=r)
+            assert i_min <= 0 <= i_max
+            widths.append(i_max - i_min)
+        assert all(a >= b for a, b in zip(widths, widths[1:]))
+        assert widths[-1] == 0
+
+    @given(int8_vec)
+    def test_interval_signs_follow_query_mass(self, q):
+        i_min, i_max = uncertainty_interval(q, bits=8, planes_known=1)
+        if np.all(q >= 0):
+            assert i_min == 0
+        if np.all(q <= 0):
+            assert i_max == 0
+
+
+class TestLUT:
+    @given(arrays(np.int64, st.tuples(st.integers(1, 6), st.integers(1, 16)),
+                  elements=st.integers(-128, 127)))
+    def test_lut_matches_direct_computation(self, q_batch):
+        lut = build_bui_lut(q_batch, bits=8)
+        for i in range(q_batch.shape[0]):
+            for r in range(1, 9):
+                expected = uncertainty_interval(q_batch[i], bits=8, planes_known=r)
+                assert lut.interval(i, r) == expected
+
+    def test_lut_shape(self, rng):
+        q = rng.integers(-128, 128, size=(5, 16))
+        lut = build_bui_lut(q, bits=8)
+        assert lut.i_min.shape == (5, 9)
+        assert lut.num_queries == 5
+
+    def test_r0_covers_sign_plane(self, rng):
+        """The r=0 row must bound scores even with the sign bit unknown."""
+        q = rng.integers(-128, 128, size=(1, 16))
+        lut = build_bui_lut(q, bits=8)
+        k = rng.integers(-128, 128, size=16)
+        exact = int(q[0] @ k)
+        lo, hi = lut.interval(0, 0)
+        assert lo <= exact <= hi
+
+    def test_bound_scores_vectorized(self, rng):
+        q = rng.integers(-128, 128, size=(1, 8))
+        lut = build_bui_lut(q, bits=8)
+        partial = np.array([10, -5, 0], dtype=np.int64)
+        planes_known = np.array([1, 4, 8])
+        lo, hi = lut.bound_scores(partial, planes_known, 0)
+        for j in range(3):
+            e_lo, e_hi = lut.interval(0, int(planes_known[j]))
+            assert lo[j] == partial[j] + e_lo
+            assert hi[j] == partial[j] + e_hi

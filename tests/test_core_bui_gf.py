@@ -1,0 +1,81 @@
+"""Tests for the guarded filter (paper Eq. 4, Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bui_gf import GuardedFilter, PruneDecision, guard_in_int_units
+
+
+class TestThresholdUpdating:
+    def test_threshold_tracks_max_lower_bound(self):
+        f = GuardedFilter(guard=3.0)
+        f.observe(np.array([1.0, 5.0, 2.0]))
+        assert f.threshold == 5.0 - 3.0
+        f.observe(np.array([10.0]))
+        assert f.threshold == 7.0
+
+    def test_threshold_never_decreases(self):
+        f = GuardedFilter(guard=1.0)
+        f.observe(np.array([5.0]))
+        t0 = f.threshold
+        f.observe(np.array([-100.0]))  # lower observations don't relax T
+        assert f.threshold == t0
+
+    def test_infinite_guard_never_prunes(self):
+        f = GuardedFilter(guard=float("inf"))
+        f.observe(np.array([1e9]))
+        decision = f.decide(np.array([-1e12]))
+        assert decision.keep.all()
+
+    def test_empty_observation_is_noop(self):
+        f = GuardedFilter(guard=1.0)
+        f.observe(np.array([]))
+        assert f.max_lower_bound == -np.inf
+
+
+class TestDecision:
+    def test_keeps_at_or_above_threshold(self):
+        f = GuardedFilter(guard=2.0)
+        f.observe(np.array([10.0]))
+        d = f.decide(np.array([9.0, 8.0, 7.9]))
+        assert d.keep.tolist() == [True, True, False]  # inclusive at T
+        assert d.threshold == 8.0
+
+    def test_protection_overrides_pruning(self):
+        f = GuardedFilter(guard=0.0)
+        d = f.filter_round(
+            np.array([10.0, 0.0]),
+            np.array([10.0, 0.0]),
+            protect=np.array([False, True]),
+        )
+        assert d.keep.tolist() == [True, True]
+
+    @given(st.floats(0.1, 10.0), st.data())
+    def test_guard_safety(self, guard, data):
+        """Any token whose exact score is within `guard` of the exact max
+        survives, regardless of the interleaving of observations."""
+        rng = np.random.default_rng(data.draw(st.integers(0, 1 << 16)))
+        scores = rng.normal(0, 5, size=32)
+        f = GuardedFilter(guard=guard)
+        keep = np.ones(32, dtype=bool)
+        # feed in random chunks (exact scores = degenerate zero-width bounds)
+        order = rng.permutation(32)
+        for chunk in np.array_split(order, 4):
+            d = f.filter_round(scores[chunk], scores[chunk])
+            keep[chunk] = d.keep
+        max_score = scores.max()
+        must_keep = scores > max_score - guard
+        assert np.all(keep[must_keep])
+
+
+class TestGuardConversion:
+    def test_converts_logit_guard(self):
+        assert guard_in_int_units(0.5, 4.0, logit_scale=0.01) == pytest.approx(200.0)
+
+    def test_infinite_radius(self):
+        assert guard_in_int_units(1.0, float("inf"), 0.5) == float("inf")
+
+    def test_degenerate_scale_disables_pruning(self):
+        assert guard_in_int_units(0.5, 5.0, 0.0) == float("inf")

@@ -1,0 +1,137 @@
+"""Tests for ISTA: tiled sparse attention with online softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.attention.dense import dense_attention, masked_dense_attention, softmax
+from repro.core.bsf import bsf_filter_row
+from repro.core.ista import head_tail_order, ista_attention, ista_attention_row
+from repro.quant.bitplane import decompose_bitplanes
+
+
+class TestHeadTailOrder:
+    def test_five_blocks(self):
+        assert head_tail_order(5) == [0, 4, 1, 3, 2]
+
+    def test_single_block(self):
+        assert head_tail_order(1) == [0]
+
+    def test_two_blocks(self):
+        assert head_tail_order(2) == [0, 1]
+
+    @given(st.integers(0, 64))
+    def test_is_permutation(self, n):
+        order = head_tail_order(n)
+        assert sorted(order) == list(range(n))
+
+    @given(st.integers(2, 64))
+    def test_starts_initial_then_recent(self, n):
+        order = head_tail_order(n)
+        assert order[0] == 0 and order[1] == n - 1
+
+
+def _int_setup(rng, s=96, h=16):
+    k = rng.integers(-64, 64, size=(s, h))
+    q = rng.integers(-64, 64, size=h)
+    v = rng.normal(size=(s, h))
+    planes = decompose_bitplanes(k, bits=8)
+    return q, k, v, planes
+
+
+class TestOnlineSoftmaxEquivalence:
+    def test_matches_dense_on_retained_set(self, rng):
+        """Invariant #5: ISTA output == dense softmax over retained keys."""
+        q, k, v, planes = _int_setup(rng)
+        scale = 0.01
+        res = ista_attention_row(q, planes, v, guard=800.0, logit_scale=scale, tile_size=8)
+        ref = masked_dense_attention(
+            q.astype(float), k.astype(float), v, res.retained[None, :], scale=scale / 1.0
+        )
+        # Reference computes logits from float q·k * default 1/sqrt(h); use
+        # explicit logits instead for exactness:
+        logits = (k @ q).astype(np.float64) * scale
+        logits = np.where(res.retained, logits, -np.inf)
+        w = softmax(logits[None, :], axis=-1)
+        expected = (w @ v)[0]
+        np.testing.assert_allclose(res.output, expected, rtol=1e-10, atol=1e-12)
+        del ref
+
+    @pytest.mark.parametrize("interleave", [True, False])
+    @pytest.mark.parametrize("tile_size", [1, 4, 16, 1000])
+    def test_order_invariance(self, rng, interleave, tile_size):
+        """Any tile order / tile size yields the identical output."""
+        q, k, v, planes = _int_setup(rng)
+        res = ista_attention_row(
+            q, planes, v, guard=float("inf"), logit_scale=0.01,
+            tile_size=tile_size, interleave=interleave,
+        )
+        logits = (k @ q).astype(np.float64) * 0.01
+        expected = (softmax(logits[None, :]) @ v)[0]
+        np.testing.assert_allclose(res.output, expected, rtol=1e-10)
+
+    def test_dense_guard_equals_dense_attention(self, rng):
+        q, k, v, planes = _int_setup(rng)
+        res = ista_attention_row(q, planes, v, guard=float("inf"), logit_scale=0.01)
+        assert res.retained.all()
+        assert res.stats.sparsity == 0.0
+
+
+class TestSubsetThresholdSafety:
+    def test_subset_pruned_implies_global_pruned(self, rng):
+        """Eq. 7: ISTA (subset thresholds) retains a superset of nothing the
+        full-row filter would keep — i.e. every key the full-row pass
+        retains with the same guard is also retained by ISTA or was pruned
+        safely below the global threshold."""
+        q, k, v, planes = _int_setup(rng, s=128)
+        guard = 300.0
+        row = bsf_filter_row(q, planes, guard)
+        tiled = ista_attention_row(q, planes, v, guard, logit_scale=0.01, tile_size=8)
+        exact = k @ q
+        # The global threshold is max(exact) - guard; ISTA must retain every
+        # key above it (its subset thresholds are never higher).
+        must_keep = exact > exact.max() - guard
+        assert np.all(tiled.retained[must_keep])
+        assert np.all(row.retained[must_keep])
+
+    def test_ista_never_prunes_more_mass_than_guard_promises(self, rng):
+        q, k, v, planes = _int_setup(rng, s=128)
+        scale = 0.05
+        guard_logits = 6.0
+        res = ista_attention_row(q, planes, v, guard_logits / scale, logit_scale=scale)
+        logits = (k @ q).astype(np.float64) * scale
+        probs = softmax(logits[None, :])[0]
+        lost = probs[~res.retained].sum()
+        # every pruned key sits ≥ guard below the max ⇒ its weight is ≤
+        # e^-guard relative to the max key; total lost ≤ S·e^-guard.
+        assert lost <= 128 * np.exp(-guard_logits) + 1e-9
+
+
+class TestStats:
+    def test_tile_accounting(self, rng):
+        q, k, v, planes = _int_setup(rng)
+        res = ista_attention_row(q, planes, v, guard=float("inf"), logit_scale=0.01, tile_size=16)
+        assert res.stats.v_rows_loaded == 96
+        assert res.stats.tiles_flushed == 6
+        assert res.stats.candidate_keys == 96
+        assert res.stats.retained_keys == 96
+
+    def test_pv_mac_count(self, rng):
+        q, k, v, planes = _int_setup(rng)
+        res = ista_attention_row(q, planes, v, guard=float("inf"), logit_scale=0.01)
+        assert res.stats.pv_macs == 96 * 16
+
+    def test_batched_merge(self, rng):
+        q, k, v, planes = _int_setup(rng)
+        qb = np.stack([q, -q])
+        res = ista_attention(qb, planes, v, guard=float("inf"), logit_scale=0.01)
+        assert res.output.shape == (2, 16)
+        assert res.stats.candidate_keys == 2 * 96
+
+    def test_empty_allowed_gives_zero_output(self, rng):
+        q, k, v, planes = _int_setup(rng)
+        allowed = np.zeros(96, dtype=bool)
+        res = ista_attention_row(q, planes, v, 1.0, 0.01, allowed=allowed)
+        np.testing.assert_array_equal(res.output, np.zeros(16))
+        assert res.stats.candidate_keys == 0

@@ -1,0 +1,86 @@
+"""Tests for multi-bit stage fusion (§VI-G extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bsf import bsf_filter_row
+from repro.core.multibit import multibit_filter, multibit_filter_row
+from repro.quant.bitplane import decompose_bitplanes
+
+
+def _problem(seed=0, s=128, h=32):
+    rng = np.random.default_rng(seed)
+    k = rng.integers(-128, 128, size=(s, h))
+    q = rng.integers(-128, 128, size=h)
+    return q, k, decompose_bitplanes(k)
+
+
+class TestEquivalence:
+    @given(st.integers(0, 1 << 12), st.floats(0, 3000))
+    def test_group_one_matches_single_bit(self, seed, guard):
+        q, k, planes = _problem(seed, s=48, h=16)
+        single = bsf_filter_row(q, planes, guard)
+        grouped = multibit_filter_row(q, planes, guard, group=1)
+        np.testing.assert_array_equal(single.retained, grouped.retained)
+        np.testing.assert_array_equal(single.planes_processed, grouped.planes_processed)
+        np.testing.assert_array_equal(single.scores, grouped.scores)
+
+    def test_group_bits_is_value_level(self):
+        q, k, planes = _problem()
+        res = multibit_filter_row(q, planes, 1000.0, group=8)
+        assert res.decision_rounds == 1
+        # exact scores for everything that survives the single decision
+        exact = k @ q
+        np.testing.assert_array_equal(res.scores[res.retained], exact[res.retained])
+
+    def test_retained_scores_exact_for_any_group(self):
+        q, k, planes = _problem()
+        exact = k @ q
+        for g in (1, 2, 4, 8):
+            res = multibit_filter_row(q, planes, 500.0, group=g)
+            np.testing.assert_array_equal(res.scores[res.retained], exact[res.retained])
+
+
+class TestSafety:
+    @pytest.mark.parametrize("group", [1, 2, 4])
+    def test_guard_safety_holds(self, group):
+        q, k, planes = _problem(seed=7, s=256)
+        guard = 800.0
+        res = multibit_filter_row(q, planes, guard, group=group)
+        exact = k @ q
+        must_keep = exact > exact.max() - guard
+        assert np.all(res.retained[must_keep])
+
+    def test_coarser_groups_never_fetch_fewer_planes(self):
+        """Grouping can only round plane consumption UP (the trade-off)."""
+        q, k, planes = _problem(seed=3, s=256)
+        fine = multibit_filter_row(q, planes, 500.0, group=1)
+        for g in (2, 4):
+            coarse = multibit_filter_row(q, planes, 500.0, group=g)
+            assert coarse.bit_plane_loads >= fine.bit_plane_loads
+            assert coarse.decision_rounds <= 8 // g
+
+    def test_decision_rounds_shrink_with_group(self):
+        q, k, planes = _problem(seed=3, s=256)
+        rounds = [multibit_filter_row(q, planes, 500.0, group=g).decision_rounds for g in (1, 2, 4, 8)]
+        assert rounds[0] >= rounds[1] >= rounds[2] >= rounds[3] == 1
+
+
+class TestValidation:
+    def test_group_must_divide_bits(self):
+        q, k, planes = _problem()
+        with pytest.raises(ValueError):
+            multibit_filter_row(q, planes, 1.0, group=3)
+
+    def test_batched(self):
+        rng = np.random.default_rng(1)
+        k = rng.integers(-128, 128, size=(64, 16))
+        q = rng.integers(-128, 128, size=(3, 16))
+        planes = decompose_bitplanes(k)
+        results = multibit_filter(q, planes, 500.0, group=2)
+        assert len(results) == 3
+        for i, res in enumerate(results):
+            solo = multibit_filter_row(q[i], planes, 500.0, group=2)
+            np.testing.assert_array_equal(res.retained, solo.retained)

@@ -1,0 +1,82 @@
+"""Tests for the MX-format BUI extension (paper Fig. 25)."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mx import build_mx_bui_lut, mx_partial_score, mx_score_bounds
+from repro.quant.bitplane import decompose_bitplanes
+from repro.quant.mxint import quantize_mxint
+
+
+def _mx_pair(rng, rows=3, keys=8, dim=64):
+    q = rng.normal(size=(rows, dim)) * rng.uniform(0.5, 3.0, size=(rows, 1))
+    k = rng.normal(size=(keys, dim)) * rng.uniform(0.5, 3.0, size=(keys, 1))
+    return quantize_mxint(q), quantize_mxint(k)
+
+
+class TestMXSoundness:
+    @given(st.integers(0, 1 << 16), st.sampled_from([1, 2, 3, 5, 8]))
+    def test_exact_float_score_within_bounds(self, seed, planes_known):
+        rng = np.random.default_rng(seed)
+        q_mx, k_mx = _mx_pair(rng)
+        exact = q_mx.dequantize() @ k_mx.dequantize().T
+        for qi in range(2):
+            for kj in range(4):
+                lo, hi = mx_score_bounds(q_mx, k_mx, qi, kj, planes_known)
+                assert lo - 1e-9 <= exact[qi, kj] <= hi + 1e-9
+
+    def test_bounds_tighten_to_exact_at_lsb(self, rng):
+        q_mx, k_mx = _mx_pair(rng)
+        exact = q_mx.dequantize() @ k_mx.dequantize().T
+        lo, hi = mx_score_bounds(q_mx, k_mx, 0, 0, 8)
+        assert lo == hi
+        np.testing.assert_allclose(lo, exact[0, 0], rtol=1e-12)
+
+    def test_interval_width_decreases(self, rng):
+        q_mx, k_mx = _mx_pair(rng)
+        widths = []
+        for r in range(1, 9):
+            lo, hi = mx_score_bounds(q_mx, k_mx, 0, 0, r)
+            widths.append(hi - lo)
+        assert all(a >= b for a, b in zip(widths, widths[1:]))
+
+
+class TestGroupScaling:
+    def test_lut_masses_per_group(self, rng):
+        q_mx, _ = _mx_pair(rng)
+        lut = build_mx_bui_lut(q_mx)
+        assert lut.pos_mass.shape == (3, 2)
+        assert np.all(lut.pos_mass >= 0)
+        assert np.all(lut.neg_mass <= 0)
+
+    def test_interval_is_sum_of_group_intervals(self, rng):
+        """Fig. 25(b) step 2: the overall BUI adds the group BUIs."""
+        q_mx, k_mx = _mx_pair(rng)
+        lut = build_mx_bui_lut(q_mx)
+        q_scales = np.atleast_2d(q_mx.scales)[0]
+        k_scales = np.atleast_2d(k_mx.scales)[0]
+        i_min, i_max = lut.interval(0, k_scales, q_scales, planes_known=2)
+        # recompute group-by-group
+        from repro.quant.bitplane import unknown_weight_sum
+
+        w = unknown_weight_sum(8, 2)
+        manual_min = manual_max = 0.0
+        for g in range(2):
+            coupling = q_scales[g] * k_scales[g]
+            manual_min += w * coupling * lut.neg_mass[0, g]
+            manual_max += w * coupling * lut.pos_mass[0, g]
+        np.testing.assert_allclose(i_min, manual_min, rtol=1e-12)
+        np.testing.assert_allclose(i_max, manual_max, rtol=1e-12)
+
+    def test_partial_score_uses_group_coupling(self, rng):
+        q_mx, k_mx = _mx_pair(rng)
+        k_data = np.atleast_2d(k_mx.data)
+        planes = decompose_bitplanes(k_data[0], bits=8)
+        full = mx_partial_score(
+            np.atleast_2d(q_mx.data)[0], planes,
+            np.atleast_2d(q_mx.scales)[0], np.atleast_2d(k_mx.scales)[0],
+            q_mx.group_size, planes_known=8,
+        )
+        exact = float(q_mx.dequantize()[0] @ k_mx.dequantize()[0])
+        np.testing.assert_allclose(full, exact, rtol=1e-12)

@@ -1,0 +1,122 @@
+"""End-to-end tests of the public PADE attention operator."""
+
+import numpy as np
+import pytest
+
+from repro.attention.dense import dense_attention
+from repro.core.config import PadeConfig
+from repro.core.pade_attention import causal_allowed, pade_attention, protection_mask
+
+
+class TestConfig:
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            PadeConfig(alpha=1.5)
+
+    def test_presets(self):
+        assert PadeConfig.standard().alpha == 0.6
+        assert PadeConfig.aggressive().alpha == 0.5
+        assert np.isinf(PadeConfig.dense().radius)
+
+    def test_with_alpha(self):
+        cfg = PadeConfig.standard().with_alpha(0.3)
+        assert cfg.alpha == 0.3 and cfg.radius == 5.0
+
+
+class TestCausalMask:
+    def test_prefill_shape(self):
+        m = causal_allowed(4, 4)
+        assert m.tolist() == [
+            [True, False, False, False],
+            [True, True, False, False],
+            [True, True, True, False],
+            [True, True, True, True],
+        ]
+
+    def test_decode_offset(self):
+        m = causal_allowed(1, 8, query_offset=7)
+        assert m.all()
+
+    def test_protection_mask_none_when_disabled(self):
+        assert protection_mask(2, 8, 0, 0) is None
+
+    def test_protection_sink_and_recent(self):
+        m = protection_mask(2, 8, sink_tokens=1, recent_tokens=2, query_offset=6)
+        assert m[0, 0] and m[1, 0]
+        assert m[0, 5] and m[0, 6] and not m[0, 7]
+        assert m[1, 6] and m[1, 7]
+
+
+class TestEndToEnd:
+    def test_dense_config_matches_reference(self, small_qkv):
+        q, k, v = small_qkv
+        res = pade_attention(q, k, v, PadeConfig.dense())
+        ref = dense_attention(q, k, v)
+        # only INT8 quantization separates them
+        assert np.abs(res.output - ref).max() < 0.1
+        assert res.sparsity == 0.0
+
+    def test_standard_config_accurate_and_sparse(self, small_qkv):
+        q, k, v = small_qkv
+        res = pade_attention(q, k, v, PadeConfig.standard())
+        ref = dense_attention(q, k, v)
+        assert res.sparsity > 0.2
+        assert np.abs(res.output - ref).max() < 0.35
+
+    def test_sparsity_monotone_in_alpha(self, small_qkv):
+        q, k, v = small_qkv
+        sparsities = [
+            pade_attention(q, k, v, PadeConfig(alpha=a)).sparsity
+            for a in (1.0, 0.6, 0.3)
+        ]
+        assert sparsities[0] <= sparsities[1] <= sparsities[2]
+
+    def test_early_termination_reduces_plane_loads(self, small_qkv):
+        q, k, v = small_qkv
+        res = pade_attention(q, k, v, PadeConfig.standard())
+        assert res.mean_planes_per_candidate < 8.0
+
+    def test_single_decode_row(self, small_qkv):
+        q, k, v = small_qkv
+        res = pade_attention(q[0], k, v, PadeConfig.standard())
+        assert res.output.shape == (1, v.shape[1])
+
+    def test_causal_masking(self, rng):
+        q = rng.normal(size=(4, 16))
+        k = rng.normal(size=(4, 16))
+        v = rng.normal(size=(4, 16))
+        res = pade_attention(q, k, v, PadeConfig(causal=True, radius=float("inf"), alpha=1.0))
+        assert not res.retained[0, 1:].any()
+        assert res.retained[3].all()
+
+    def test_sink_protection_retains_sinks(self, small_qkv):
+        q, k, v = small_qkv
+        cfg = PadeConfig(alpha=0.1, sink_tokens=2)
+        res = pade_attention(q, k, v, cfg)
+        assert res.retained[:, :2].all()
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            pade_attention(rng.normal(size=(2, 8)), rng.normal(size=(4, 16)), rng.normal(size=(4, 16)))
+        with pytest.raises(ValueError):
+            pade_attention(rng.normal(size=(2, 8)), rng.normal(size=(4, 8)), rng.normal(size=(5, 8)))
+
+    def test_guard_scales_with_alpha(self, small_qkv):
+        q, k, v = small_qkv
+        g1 = pade_attention(q, k, v, PadeConfig(alpha=1.0)).guard_int
+        g2 = pade_attention(q, k, v, PadeConfig(alpha=0.5)).guard_int
+        assert g1 == pytest.approx(2 * g2)
+
+    def test_output_error_bounded_by_lost_mass(self, small_qkv):
+        """Pruning can shift the output by at most ~2·lost-mass·max|V|."""
+        from repro.attention.dense import softmax
+
+        q, k, v = small_qkv
+        res = pade_attention(q, k, v, PadeConfig.standard())
+        logits = (res.q_int.data @ res.k_int.data.T) * res.logit_scale
+        probs = softmax(logits, axis=-1)
+        lost = np.where(res.retained, 0.0, probs).sum(axis=-1)
+        quant_ref = (softmax(np.where(res.retained, logits, -np.inf), axis=-1)) @ v
+        err = np.abs(res.output - quant_ref).max()
+        assert err < 1e-8  # ISTA is exact on the retained set
+        assert lost.max() < 0.2

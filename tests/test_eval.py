@@ -1,0 +1,218 @@
+"""Tests for the evaluation harness: every figure function must run and
+produce data with the paper's qualitative shape."""
+
+import numpy as np
+import pytest
+
+from repro.eval import harness as H
+from repro.eval.metrics import geomean, normalize, reduction, speedup
+from repro.eval.reporting import format_table
+from repro.eval.workloads import WORKLOADS, build_attention_workload, measure_pipeline_stats
+from repro.model.configs import get_model
+
+
+class TestMetrics:
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_reduction(self):
+        assert reduction(10, 4) == pytest.approx(0.6)
+
+    def test_speedup(self):
+        assert speedup(10, 5) == 2.0
+
+    def test_normalize(self):
+        assert normalize([2, 4], 2) == [1.0, 2.0]
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["xx", 3e-6]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bb" in lines[0]
+
+
+class TestWorkloads:
+    def test_named_workloads(self):
+        assert WORKLOADS["dolly"].seq_len == 15_000
+        assert WORKLOADS["niah-1m"].seq_len == 1_000_000
+
+    def test_pipeline_stats_cached_and_sane(self):
+        s = measure_pipeline_stats(get_model("llama2-7b"), 1000)
+        assert 0 < s.keep_fraction < 1
+        assert 1 <= s.mean_planes <= 8
+        assert s.effective_bit_fraction <= 1.0
+        again = measure_pipeline_stats(get_model("llama2-7b"), 1000)
+        assert again == s
+
+    def test_longseq_extrapolation_sparser(self):
+        short = measure_pipeline_stats(get_model("llama2-7b"), 1024)
+        long = measure_pipeline_stats(get_model("llama2-7b"), 65_536)
+        assert long.keep_fraction < short.keep_fraction
+        assert long.mean_planes <= short.mean_planes
+
+    def test_build_attention_workload(self):
+        w, stats = build_attention_workload("mmlu")
+        assert w.seq_len == 500 and not w.decode
+        wd, _ = build_attention_workload("dolly", decode=True)
+        assert wd.decode and wd.num_queries == 256
+
+
+class TestTables:
+    def test_table1_rows(self):
+        t = H.table1_features()
+        assert t["pade"]["predictor_free"].startswith("yes")
+        assert t["sanger"]["predictor_free"] == "no"
+
+    def test_table2_subset(self):
+        rows = H.table2_accuracy(tasks=[("mmlu", "llama2-7b"), ("wikitext2", "llama2-7b")])
+        mmlu = rows[0]
+        assert mmlu["PADE (S)"] <= mmlu["INT8"]
+        assert mmlu["PADE (A)"] <= mmlu["PADE (S)"]
+        ppl = rows[1]
+        assert ppl["PADE (A)"] >= ppl["PADE (S)"] >= ppl["INT8"]
+
+    def test_table3_fields(self):
+        t = H.table3_config()
+        assert "QK-PU" in t and "128" in t["QK-PU"]
+
+
+class TestFigureShapes:
+    def test_fig2_predictor_dominates_at_8bit(self):
+        data = H.fig2_power_breakdown()
+        s8 = data["sanger@8b"]
+        assert s8["predictor"] > 0.3 * (s8["predictor"] + s8["executor"])
+        s16 = data["sanger@16b"]
+        pred_share_16 = s16["predictor"] / (s16["predictor"] + s16["executor"])
+        pred_share_8 = s8["predictor"] / (s8["predictor"] + s8["executor"])
+        assert pred_share_8 > pred_share_16
+
+    def test_fig2_ratio_grows(self):
+        r = H.fig2_ratio_vs_seqlen((1024, 4096, 8192))
+        assert r["sanger"][0] < r["sanger"][-1]
+
+    def test_fig4_bsf_dominates(self):
+        d = H.fig4_bsf_reduction(seq_len=512, num_layers=2)
+        assert d["memory_reduction"]["bsf"][-1] > d["memory_reduction"]["stage_splitting"][-1]
+        assert d["compute_reduction"]["bsf"][-1] > d["compute_reduction"]["stage_splitting"][-1]
+
+    def test_fig5_memory_grows_superlinearly(self):
+        d = H.fig5_untiled_memory()
+        assert d["240kB"][-1] > 8 * d["240kB"][0] / 2
+        assert d["320kB"][-1] <= d["240kB"][-1]
+
+    def test_fig10_head_tail_reduces_ops(self):
+        d = H.fig10_max_update_overhead(seq_len=1024)
+        assert d["op_reduction"] > 0.15
+        assert d["ht_max_updates"] < d["lr_max_updates"]
+
+    def test_fig14_pade_lowest(self):
+        d = H.fig14_comp_mem()
+        for model in d["computation"]:
+            comp = d["computation"][model]
+            assert comp["pade"] == min(comp.values())
+        for model in d["memory"]:
+            mem = d["memory"][model]
+            assert mem["pade"] == min(mem.values())
+
+    def test_fig15_pade_dominates_at_low_levels(self):
+        d = H.fig15_accuracy_vs_sparsity()
+        for method in ("streaming_llm", "minference", "double_sparsity", "spatten"):
+            assert d["pade"][-1] >= d[method][-1] - 0.5
+        # and the curve is monotone non-increasing in aggressiveness
+        assert all(a >= b - 1e-9 for a, b in zip(d["pade"], d["pade"][1:]))
+
+    def test_fig15_speedup_grows_with_length(self):
+        d = H.fig15_speedup_energy(("dolly", "infinitebench"))
+        assert d["infinitebench"]["latency_gain"] > d["dolly"]["latency_gain"]
+        assert all(v["energy_gain"] > 1 for v in d.values())
+
+    def test_fig16_ablation_monotone_cumulative(self):
+        d = H.fig16_ablation(model_names=("opt-1b3",), seq_len=256)
+        steps = d["opt-1b3"]
+        assert steps["baseline"] == 1.0
+        assert steps["+BUI-GF"] < 1.0
+        assert steps["+BS-OOE"] < steps["+BUI-GF"]
+        assert steps["+ISTA"] <= steps["+BS-OOE"] * 1.1
+
+    def test_fig16_alpha_tradeoff_directions(self):
+        d = H.fig16_alpha_tradeoff(alphas=(0.8, 0.5, 0.3))
+        accs = list(d["acc_mmlu"].values())
+        spas = list(d["spa_mmlu"].values())
+        assert accs[0] >= accs[-1]
+        assert spas[0] <= spas[-1]
+
+    def test_fig17_dse_optimum(self):
+        d = H.fig17_gsat_dse()
+        assert d[8] == (1.0, 1.0)
+        assert all(area >= 1.0 for area, _ in d.values())
+
+    def test_fig17_scoreboard_saturates(self):
+        d = H.fig17_scoreboard_dse(entries_list=(4, 32), sparsity_levels=(0.9,), seq_len=256)
+        assert d[0.9][32] > d[0.9][4]
+
+    def test_fig18_bit_worth_it(self):
+        d = H.fig18_bit_overhead(seq_len=256)
+        for row in d.values():
+            assert row["latency_gain"] > 1.0
+
+    def test_fig18_gpu_pade_wins(self):
+        d = H.fig18_gpu_comparison(("llama2-7b",))
+        row = d["llama2-7b"]
+        assert row["pade_std_latency"] < row["gpu_bui_fa3_latency"]
+        assert row["pade_aggr_eff"] >= row["pade_std_eff"]
+        assert row["pade_std_eff"] > row["gpu_bui_fa3_eff"]
+
+    def test_fig19_waterfall_monotone(self):
+        d = H.fig19_gain_breakdown(seq_len=1024)
+        eff = d["energy_efficiency"]
+        assert eff["gpu"] < eff["baseline_asic"] < eff["+bui_gf"] <= eff["+bs_ooe"] <= eff["+ista"]
+        thr = d["throughput"]
+        assert thr["gpu"] < thr["baseline_asic"] < thr["+bui_gf"] < thr["+ista"]
+
+    def test_fig20_totals(self):
+        d = H.fig20_area_power()
+        assert sum(d["area_mm2"].values()) == pytest.approx(4.53, rel=0.02)
+        assert sum(d["power_mw"].values()) == pytest.approx(591, rel=0.02)
+
+    def test_fig21_pade_wins_everywhere(self):
+        d = H.fig21_sota_comparison((("llama2-7b", 2048),))
+        entry = d["llama2-7b"]
+        for name, row in entry.items():
+            assert row["energy_vs_pade"] >= 1.0
+        assert entry["pade"]["speedup"] == max(r["speedup"] for r in entry.values())
+
+    def test_fig23_pade_better_utilized(self):
+        d = H.fig23_workload_balance(lane_counts=(16,), seq_len=256)
+        assert d["pade"][16]["useful"] > d["bitwave"][16]["useful"]
+
+    def test_fig23_layout_improves_bw(self):
+        d = H.fig23_bandwidth((("mmlu", 512),))
+        row = d["mmlu"]
+        assert row["pade_dl"]["bw_utilization"] >= row["pade_no_dl"]["bw_utilization"]
+        assert row["pade_dl"]["dram"] < 1.0
+
+    def test_fig24_system_speedup(self):
+        d = H.fig24_system_integration((("dolly-15k", 15_000),))
+        assert d["dolly-15k"]["speedup"] > 1.0
+
+    def test_fig25_mx_sound(self):
+        d = H.fig25_mx_example()
+        assert d["soundness_rate"] == 1.0
+
+    def test_fig26_qat_hurts_sofa_more(self):
+        d = H.fig26_quantization(seq_len=1024)
+        sofa_penalty = d["qat8"]["sofa"] / d["ptq8"]["sofa"]
+        pade_penalty = d["qat8"]["pade"] / d["ptq8"]["pade"]
+        assert sofa_penalty > pade_penalty
+
+    def test_fig26_decoding_sofa_grows(self):
+        d = H.fig26_decoding(seq_lens=(4096, 16384))
+        assert d[16384]["sofa"]["total_vs_dense"] > d[4096]["sofa"]["total_vs_dense"]
+        pade_delta = abs(d[16384]["pade"]["total_vs_dense"] - d[4096]["pade"]["total_vs_dense"])
+        assert pade_delta < 0.1

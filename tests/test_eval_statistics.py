@@ -1,0 +1,78 @@
+"""Tests for the measurement-statistics helpers (§VI-A protocol)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.statistics import (
+    Measurement,
+    bootstrap_ci,
+    paper_trimmed_mean,
+    repeat_measure,
+)
+
+
+class TestTrimmedMean:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            paper_trimmed_mean([])
+
+    def test_outliers_discarded(self):
+        """Top/bottom 15% trimming removes single extreme runs — the reason
+        the paper uses it for GPU timing."""
+        samples = [10.0] * 18 + [1000.0, 0.001]
+        assert paper_trimmed_mean(samples) == pytest.approx(10.0)
+
+    def test_clean_data_matches_mean(self):
+        samples = list(np.linspace(5, 6, 40))
+        assert paper_trimmed_mean(samples) == pytest.approx(np.mean(samples), rel=1e-3)
+
+    @given(st.lists(st.floats(0.1, 100), min_size=5, max_size=50))
+    def test_within_sample_range(self, samples):
+        tm = paper_trimmed_mean(samples)
+        assert min(samples) - 1e-9 <= tm <= max(samples) + 1e-9
+
+
+class TestBootstrap:
+    def test_ci_contains_trimmed_mean(self, rng):
+        samples = rng.normal(50, 5, size=60).tolist()
+        lo, hi = bootstrap_ci(samples)
+        tm = paper_trimmed_mean(samples)
+        assert lo <= tm <= hi
+
+    def test_more_samples_tighter_ci(self, rng):
+        wide = rng.normal(10, 2, size=8).tolist()
+        narrow = rng.normal(10, 2, size=200).tolist()
+        lo_w, hi_w = bootstrap_ci(wide)
+        lo_n, hi_n = bootstrap_ci(narrow)
+        assert (hi_n - lo_n) < (hi_w - lo_w)
+
+    def test_single_sample_degenerate(self):
+        assert bootstrap_ci([7.0]) == (7.0, 7.0)
+
+
+class TestRepeatMeasure:
+    def test_deterministic_given_seed(self):
+        fn = lambda r: float(r.normal(5, 1))
+        a = repeat_measure(fn, repeats=10, seed=3)
+        b = repeat_measure(fn, repeats=10, seed=3)
+        assert a == b
+
+    def test_measures_pipeline_sparsity_stably(self):
+        """Measured sparsity varies run to run but with a tight CI — the
+        quantity is workload-structural, not noise."""
+        from repro.core import PadeConfig, pade_attention
+        from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+
+        def one(r):
+            q, k, v = synthesize_qkv(4, 256, 32, PROFILE_PRESETS["nlp"], r)
+            return pade_attention(q, k, v, PadeConfig.standard()).sparsity
+
+        m = repeat_measure(one, repeats=8, seed=1)
+        assert 0.3 < m.trimmed_mean < 0.99
+        assert m.relative_halfwidth < 0.2
+
+    def test_validates_repeats(self):
+        with pytest.raises(ValueError):
+            repeat_measure(lambda r: 1.0, repeats=0)

@@ -1,0 +1,96 @@
+"""Tests for the SpAtten cascade baseline, ASCII plots, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attention.baselines.spatten_cascade import spatten_cascade
+from repro.cli import EXPERIMENTS, main as cli_main
+from repro.eval.plots import bar_chart, line_chart
+from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
+
+
+@pytest.fixture
+def layer_stack(rng):
+    return [synthesize_qkv(4, 256, 32, PROFILE_PRESETS["nlp"], rng) for _ in range(4)]
+
+
+class TestCascade:
+    def test_cascade_only_shrinks(self, layer_stack):
+        res = spatten_cascade(layer_stack, keep_fraction=0.3)
+        for earlier, later in zip(res.retained_per_layer, res.retained_per_layer[1:]):
+            assert not (later & ~earlier).any()  # pruned tokens never return
+
+    def test_first_layer_unpruned(self, layer_stack):
+        res = spatten_cascade(layer_stack, keep_fraction=0.2, stale_layers=1)
+        assert res.retained_per_layer[0].all()
+
+    def test_budget_respected_after_warmup(self, layer_stack):
+        res = spatten_cascade(layer_stack, keep_fraction=0.25)
+        for retained in res.retained_per_layer[1:]:
+            assert retained.sum() <= round(0.25 * 256)
+
+    def test_stale_guidance_loses_more_than_oracle(self, layer_stack):
+        """The accuracy mechanism of Fig. 15: cross-layer guidance misses
+        per-layer heavy hitters, losing more mass than the same budget with
+        an exact per-layer top-k."""
+        from repro.attention.baselines import topk_oracle_attention
+
+        res = spatten_cascade(layer_stack, keep_fraction=0.2)
+        oracle_losses = []
+        from repro.attention.dense import attention_scores, softmax
+        from repro.attention.masks import causal_mask
+
+        for q, k, v in layer_stack[1:]:
+            oracle = topk_oracle_attention(q, k, v, keep_fraction=0.2)
+            logits = attention_scores(q, k)
+            causal = causal_mask(q.shape[0], k.shape[0], k.shape[0] - q.shape[0])
+            probs = softmax(np.where(causal, logits, -np.inf), axis=-1)
+            oracle_losses.append(float(np.where(oracle.retained, 0.0, probs).sum(axis=-1).mean()))
+        assert np.mean(res.lost_mass_per_layer[1:]) > np.mean(oracle_losses)
+
+
+class TestPlots:
+    def test_bar_chart_rows(self):
+        out = bar_chart("t", ["a", "b"], [1.0, 2.0], width=10)
+        assert out.count("\n") == 2
+        assert "██████████" in out  # the max bar is full width
+
+    def test_bar_chart_validates(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", ["a"], [1.0, 2.0])
+
+    def test_line_chart_contains_markers(self):
+        out = line_chart("t", [0, 1, 2], {"a": [1, 2, 3], "b": [3, 2, 1]}, height=6, width=20)
+        assert "o" in out and "x" in out and "legend" in out
+
+    def test_line_chart_flat_series(self):
+        out = line_chart("t", [0, 1], {"a": [5, 5]})
+        assert "==" in out
+
+
+class TestCLI:
+    def test_list_runs(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "table2" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["fig99"]) == 2
+
+    def test_fig17_text(self, capsys):
+        assert cli_main(["fig17"]) == 0
+        assert "GSAT" in capsys.readouterr().out
+
+    def test_fig20_json_parses(self, capsys):
+        assert cli_main(["fig20", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert abs(sum(data["fig20"]["area_mm2"].values()) - 4.53) < 0.05
+
+    def test_registry_covers_every_eval_figure(self):
+        ids = set(EXPERIMENTS)
+        for required in ("fig2", "fig4", "fig5", "fig10", "fig14", "fig15", "fig16",
+                         "fig17", "fig18", "fig19", "fig20", "fig21", "fig23", "fig24",
+                         "fig25", "fig26", "table1", "table2", "table3"):
+            assert required in ids

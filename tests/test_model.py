@@ -1,0 +1,135 @@
+"""Tests for the model substrate: presets, synthetic QKV, tasks."""
+
+import numpy as np
+import pytest
+
+from repro.attention.dense import attention_scores, softmax
+from repro.core.config import PadeConfig
+from repro.model.configs import MODEL_PRESETS, get_model
+from repro.model.synthetic import AttentionProfile, PROFILE_PRESETS, synthesize_qkv, target_logits
+from repro.model.tasks import SENSITIVITY, TASKS, evaluate_task, get_task, lost_attention_mass
+from repro.model.transformer import MultiHeadAttention, generate_layer_qkv
+
+
+class TestModelConfigs:
+    def test_all_presets_present(self):
+        assert set(MODEL_PRESETS) == {
+            "llama2-7b", "llama3-8b", "opt-1b3", "bloom-1b7", "qwen-7b", "vit-l/16", "pvt",
+        }
+
+    def test_llama3_is_gqa(self):
+        m = get_model("llama3-8b")
+        assert m.is_gqa and m.gqa_group == 4
+
+    def test_llama2_is_mha(self):
+        assert not get_model("llama2-7b").is_gqa
+
+    def test_lookup_case_insensitive(self):
+        assert get_model("LLaMA2-7B").name == "llama2-7b"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("gpt-5")
+
+    def test_attention_flops_prefill(self):
+        m = get_model("opt-1b3")
+        assert m.attention_flops(128) == 2 * 128 * 128 * 64 * 32 * 24
+
+    def test_kv_bytes_gqa_smaller(self):
+        mha = get_model("llama2-7b").kv_bytes(1024)
+        gqa = get_model("llama3-8b").kv_bytes(1024)
+        assert gqa == mha / 4
+
+
+class TestSyntheticQKV:
+    def test_logits_match_target_when_exact(self, rng):
+        profile = PROFILE_PRESETS["nlp"]
+        q, k, v = synthesize_qkv(8, 128, 32, profile, np.random.default_rng(3))
+        logits = attention_scores(q, k)
+        # same draw sequence: regenerate target
+        rng2 = np.random.default_rng(3)
+        rng2.normal(size=(8, 32))  # consume the Q draw
+        target = target_logits(8, 128, profile, rng2)
+        np.testing.assert_allclose(logits, target, atol=1e-6)
+
+    def test_cluster_background_gap(self, rng):
+        q, k, v = synthesize_qkv(8, 512, 64, PROFILE_PRESETS["nlp"], rng)
+        logits = attention_scores(q, k)
+        top = np.sort(logits, axis=1)[:, -8:].mean()
+        median = np.median(logits)
+        assert top - median > 6.0  # the separation the guard relies on
+
+    def test_softmax_mass_concentated(self, rng):
+        q, k, v = synthesize_qkv(4, 512, 64, PROFILE_PRESETS["nlp"], rng)
+        probs = softmax(attention_scores(q, k), axis=-1)
+        sorted_mass = np.sort(probs, axis=1)[:, ::-1]
+        # the relevant cluster (~120 tokens) carries almost all mass
+        assert sorted_mass[:, :128].sum(axis=1).min() > 0.9
+
+    def test_cv_profile_less_sparse(self, rng):
+        q, k, v = synthesize_qkv(4, 512, 64, PROFILE_PRESETS["cv"], rng)
+        probs = softmax(attention_scores(q, k), axis=-1)
+        top64 = np.sort(probs, axis=1)[:, ::-1][:, :64].sum(axis=1).mean()
+        q2, k2, v2 = synthesize_qkv(4, 512, 64, PROFILE_PRESETS["nlp"], rng)
+        probs2 = softmax(attention_scores(q2, k2), axis=-1)
+        top64_nlp = np.sort(probs2, axis=1)[:, ::-1][:, :64].sum(axis=1).mean()
+        assert top64 < top64_nlp
+
+    def test_peakedness_scaling(self):
+        p = PROFILE_PRESETS["nlp"].scaled(2.0)
+        assert p.peakedness == 2.0
+
+    def test_shapes(self, rng):
+        q, k, v = synthesize_qkv(3, 64, 16, rng=rng)
+        assert q.shape == (3, 16) and k.shape == (64, 16) and v.shape == (64, 16)
+
+
+class TestTasks:
+    def test_twenty_two_benchmarks(self):
+        assert len(TASKS) == 22
+
+    def test_lookup(self):
+        t = get_task("mmlu", "llama2-7b")
+        assert t.metric == "acc" and t.seq_len == 500
+
+    def test_ppl_is_lower_better(self):
+        assert not get_task("wikitext2", "llama2-7b").higher_is_better
+
+    def test_lost_mass_increases_with_aggression(self):
+        m = get_model("llama2-7b")
+        std = lost_attention_mass(m, 1000, PadeConfig.standard())
+        agg = lost_attention_mass(m, 1000, PadeConfig(alpha=0.3))
+        assert 0 <= std < agg <= 1
+
+    def test_evaluate_task_orderings(self):
+        """PADE(S) must sit between INT8 and PADE(A) for every metric."""
+        score = evaluate_task(get_task("mmlu", "llama2-7b"))
+        assert score.pade_aggressive <= score.pade_standard <= score.task.int8
+
+    def test_ppl_moves_up_under_pruning(self):
+        score = evaluate_task(get_task("wikitext2", "llama2-7b"))
+        assert score.task.int8 <= score.pade_standard <= score.pade_aggressive
+
+    def test_sensitivities_cover_families(self):
+        assert {t.family for t in TASKS} <= set(SENSITIVITY)
+
+
+class TestTransformer:
+    def test_gqa_layer_shapes(self):
+        model = get_model("llama3-8b")
+        triples = generate_layer_qkv(model, seq_len=64, num_queries=2)
+        assert len(triples) == model.num_kv_heads
+        q, k, v = triples[0]
+        assert q.shape == (2 * model.gqa_group, model.head_dim)
+        assert k.shape == (64, model.head_dim)
+
+    def test_prefill_collects_sparsity(self):
+        mha = MultiHeadAttention(get_model("opt-1b3"), PadeConfig.standard())
+        mha.run_prefill(seq_len=128, num_layers=1)
+        assert 0 <= mha.mean_sparsity <= 1
+
+    def test_dense_mode_has_no_pade_stats(self):
+        mha = MultiHeadAttention(get_model("opt-1b3"), use_pade=False)
+        results = mha.run_prefill(seq_len=64, num_layers=1)
+        assert all(r.pade is None for layer in results for r in layer)
+        assert mha.mean_sparsity == 0.0

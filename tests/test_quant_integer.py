@@ -1,0 +1,114 @@
+"""Unit + property tests for symmetric integer quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.integer import (
+    QuantizedTensor,
+    int_range,
+    qat_calibrated_scale,
+    quantization_error,
+    quantize_symmetric,
+)
+
+finite_floats = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False, width=64
+)
+
+
+class TestIntRange:
+    def test_int8(self):
+        assert int_range(8) == (-128, 127)
+
+    def test_int4(self):
+        assert int_range(4) == (-8, 7)
+
+    def test_int2(self):
+        assert int_range(2) == (-2, 1)
+
+    def test_rejects_single_bit(self):
+        with pytest.raises(ValueError):
+            int_range(1)
+
+
+class TestQuantizeSymmetric:
+    def test_payload_within_range(self, rng):
+        q = quantize_symmetric(rng.normal(size=(16, 16)), bits=8)
+        assert q.data.min() >= -128 and q.data.max() <= 127
+
+    def test_zero_tensor_uses_unit_scale(self):
+        q = quantize_symmetric(np.zeros((4, 4)))
+        assert float(q.scale) == 1.0
+        assert np.all(q.data == 0)
+
+    def test_max_abs_maps_to_qmax(self):
+        values = np.array([0.0, 1.27, -1.27])
+        q = quantize_symmetric(values, bits=8)
+        assert q.data[1] == 127
+        assert q.data[2] == -127
+
+    def test_per_axis_scales(self, rng):
+        values = rng.normal(size=(4, 8)) * np.array([[1.0], [10.0], [100.0], [1000.0]])
+        q = quantize_symmetric(values, bits=8, axis=1)
+        assert q.scale.shape == (4, 1)
+        # each row's max maps near the grid edge
+        assert np.all(np.abs(q.data).max(axis=1) >= 126)
+
+    def test_explicit_scale_clips(self):
+        q = quantize_symmetric(np.array([100.0]), bits=8, scale=np.asarray(0.1))
+        assert q.data[0] == 127  # clipped, not overflowed
+
+    def test_int4_range(self, rng):
+        q = quantize_symmetric(rng.normal(size=100), bits=4)
+        assert q.data.min() >= -8 and q.data.max() <= 7
+
+    @given(arrays(np.float64, (8, 8), elements=finite_floats))
+    def test_reconstruction_error_bounded_by_half_step(self, values):
+        q = quantize_symmetric(values, bits=8)
+        step = float(np.max(q.scale))
+        err = np.max(np.abs(values - q.dequantize()))
+        assert err <= step * 0.5 + 1e-9
+
+    @given(st.integers(min_value=2, max_value=12))
+    def test_more_bits_reduce_error(self, bits):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=256)
+        coarse = quantization_error(values, quantize_symmetric(values, bits=bits))
+        fine = quantization_error(values, quantize_symmetric(values, bits=bits + 2))
+        assert fine <= coarse + 1e-12
+
+
+class TestQuantizedTensor:
+    def test_out_of_range_payload_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizedTensor(data=np.array([300]), scale=np.asarray(1.0), bits=8)
+
+    def test_bytes_per_element(self):
+        q = quantize_symmetric(np.ones(4), bits=4)
+        assert q.bytes_per_element() == 0.5
+
+    def test_dequantize_matches_functional(self, rng):
+        values = rng.normal(size=32)
+        q = quantize_symmetric(values)
+        np.testing.assert_allclose(q.dequantize(), q.data * q.scale)
+
+
+class TestQATScale:
+    def test_tighter_than_max(self, rng):
+        values = rng.normal(size=10_000)
+        values[0] = 100.0  # outlier
+        _, qmax = int_range(8)
+        assert qat_calibrated_scale(values, percentile=99.0) < np.abs(values).max() / qmax
+
+    def test_empty_input(self):
+        assert qat_calibrated_scale(np.array([])) == 1.0
+
+    def test_qat_distribution_more_uniform(self, rng):
+        """Clipped quantization spreads payload mass across the grid."""
+        values = rng.standard_t(df=3, size=20_000)  # heavy tails
+        ptq = quantize_symmetric(values, bits=8)
+        qat = quantize_symmetric(values, bits=8, scale=np.asarray(qat_calibrated_scale(values, percentile=98)))
+        assert np.std(qat.data) > np.std(ptq.data)

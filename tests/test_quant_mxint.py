@@ -1,0 +1,62 @@
+"""Tests for the MXINT group micro-scaling format."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.mxint import dequantize_mxint, quantize_mxint
+
+mx_inputs = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 4), st.sampled_from([32, 64, 96])),
+    elements=st.floats(-100, 100, allow_nan=False, width=64),
+)
+
+
+class TestQuantizeMX:
+    def test_group_count(self, rng):
+        q = quantize_mxint(rng.normal(size=(4, 64)), group_size=32)
+        assert q.num_groups == 2
+        assert q.scales.shape == (4, 2)
+
+    def test_rejects_misaligned_axis(self, rng):
+        with pytest.raises(ValueError):
+            quantize_mxint(rng.normal(size=(4, 33)), group_size=32)
+
+    def test_payload_within_range(self, rng):
+        q = quantize_mxint(rng.normal(size=(2, 64)), bits=8)
+        assert q.data.min() >= -128 and q.data.max() <= 127
+
+    def test_group_slice(self, rng):
+        q = quantize_mxint(rng.normal(size=(1, 64)), group_size=32)
+        assert q.group_slice(1) == slice(32, 64)
+
+    @given(mx_inputs)
+    def test_round_trip_error_bounded_per_group(self, values):
+        q = quantize_mxint(values, bits=8, group_size=32)
+        recon = dequantize_mxint(q)
+        grouped_scale = np.repeat(q.scales, 32, axis=-1)
+        assert np.all(np.abs(values - recon) <= grouped_scale * 0.5 + 1e-9)
+
+    def test_outlier_isolation(self):
+        """A group-local outlier must not degrade the other group — the
+        motivation for micro-scaling formats."""
+        values = np.zeros((1, 64))
+        values[0, :32] = np.linspace(-1, 1, 32)
+        values[0, 32] = 1000.0  # outlier confined to group 1
+        q = quantize_mxint(values)
+        recon = dequantize_mxint(q)
+        err_group0 = np.abs(values[0, :32] - recon[0, :32]).max()
+        assert err_group0 < 0.01  # unaffected by the outlier
+
+    def test_finer_groups_reduce_error(self, rng):
+        values = rng.normal(size=(1, 64)) * np.concatenate(
+            [np.ones(32), np.full(32, 50.0)]
+        )
+        coarse = quantize_mxint(values, group_size=64)
+        fine = quantize_mxint(values, group_size=32)
+        err_c = np.abs(values - dequantize_mxint(coarse)).mean()
+        err_f = np.abs(values - dequantize_mxint(fine)).mean()
+        assert err_f < err_c

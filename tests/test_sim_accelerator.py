@@ -1,0 +1,131 @@
+"""Tests for the V-PU, area model, and the full-accelerator simulation."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.sim.accelerator import AcceleratorConfig, PadeAccelerator
+from repro.sim.area import (
+    AREA_SHARES,
+    POWER_SHARES,
+    TOTAL_AREA_MM2,
+    TOTAL_POWER_MW,
+    area_breakdown,
+    overhead_summary,
+    power_breakdown,
+    scaled_breakdown,
+    DesignPoint,
+)
+from repro.sim.vpu import simulate_vpu
+
+
+class TestVPU:
+    def test_macs_scale_with_retained(self, rng):
+        dense = np.ones((8, 64), dtype=bool)
+        sparse = rng.random((8, 64)) < 0.2
+        d = simulate_vpu(dense, head_dim=64)
+        s = simulate_vpu(sparse, head_dim=64)
+        assert s.macs < d.macs
+        assert s.cycles < d.cycles
+        assert s.exp_ops == int(sparse.sum())
+
+    def test_rars_reduces_or_matches_loads(self, rng):
+        retained = rng.random((8, 128)) < 0.3
+        with_rars = simulate_vpu(retained, 64, use_rars=True)
+        without = simulate_vpu(retained, 64, use_rars=False)
+        assert with_rars.v_vector_loads <= without.v_vector_loads
+        assert with_rars.unique_v_vectors == without.unique_v_vectors
+
+    def test_rescale_ops_charged(self, rng):
+        retained = rng.random((4, 32)) < 0.5
+        base = simulate_vpu(retained, 64, rescale_vector_ops=0)
+        extra = simulate_vpu(retained, 64, rescale_vector_ops=10_000)
+        assert extra.macs == base.macs + 10_000
+        assert extra.energy_pj > base.energy_pj
+
+
+class TestAreaModel:
+    def test_shares_sum_near_one(self):
+        # the paper's figure labels over-sum slightly; breakdowns renormalize
+        assert sum(AREA_SHARES.values()) == pytest.approx(1.0, abs=0.07)
+        assert sum(POWER_SHARES.values()) == pytest.approx(1.0, abs=0.07)
+
+    def test_totals(self):
+        assert sum(area_breakdown().values()) == pytest.approx(TOTAL_AREA_MM2, rel=0.02)
+        assert sum(power_breakdown().values()) == pytest.approx(TOTAL_POWER_MW, rel=0.02)
+
+    def test_paper_overhead_claims(self):
+        o = overhead_summary()
+        assert o["bui_area_frac"] == pytest.approx(0.049, abs=0.002)
+        assert o["bui_power_frac"] == pytest.approx(0.121, abs=0.002)
+        assert o["fusion_area_frac"] == pytest.approx(0.058, abs=0.002)
+        assert o["fusion_power_frac"] == pytest.approx(0.049, abs=0.002)
+
+    def test_scaled_scoreboard(self):
+        small = scaled_breakdown(DesignPoint(scoreboard_entries=16))
+        assert small["scoreboard"] == pytest.approx(area_breakdown()["scoreboard"] / 2)
+
+    def test_scaled_gsat_nondefault_larger(self):
+        assert scaled_breakdown(DesignPoint(gsat_subgroup=64))["pe_lane"] > area_breakdown()["pe_lane"]
+
+
+class TestAccelerator:
+    @pytest.fixture
+    def qkv(self, medium_qkv):
+        return medium_qkv
+
+    def test_pade_beats_dense_baseline(self, qkv):
+        q, k, v = qkv
+        pade = PadeAccelerator(AcceleratorConfig()).run_head(q, k, v)
+        dense = PadeAccelerator(AcceleratorConfig().dense_baseline()).run_head(q, k, v)
+        assert pade.latency_cycles < dense.latency_cycles
+        assert pade.energy_pj < dense.energy_pj
+        assert pade.dram_bytes < dense.dram_bytes
+
+    def test_result_reuse_saves_plane_traffic(self, qkv):
+        q, k, v = qkv
+        with_sb = PadeAccelerator(AcceleratorConfig()).run_head(q, k, v)
+        without = PadeAccelerator(
+            replace(AcceleratorConfig(), enable_result_reuse=False)
+        ).run_head(q, k, v)
+        assert with_sb.dram_bytes < without.dram_bytes
+
+    def test_custom_layout_improves_bandwidth(self, qkv):
+        q, k, v = qkv
+        dl = PadeAccelerator(AcceleratorConfig()).run_head(q, k, v)
+        no_dl = PadeAccelerator(
+            replace(AcceleratorConfig(), custom_layout=False)
+        ).run_head(q, k, v)
+        assert dl.latency_cycles <= no_dl.latency_cycles
+        assert dl.dram_activations < no_dl.dram_activations
+
+    def test_energy_breakdown_nonnegative_and_complete(self, qkv):
+        q, k, v = qkv
+        r = PadeAccelerator(AcceleratorConfig()).run_head(q, k, v)
+        assert set(r.energy_breakdown_pj) == {
+            "qk_compute", "v_compute", "sram", "dram", "bui", "scheduler", "static",
+        }
+        assert all(val >= 0 for val in r.energy_breakdown_pj.values())
+
+    def test_report_scaling(self, qkv):
+        q, k, v = qkv
+        r = PadeAccelerator(AcceleratorConfig()).run_head(q, k, v)
+        doubled = r.scaled(2.0)
+        assert doubled.latency_cycles == 2 * r.latency_cycles
+        assert doubled.energy_pj == pytest.approx(2 * r.energy_pj)
+        assert doubled.sparsity == r.sparsity
+
+    def test_throughput_metrics(self, qkv):
+        q, k, v = qkv
+        r = PadeAccelerator(AcceleratorConfig()).run_head(q, k, v)
+        assert r.throughput_gops > 0
+        assert r.gops_per_watt > 0
+
+    def test_run_model_attention_scales(self):
+        from repro.model.configs import get_model
+
+        acc = PadeAccelerator(AcceleratorConfig())
+        short = acc.run_model_attention(get_model("opt-1b3"), 256, seq_cap=256)
+        long = acc.run_model_attention(get_model("opt-1b3"), 1024, seq_cap=256)
+        assert long.energy_pj > short.energy_pj
+        assert long.latency_cycles > short.latency_cycles

@@ -1,0 +1,98 @@
+"""Tests for the HBM2 and SRAM models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dram import DataLayout, DramStats, HBMModel
+from repro.sim.sram import SramBuffer
+from repro.sim.tech import DEFAULT_TECH
+
+
+@pytest.fixture
+def hbm():
+    return HBMModel()
+
+
+class TestHitRates:
+    def test_bit_plane_layout_mostly_hits(self, hbm):
+        hr = hbm.hit_rate(DataLayout.BIT_PLANE_FIRST, access_bytes=8)
+        assert hr > 0.99
+
+    def test_strided_gather_always_misses(self, hbm):
+        hr = hbm.hit_rate(DataLayout.ROW_MAJOR, access_bytes=8, stride_bytes=4096)
+        assert hr == 0.0
+
+    def test_sequential_rows_mostly_hit(self, hbm):
+        assert hbm.hit_rate(DataLayout.ROW_MAJOR, access_bytes=64) == pytest.approx(1 - 64 / 1024)
+
+
+class TestStreams:
+    def test_energy_is_4pj_per_bit_plus_activations(self, hbm):
+        s = hbm.stream(100, 32, hit_rate=1.0)
+        assert s.energy_pj == pytest.approx(100 * 32 * 8 * 4.0)
+        s2 = hbm.stream(100, 32, hit_rate=0.0)
+        assert s2.energy_pj > s.energy_pj
+
+    def test_bandwidth_bound_cycles(self, hbm):
+        s = hbm.stream(10_000, 32, hit_rate=1.0)
+        expected = 10_000 * 32 / DEFAULT_TECH.hbm_bytes_per_cycle
+        assert s.cycles == pytest.approx(expected)
+
+    def test_latency_bound_without_overlap(self, hbm):
+        hit = hbm.stream(100, 8, hit_rate=0.0, overlap_latency=False)
+        overlapped = hbm.stream(100, 8, hit_rate=0.0, overlap_latency=True)
+        assert hit.cycles == pytest.approx(100 * DEFAULT_TECH.hbm_trc_cycles)
+        assert overlapped.cycles < hit.cycles
+
+    def test_merge_adds_fields(self, hbm):
+        a = hbm.stream(10, 8, 1.0)
+        b = hbm.stream(20, 8, 0.5)
+        m = a.merge(b)
+        assert m.bytes_transferred == a.bytes_transferred + b.bytes_transferred
+        assert m.accesses == 30
+
+    def test_custom_layout_cheaper_than_row_major_gather(self, hbm):
+        custom = hbm.read_bit_planes(1000, head_dim=64, custom_layout=True)
+        naive = hbm.read_bit_planes(1000, head_dim=64, custom_layout=False)
+        assert custom.cycles < naive.cycles
+        assert custom.activations < naive.activations
+        assert custom.energy_pj < naive.energy_pj
+
+    def test_write_rows(self, hbm):
+        s = hbm.write_rows(16, 128)
+        assert s.bytes_transferred == 2048
+
+
+class TestSram:
+    def test_allocation_and_spill(self):
+        buf = SramBuffer("kv", capacity_bytes=100)
+        assert buf.allocate(60) == 0
+        assert buf.allocate(60) == 20  # 20 bytes spill
+        assert buf.spilled_bytes == 20
+        assert buf.utilization == 1.0
+
+    def test_release(self):
+        buf = SramBuffer("kv", capacity_bytes=100)
+        buf.allocate(80)
+        buf.release(50)
+        assert buf.occupied_bytes == 30
+        buf.release(100)
+        assert buf.occupied_bytes == 0
+
+    def test_energy_accounting(self):
+        buf = SramBuffer("q", capacity_bytes=1024)
+        buf.read(100)
+        buf.write(50)
+        expected = 100 * DEFAULT_TECH.sram_read_pj_per_byte + 50 * DEFAULT_TECH.sram_write_pj_per_byte
+        assert buf.energy_pj == pytest.approx(expected)
+
+
+class TestTechConfig:
+    def test_peak_bandwidth(self):
+        assert DEFAULT_TECH.hbm_total_gbps == 256.0
+
+    def test_trc_cycles(self):
+        assert DEFAULT_TECH.hbm_trc_cycles == 40  # 50 ns at 800 MHz
+
+    def test_lane_count(self):
+        assert DEFAULT_TECH.num_lanes == 128

@@ -1,0 +1,99 @@
+"""Tests for GSAT (functional + DSE) and the BS scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sim.gsat import GSATConfig, gsat_area_power, gsat_cycles, gsat_partial_dot
+from repro.sim.scheduler import BSScheduler
+
+bits64 = arrays(np.uint8, st.just(64), elements=st.integers(0, 1))
+q64 = arrays(np.int64, st.just(64), elements=st.integers(-128, 127))
+
+
+class TestGSATFunctional:
+    @given(q64, bits64)
+    def test_grouped_dot_equals_monolithic(self, q, bits):
+        """Sub-group decomposition changes cost, never the value."""
+        expected = int(np.dot(q, bits.astype(np.int64)))
+        assert gsat_partial_dot(q, bits) == expected
+
+    @given(q64, bits64, st.sampled_from([2, 4, 8, 16, 32]))
+    def test_any_subgroup_size_equivalent(self, q, bits, g):
+        cfg = GSATConfig(subgroup=g)
+        expected = int(np.dot(q, bits.astype(np.int64)))
+        assert gsat_partial_dot(q, bits, cfg) == expected
+
+    def test_dimension_check(self, rng):
+        with pytest.raises(ValueError):
+            gsat_partial_dot(np.zeros(32, dtype=np.int64), np.zeros(64, dtype=np.uint8))
+
+
+class TestGSATCycles:
+    @given(bits64)
+    def test_bs_caps_cycles_at_one(self, bits):
+        """With 4 muxes per 8-wide sub-group and BS guaranteeing ≤ 4
+        effective bits, every plane takes exactly one selection cycle."""
+        assert gsat_cycles(bits) == 1
+
+    def test_worst_subgroup_dominates(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        bits[:8] = [1, 1, 1, 0, 0, 0, 0, 0]  # 3 eff bits < 4 muxes
+        assert gsat_cycles(bits, GSATConfig(muxes_per_subgroup=2)) == 2
+
+
+class TestGSATDse:
+    def test_optimum_at_subgroup_eight(self):
+        """Fig. 17(a): size 8 minimizes area and power."""
+        areas = {g: gsat_area_power(g)[0] for g in (2, 4, 8, 16, 32, 64)}
+        powers = {g: gsat_area_power(g)[1] for g in (2, 4, 8, 16, 32, 64)}
+        assert min(areas, key=areas.get) == 8
+        assert min(powers, key=powers.get) == 8
+
+    def test_curve_is_convex_shaped(self):
+        areas = [gsat_area_power(g)[0] for g in (2, 4, 8, 16, 32, 64)]
+        assert areas[0] > areas[2] < areas[-1]
+
+    def test_divisibility_check(self):
+        with pytest.raises(ValueError):
+            gsat_area_power(12)
+
+
+class TestBSScheduler:
+    @given(arrays(np.uint8, st.integers(1, 16), elements=st.integers(0, 1)))
+    def test_selection_completeness(self, bits):
+        """Every effective bit is selected exactly once (any density)."""
+        sched = BSScheduler()
+        one_mode, indices = sched.selected_indices(bits)
+        column = bits if one_mode else 1 - bits
+        expected = set(np.flatnonzero(column).tolist())
+        assert set(indices) == expected
+        assert len(indices) == len(expected)
+
+    @given(arrays(np.uint8, st.just(8), elements=st.integers(0, 1)))
+    def test_mode_matches_bs_rule(self, bits):
+        sched = BSScheduler()
+        one_mode, _ = sched.choose_mode(bits)
+        assert one_mode == (bits.sum() <= bits.size - bits.sum())
+
+    def test_all_zero_column_single_invalid_step(self):
+        sched = BSScheduler()
+        one_mode, steps = sched.schedule(np.zeros(8, dtype=np.uint8))
+        assert one_mode
+        assert len(steps) == 1 and not steps[0].valid
+
+    def test_temporal_reuse_saving(self):
+        assert BSScheduler.encoder_area_saving(4) == 0.75
+
+    def test_energy_tracks_invocations(self):
+        sched = BSScheduler()
+        sched.schedule(np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=np.uint8))
+        assert sched.encoder_invocations > 0
+        assert sched.energy_pj() == sched.encoder_invocations * sched.tech.encoder_pj
+
+    def test_steps_bounded_by_width(self):
+        sched = BSScheduler()
+        _, steps = sched.schedule(np.ones(8, dtype=np.uint8))  # flips to 0-mode
+        assert len(steps) <= 8

@@ -1,0 +1,60 @@
+"""Tests for the Fig. 22 address-mapping model."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.layout import Address, KBitPlaneLayout, RowMajorLayout, row_buffer_hit_rate
+
+
+class TestBitPlaneLayout:
+    def test_plane_to_bank(self):
+        lay = KBitPlaneLayout()
+        for plane in range(8):
+            assert lay.locate(0, plane).bank == plane % lay.banks
+
+    def test_consecutive_tokens_same_row(self):
+        lay = KBitPlaneLayout(head_dim=64)  # 8 B per plane, 1024 B rows
+        rows = {lay.locate(t, 0).row for t in range(128)}
+        assert rows == {0}
+
+    def test_streaming_one_plane_hits(self):
+        lay = KBitPlaneLayout()
+        addrs = lay.stream(range(2048), plane=3)
+        assert row_buffer_hit_rate(addrs) > 0.98
+
+    @given(st.integers(0, 10_000), st.integers(0, 7))
+    def test_address_deterministic_and_in_range(self, token, plane):
+        lay = KBitPlaneLayout()
+        a = lay.locate(token, plane)
+        assert 0 <= a.bank < lay.banks
+        assert 0 <= a.column < lay.tech.hbm_row_bytes
+        assert a == lay.locate(token, plane)
+
+
+class TestRowMajorLayout:
+    def test_sequential_reads_hit(self):
+        lay = RowMajorLayout()
+        addrs = [lay.locate(t) for t in range(512)]
+        assert row_buffer_hit_rate(addrs) > 0.9
+
+    def test_strided_gather_misses(self):
+        """Fetching one bit plane per token without the custom layout
+        strides across rows — the 'PADE w/o DL' pathology."""
+        lay = RowMajorLayout()
+        addrs = [lay.locate(t) for t in range(0, 4096, 61)]
+        assert row_buffer_hit_rate(addrs) < 0.2
+
+
+class TestHitRateReplay:
+    def test_empty_stream(self):
+        assert row_buffer_hit_rate([]) == 1.0
+
+    def test_alternating_rows_thrash(self):
+        addrs = [Address(bank=0, row=i % 2, column=0) for i in range(10)]
+        assert row_buffer_hit_rate(addrs) == 0.0
+
+    def test_distinct_banks_do_not_conflict(self):
+        addrs = [Address(bank=i % 4, row=7, column=0) for i in range(8)]
+        # after the 4 compulsory misses every access hits its bank's row
+        assert row_buffer_hit_rate(addrs) == 0.5

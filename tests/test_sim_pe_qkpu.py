@@ -1,0 +1,125 @@
+"""Tests for the PE-lane timing model and the QK-PU simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bsf import bsf_filter
+from repro.core.bui_gf import guard_in_int_units
+from repro.quant.bitplane import decompose_bitplanes
+from repro.quant.integer import quantize_symmetric
+from repro.sim.pe import Scoreboard, lane_task_costs, simulate_lane
+from repro.sim.qkpu import simulate_qkpu
+
+
+def _work(costs_per_token):
+    return [(i, np.asarray(c, dtype=np.int64)) for i, c in enumerate(costs_per_token)]
+
+
+class TestScoreboard:
+    def test_capacity(self):
+        sb = Scoreboard(entries=2)
+        assert sb.update(1, 0, 10)
+        assert sb.update(2, 0, 20)
+        assert not sb.update(3, 0, 30)  # full
+        assert sb.update(1, 1, 15)  # refresh existing is fine
+        sb.evict(1)
+        assert sb.update(3, 0, 30)
+
+    def test_hit_miss_counting(self):
+        sb = Scoreboard()
+        assert sb.lookup(5) is None
+        sb.update(5, 0, 1)
+        assert sb.lookup(5) == (0, 1)
+        assert sb.hits == 1 and sb.misses == 1
+
+
+class TestLaneTiming:
+    def test_ooe_hides_latency_with_enough_tokens(self):
+        """With many in-flight tokens, compute fully overlaps DRAM."""
+        work = _work([[1, 1, 1, 1]] * 32)
+        ooe = simulate_lane(work, dram_latency=10, scoreboard_entries=32)
+        blocking = simulate_lane(work, dram_latency=10, scoreboard_entries=32, out_of_order=False)
+        assert ooe.finish_cycle < blocking.finish_cycle
+        assert ooe.utilization > blocking.utilization
+
+    def test_in_order_exposes_continuation_latency(self):
+        work = _work([[1, 1, 1]])  # one token, three planes
+        res = simulate_lane(work, dram_latency=10, out_of_order=False)
+        # MSB prefetched; 2 continuation planes pay latency
+        assert res.finish_cycle == 3 + 2 * 10
+        assert res.mem_stall_cycles == 20
+
+    def test_scoreboard_capacity_limits_overlap(self):
+        work = _work([[1, 1, 1, 1]] * 16)
+        small = simulate_lane(work, dram_latency=20, scoreboard_entries=1)
+        big = simulate_lane(work, dram_latency=20, scoreboard_entries=16)
+        assert big.finish_cycle < small.finish_cycle
+        assert small.scoreboard_stall_cycles > 0
+
+    def test_busy_cycles_conserved(self):
+        work = _work([[2, 1], [1], [3, 3, 3]])
+        res = simulate_lane(work, dram_latency=5)
+        assert res.busy_cycles == 2 + 1 + 1 + 9
+        assert res.tasks == 6
+
+    def test_empty_lane(self):
+        res = simulate_lane([], dram_latency=5)
+        assert res.finish_cycle == 0 and res.utilization == 1.0
+
+
+class TestTaskCosts:
+    def test_bs_halves_worst_case(self, rng):
+        planes = decompose_bitplanes(rng.integers(-128, 128, size=(32, 64)))
+        bs = lane_task_costs(planes.planes, bidirectional=True)
+        naive = lane_task_costs(planes.planes, bidirectional=False)
+        assert np.all(bs <= naive)
+        assert bs.max() <= 1  # BS + 4 muxes => single cycle per plane
+
+    def test_dense_ones_cost(self):
+        k = np.full((4, 64), -1, dtype=np.int64)  # all bits set
+        planes = decompose_bitplanes(k)
+        naive = lane_task_costs(planes.planes, bidirectional=False)
+        bs = lane_task_costs(planes.planes, bidirectional=True)
+        assert naive.max() == 2  # 8 effective bits / 4 muxes
+        assert bs.max() == 1  # 0-mode turns them free (min 1 cycle)
+
+
+class TestQKPU:
+    @pytest.fixture
+    def filtered(self, medium_qkv):
+        q, k, v = medium_qkv
+        qi = quantize_symmetric(q)
+        ki = quantize_symmetric(k)
+        planes = decompose_bitplanes(ki.data)
+        scale = float(qi.scale) * float(ki.scale) / 8.0
+        res = bsf_filter(qi.data, planes, guard_in_int_units(0.6, 5.0, scale))
+        return res, planes
+
+    def test_bs_ooe_improves_both_axes(self, filtered):
+        res, planes = filtered
+        full = simulate_qkpu(res.planes_processed, planes)
+        naive = simulate_qkpu(
+            res.planes_processed, planes, bidirectional=False, out_of_order=False
+        )
+        assert full.cycles < naive.cycles
+        assert full.utilization > naive.utilization
+
+    def test_stall_fractions_partition_unity(self, filtered):
+        res, planes = filtered
+        r = simulate_qkpu(res.planes_processed, planes)
+        total = r.useful_fraction + r.intra_pe_stall_fraction + r.inter_pe_stall_fraction
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_energy_components_positive(self, filtered):
+        res, planes = filtered
+        r = simulate_qkpu(res.planes_processed, planes)
+        assert r.compute_energy_pj > 0
+        assert r.scoreboard_energy_pj > 0
+        assert r.decision_energy_pj > 0
+        assert r.bit_plane_loads == int(res.planes_processed.sum())
+
+    def test_more_lanes_fewer_cycles(self, filtered):
+        res, planes = filtered
+        slow = simulate_qkpu(res.planes_processed, planes, lanes_per_row=4)
+        fast = simulate_qkpu(res.planes_processed, planes, lanes_per_row=32)
+        assert fast.cycles < slow.cycles

@@ -1,0 +1,65 @@
+"""Tests for the staggered-pipeline model (§V-D / Fig. 24b)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.pipeline import staggered_tiles, system_interleave, two_stage_pipeline
+
+durations = st.lists(st.floats(0.1, 100), min_size=1, max_size=20)
+
+
+class TestTwoStagePipeline:
+    def test_single_item_serializes(self):
+        r = two_stage_pipeline([3.0], [5.0])
+        assert r.makespan == 8.0
+        assert r.throughput_gain == 1.0
+
+    def test_balanced_stream_approaches_2x(self):
+        r = two_stage_pipeline([1.0] * 100, [1.0] * 100)
+        assert r.makespan == pytest.approx(101.0)
+        assert r.throughput_gain > 1.9
+
+    def test_bottleneck_stage_dominates(self):
+        r = two_stage_pipeline([1.0] * 50, [4.0] * 50)
+        assert r.makespan == pytest.approx(1.0 + 4.0 * 50)
+        assert r.bubbles[0] > r.bubbles[1]
+
+    @given(durations, st.data())
+    def test_makespan_bounds(self, a, data):
+        b = data.draw(st.lists(st.floats(0.1, 100), min_size=len(a), max_size=len(a)))
+        r = two_stage_pipeline(a, b)
+        # never better than the busier stage, never worse than full serial
+        assert r.makespan >= max(sum(a), sum(b)) - 1e-9
+        assert r.makespan <= sum(a) + sum(b) + 1e-9
+
+    @given(durations, st.data())
+    def test_item_finishes_monotone(self, a, data):
+        b = data.draw(st.lists(st.floats(0.1, 100), min_size=len(a), max_size=len(a)))
+        r = two_stage_pipeline(a, b)
+        assert all(x < y for x, y in zip(r.item_finish, r.item_finish[1:])) or len(a) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            two_stage_pipeline([1.0], [1.0, 2.0])
+
+
+class TestPaperInstances:
+    def test_tile_staggering_hides_vpu(self):
+        """With the 8:1 QK:V throughput ratio (Table III), the V-PU hides
+        almost entirely behind the QK-PU at typical sparsity."""
+        rng = np.random.default_rng(0)
+        qk = list(rng.uniform(8, 12, size=64))
+        vpu = list(rng.uniform(1, 2, size=64))
+        r = staggered_tiles(qk, vpu)
+        assert r.makespan < sum(qk) * 1.05  # V-PU nearly free
+
+    def test_system_interleave_steady_state(self):
+        """Fig. 24(b): two interleaved sequences approach max(GPU, PADE)
+        per-sequence latency instead of the sum."""
+        r = system_interleave(gpu_time_per_seq=10.0, pade_time_per_seq=8.0, num_sequences=50)
+        per_seq = r.makespan / 50
+        assert per_seq == pytest.approx(10.0, rel=0.05)
+        serial = (10.0 + 8.0)
+        assert serial / per_seq > 1.7

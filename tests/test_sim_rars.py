@@ -1,0 +1,93 @@
+"""Tests for reuse-aware reorder scheduling (RARS, Fig. 13)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.rars import (
+    RARSSchedulerModel,
+    naive_schedule,
+    rars_schedule,
+    requirements_from_mask,
+)
+
+requirement_sets = st.lists(
+    st.lists(st.integers(0, 31), min_size=0, max_size=12).map(lambda l: sorted(set(l))),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _covered(requirements, result):
+    """Replay the schedule to confirm every (row, V) pair gets served."""
+    pending = [set(r) for r in requirements]
+    # completeness is guaranteed by construction when the loop terminated;
+    # verify totals instead.
+    total_pairs = sum(len(p) for p in pending)
+    return total_pairs >= 0 and result.total_loads >= result.unique_vectors
+
+
+class TestCompleteness:
+    @given(requirement_sets)
+    def test_all_vectors_loaded_at_least_once(self, reqs):
+        for scheduler in (naive_schedule, rars_schedule):
+            result = scheduler(reqs)
+            loaded = set()
+            for r in result.rounds:
+                loaded.update(r)
+            needed = set().union(*[set(r) for r in reqs]) if reqs else set()
+            assert needed <= loaded
+
+    @given(requirement_sets)
+    def test_loads_at_least_unique(self, reqs):
+        for scheduler in (naive_schedule, rars_schedule):
+            result = scheduler(reqs)
+            assert result.total_loads >= result.unique_vectors
+
+    def test_empty_requirements(self):
+        r = rars_schedule([[], []])
+        assert r.total_loads == 0 and r.num_rounds == 0
+
+
+class TestReuseAdvantage:
+    def test_rars_beats_naive_on_shared_workloads(self, rng):
+        """On attention-like overlapping retained sets RARS approaches the
+        unique-load lower bound while naive reloads (Fig. 13e ~30%)."""
+        wins = 0
+        for seed in range(10):
+            r = np.random.default_rng(seed)
+            shared = list(r.choice(128, 40, replace=False))
+            reqs = [sorted(set(shared + list(r.choice(128, 10)))) for _ in range(8)]
+            n = naive_schedule(reqs, buffer_vectors=8)
+            ra = rars_schedule(reqs, buffer_vectors=8)
+            assert ra.total_loads <= n.total_loads
+            if ra.total_loads < n.total_loads:
+                wins += 1
+        assert wins >= 5
+
+    def test_rars_reaches_unique_on_full_overlap(self):
+        reqs = [list(range(20))] * 4
+        r = rars_schedule(reqs, buffer_vectors=4, row_rate=2)
+        assert r.total_loads == r.unique_vectors == 20
+        assert r.reload_overhead == 0.0
+
+    def test_reload_overhead_metric(self):
+        from repro.sim.rars import ScheduleResult
+
+        r = ScheduleResult(rounds=[[1, 2], [1]], total_loads=3, unique_vectors=2)
+        assert r.reload_overhead == pytest.approx(1 / 3)
+
+
+class TestMaskConversion:
+    def test_requirements_from_mask(self):
+        mask = np.array([[True, False, True], [False, True, False]])
+        assert requirements_from_mask(mask) == [[0, 2], [1]]
+
+
+class TestSchedulerModel:
+    def test_energy_positive_and_monotone(self):
+        model = RARSSchedulerModel()
+        small = rars_schedule([[0, 1]], buffer_vectors=2)
+        large = rars_schedule([list(range(30))] * 4, buffer_vectors=4)
+        assert 0 < model.schedule_energy_pj(small, 1) < model.schedule_energy_pj(large, 4)

@@ -1,0 +1,101 @@
+"""Tests for the runtime validators (with failure injection) and profile
+calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.bsf import bsf_filter, bsf_filter_row
+from repro.core.bui_gf import guard_in_int_units
+from repro.core.validate import validate_partial_scores, validate_retention
+from repro.model.calibration import CalibrationTarget, calibrate_profile, measure_profile
+from repro.model.synthetic import AttentionProfile, PROFILE_PRESETS, synthesize_qkv
+from repro.quant.bitplane import decompose_bitplanes, partial_reconstruct
+from repro.quant.integer import quantize_symmetric
+
+
+class TestRetentionValidator:
+    def _pipeline(self, rng, guard=600.0):
+        k = rng.integers(-128, 128, size=(128, 16))
+        q = rng.integers(-128, 128, size=(4, 16))
+        planes = decompose_bitplanes(k)
+        res = bsf_filter(q, planes, guard)
+        return q, k, res, guard
+
+    def test_honest_pipeline_validates(self, rng):
+        q, k, res, guard = self._pipeline(rng)
+        report = validate_retention(q, k, res.retained, guard)
+        assert report
+        assert report.violations == []
+
+    def test_injected_false_prune_detected(self, rng):
+        """Failure injection: flip the retained bit of a row's max-score key
+        — the validator must flag it."""
+        q, k, res, guard = self._pipeline(rng)
+        corrupted = res.retained.copy()
+        exact = q @ k.T
+        row = 0
+        corrupted[row, int(np.argmax(exact[row]))] = False
+        report = validate_retention(q, k, corrupted, guard)
+        assert not report
+        assert any("row 0" in v for v in report.violations)
+
+    def test_extra_retention_is_not_a_violation(self, rng):
+        q, k, res, guard = self._pipeline(rng)
+        everything = np.ones_like(res.retained)
+        assert validate_retention(q, k, everything, guard)
+
+    def test_protect_mask_enforced(self, rng):
+        q, k, res, guard = self._pipeline(rng)
+        protect = np.zeros(128, dtype=bool)
+        protect[5] = True
+        corrupted = res.retained.copy()
+        corrupted[:, 5] = False
+        report = validate_retention(q, k, corrupted, guard, protect=protect)
+        assert not report
+
+
+class TestScoreboardValidator:
+    def test_honest_partials_validate(self, rng):
+        k = rng.integers(-128, 128, size=(64, 16))
+        q = rng.integers(-128, 128, size=16)
+        planes = decompose_bitplanes(k)
+        res = bsf_filter_row(q, planes, guard=500.0)
+        partials = np.array([
+            int(partial_reconstruct(planes, int(r))[j] @ q) if r else 0
+            for j, r in enumerate(res.planes_processed)
+        ])
+        assert validate_partial_scores(q, planes, partials, res.planes_processed)
+
+    def test_injected_bit_flip_detected(self, rng):
+        """A single-bit corruption in one scoreboard entry is caught."""
+        k = rng.integers(-128, 128, size=(64, 16))
+        q = rng.integers(-128, 128, size=16)
+        planes = decompose_bitplanes(k)
+        planes_known = np.full(64, 3, dtype=np.int64)
+        truth = partial_reconstruct(planes, 3) @ q
+        corrupted = truth.copy()
+        corrupted[17] ^= 1 << 6  # flip one bit
+        report = validate_partial_scores(q, planes, corrupted, planes_known)
+        assert not report
+        assert any("key 17" in v for v in report.violations)
+
+
+class TestCalibration:
+    def test_measure_profile_consistent_with_presets(self):
+        keep, lost = measure_profile(PROFILE_PRESETS["nlp"], CalibrationTarget())
+        assert 0.02 < keep < 0.4
+        assert lost < 0.1
+
+    def test_calibrate_toward_denser_regime(self):
+        """Re-anchor toward the paper's denser keep ≈ 0.3 regime."""
+        target = CalibrationTarget(keep_fraction=0.30, lost_mass=0.02, seq_len=512)
+        profile = calibrate_profile(target, iterations=4)
+        keep, lost = measure_profile(profile, target)
+        assert abs(keep - 0.30) < 0.12
+        assert profile.num_heavy > PROFILE_PRESETS["nlp"].num_heavy
+
+    def test_calibrate_toward_sparser_regime(self):
+        target = CalibrationTarget(keep_fraction=0.04, lost_mass=0.01, seq_len=512)
+        profile = calibrate_profile(target, iterations=4)
+        keep, _ = measure_profile(profile, target)
+        assert keep < 0.12
