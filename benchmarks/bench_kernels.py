@@ -1,7 +1,8 @@
 """Micro-benchmarks of the core kernels (timing, not figure regeneration).
 
-These track the library's own performance: the fused BSF filter, ISTA, the
-dense references, and the cycle simulator.
+These track the library's own performance: the fused BSF filter (both
+registered backends), ISTA, the dense references, and the cycle simulator.
+Kernels are reached through the backend registry, never imported directly.
 """
 
 import numpy as np
@@ -9,8 +10,7 @@ import pytest
 
 from repro.attention.dense import dense_attention
 from repro.attention.flash import flash_attention
-from repro.core import PadeConfig, pade_attention
-from repro.core.bsf import bsf_filter
+from repro.core import PadeConfig, get_backend, pade_attention
 from repro.core.bui_gf import guard_in_int_units
 from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
 from repro.quant.bitplane import decompose_bitplanes
@@ -39,13 +39,14 @@ def test_bench_pade_attention(benchmark, qkv):
     assert res.sparsity > 0.5
 
 
-def test_bench_bsf_filter(benchmark, qkv):
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_bench_bsf_filter(benchmark, qkv, backend):
     q, k, v = qkv
     qi = quantize_symmetric(q)
     ki = quantize_symmetric(k)
     planes = decompose_bitplanes(ki.data)
     guard = guard_in_int_units(0.6, 5.0, float(qi.scale) * float(ki.scale) / 8.0)
-    res = benchmark(bsf_filter, qi.data, planes, guard)
+    res = benchmark(get_backend(backend).filter, qi.data, planes, guard)
     assert res.sparsity > 0.5
 
 

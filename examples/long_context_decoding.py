@@ -2,23 +2,46 @@
 
 Decoding streams the whole KV cache every step with no reuse, so memory
 dominates (>85% of energy) and a stage-splitting predictor must touch every
-key every step.  This script sweeps context lengths from 4k to 1M tokens and
-compares dense / SOFA (best predictor-based design) / PADE, plus the
-GPU+PADE co-processor system of Fig. 24.
+key every step.  This script first *runs* a decode loop on the serving
+engine (persistent bit-plane cache + head-batched filter — the software
+realization of the same reuse argument), then sweeps context lengths from
+4k to 1M tokens comparing dense / SOFA (best predictor-based design) /
+PADE, plus the GPU+PADE co-processor system of Fig. 24.
 
-    python examples/long_context_decoding.py
+    python examples/long_context_decoding.py [backend]
 """
+
+import sys
 
 from repro.accelerators import (
     AttentionWorkload, DenseAccelerator, GPUModel, PadeAnalyticModel, SofaModel,
 )
+from repro.core import PadeConfig, set_default_backend
+from repro.engine import PadeEngine
 from repro.eval.harness import fig24_system_integration
 from repro.eval.reporting import print_table
-from repro.eval.workloads import measure_pipeline_stats
+from repro.eval.workloads import build_engine_request, measure_pipeline_stats
 from repro.model.configs import get_model
 
 
+def engine_decode_demo(num_heads: int = 8, context: int = 1024, steps: int = 32) -> None:
+    """Measured decode loop on the batched engine (not the analytic model)."""
+    engine = PadeEngine(PadeConfig.standard())
+    engine.submit(build_engine_request("demo", num_heads, context, steps, head_dim=64))
+    results = engine.run()
+    stats = engine.stats
+    res = results["demo"]
+    print(f"engine decode ({engine.kernel.name} backend): "
+          f"{num_heads} heads, {context}+{steps} tokens")
+    print(f"  retained fraction      : {1.0 - stats.sparsity:.3f}")
+    print(f"  planes cached / reused : {stats.rows_decomposed:,} / {stats.rows_reused:,} rows "
+          f"({stats.decomposition_reuse:.1%} reuse)")
+    print(f"  final cache length     : {res.final_length} tokens\n")
+
+
 def main() -> None:
+    engine_decode_demo()
+
     model = get_model("llama3-8b")
     steps = 256
 
@@ -57,4 +80,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        set_default_backend(sys.argv[1])
     main()

@@ -1,3 +1,41 @@
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    """Read __version__ from the package without importing it."""
+    init = os.path.join(os.path.dirname(__file__), "src", "repro", "__init__.py")
+    with open(init, encoding="utf-8") as fh:
+        match = re.search(r'^__version__\s*=\s*"([^"]+)"', fh.read(), re.M)
+    if not match:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="pade-repro",
+    version=_version(),
+    description=(
+        "Reproduction of PADE (HPCA 2026): predictor-free sparse attention "
+        "via bit-serial stage fusion — algorithms, serving engine, and "
+        "accelerator models"
+    ),
+    long_description=open("README.md", encoding="utf-8").read()
+    if os.path.exists("README.md")
+    else "",
+    long_description_content_type="text/markdown",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

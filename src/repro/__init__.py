@@ -3,8 +3,11 @@
 PADE is a predictor-free sparse attention accelerator built on bit-serial
 stage fusion.  This package provides:
 
-* :mod:`repro.core` — the paper's algorithms (BUI-GF, BS-OOE, ISTA) and the
-  end-to-end :func:`repro.core.pade_attention` operator.
+* :mod:`repro.core` — the paper's algorithms (BUI-GF, BS-OOE, ISTA), the
+  end-to-end :func:`repro.core.pade_attention` operator, and the pluggable
+  kernel-backend registry (:mod:`repro.core.backend`).
+* :mod:`repro.engine` — the batched multi-head serving layer: persistent
+  bit-plane KV caches, head-batched filter rounds, request scheduling.
 * :mod:`repro.quant` — INT/MXINT quantization and bit-plane decomposition.
 * :mod:`repro.attention` — dense / FlashAttention references and software
   sparse-attention baselines.

@@ -4,6 +4,14 @@
     python -m repro.cli fig14                # regenerate one figure's data
     python -m repro.cli table2 --json        # machine-readable output
     python -m repro.cli all                  # run everything (slow)
+    python -m repro.cli engine               # serving-engine decode profile
+    python -m repro.cli fig4 --backend reference   # pick the kernel backend
+
+``--backend`` selects the fused-filter kernel implementation for the whole
+run (``reference`` = Python-loop kernels, ``fast`` = round-vectorized;
+results are identical, only wall-clock differs).  Without the flag the
+``$REPRO_BACKEND`` environment variable, then the registry default
+(``fast``), applies — see :mod:`repro.core.backend`.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import sys
 import time
 from typing import Callable, Dict
 
+from repro.core.backend import available_backends, set_default_backend
 from repro.eval import harness as H
 
 #: experiment id -> (callable, one-line description)
@@ -44,6 +53,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig25": (H.fig25_mx_example, "Fig.25: MX-format BUI"),
     "fig26": (H.fig26_quantization, "Fig.26a: quantization variants"),
     "fig26b": (H.fig26_decoding, "Fig.26b: long-sequence decoding"),
+    "engine": (H.engine_decode_profile, "Serving engine: cached-plane decode profile"),
 }
 
 
@@ -87,7 +97,16 @@ def main(argv=None) -> int:
     )
     parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
     parser.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        help="fused-filter kernel backend (default: $REPRO_BACKEND or 'fast'); "
+        "backends are result-identical, only speed differs",
+    )
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        set_default_backend(args.backend)
 
     if args.experiment == "list":
         for name, (_, desc) in EXPERIMENTS.items():

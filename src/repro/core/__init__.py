@@ -11,6 +11,9 @@
 * :mod:`repro.core.mx` — BUI generalized to the MXINT group format (Fig. 25).
 * :mod:`repro.core.pade_attention` — the end-to-end functional attention
   operator a downstream user calls.
+* :mod:`repro.core.backend` — the pluggable kernel-backend registry
+  (``"reference"`` / ``"fast"``) every layer dispatches the fused filter
+  through; see also :mod:`repro.engine` for the batched serving layer.
 """
 
 from repro.core.config import PadeConfig
@@ -21,7 +24,16 @@ from repro.core.bsf import BSFResult, bsf_filter_row, bsf_filter
 from repro.core.ista import ISTAResult, ista_attention, head_tail_order
 from repro.core.mx import MXBUILookupTable, build_mx_bui_lut
 from repro.core.pade_attention import PadeAttentionResult, pade_attention
-from repro.core.bsf_fast import bsf_filter_fast
+from repro.core.bsf_fast import bsf_filter_fast, bsf_filter_fast_heads
+from repro.core.backend import (
+    FastBackend,
+    KernelBackend,
+    ReferenceBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
 from repro.core.multibit import MultiBitResult, multibit_filter, multibit_filter_row
 from repro.core.fp_query import AlignedQuery, align_query, fp_bsf_filter_row
 from repro.core.validate import ValidationReport, validate_partial_scores, validate_retention
@@ -48,6 +60,14 @@ __all__ = [
     "PadeAttentionResult",
     "pade_attention",
     "bsf_filter_fast",
+    "bsf_filter_fast_heads",
+    "KernelBackend",
+    "ReferenceBackend",
+    "FastBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
     "MultiBitResult",
     "multibit_filter",
     "multibit_filter_row",

@@ -19,7 +19,7 @@ from repro.core.bsf import BSFResult
 from repro.core.bui import build_bui_lut
 from repro.quant.bitplane import BitPlanes, plane_weights
 
-__all__ = ["bsf_filter_fast"]
+__all__ = ["bsf_filter_fast", "bsf_filter_fast_heads"]
 
 
 def bsf_filter_fast(
@@ -64,13 +64,11 @@ def bsf_filter_fast(
         delta = q @ plane.T  # (P, S): every row's plane contribution
         partial = np.where(alive, partial + weights[r] * delta, partial)
         planes_processed = np.where(alive, r + 1, planes_processed)
-        active_counts = alive.sum(axis=0)  # rows consuming each token
         loads += int(alive.sum())
         pc = plane.sum(axis=1)
         eff = np.minimum(pc, head_dim - pc)
         eff_ops += int((eff[None, :] * alive).sum())
         naive_ops += int((pc[None, :] * alive).sum())
-        del active_counts
 
         lb = partial + lut.i_min[:, r + 1][:, None]
         ub = partial + lut.i_max[:, r + 1][:, None]
@@ -80,6 +78,111 @@ def bsf_filter_fast(
         threshold = max_lb - guard_vec if np.isfinite(guard_vec) else np.full(num_rows, -np.inf)
         keep = (ub >= threshold[:, None]) | protected
         alive &= keep
+
+    retained = alive
+    scores = np.where(retained, partial, 0)
+    return BSFResult(
+        retained=retained,
+        planes_processed=planes_processed,
+        scores=scores,
+        bit_plane_loads=loads,
+        effective_bit_ops=eff_ops,
+        naive_bit_ops=naive_ops,
+    )
+
+
+def bsf_filter_fast_heads(
+    q_int: np.ndarray,
+    key_planes: BitPlanes,
+    guards: np.ndarray,
+    allowed: Optional[np.ndarray] = None,
+    protect: Optional[np.ndarray] = None,
+) -> BSFResult:
+    """Head-batched fused filter: one einsum covers every head per round.
+
+    The multi-head extension of :func:`bsf_filter_fast` the serving engine
+    dispatches on.  ``q_int`` has shape ``(Hh, P, H)``, ``key_planes``
+    value shape ``(Hh, S, H)`` (one Key matrix per head), and ``guards``
+    one integer-unit guard per head (heads quantize independently, so the
+    logit→integer conversion differs per head).  ``allowed`` / ``protect``
+    may be ``(Hh, P, S)`` or any shape broadcastable to it (e.g. a shared
+    causal ``(P, S)`` mask).
+
+    The per-(head, row) threshold recursion is exactly the single-head fast
+    path's, so the result fields match a per-head loop over
+    :func:`bsf_filter_fast` bit for bit; the returned :class:`BSFResult`
+    carries ``(Hh, P, S)`` arrays.
+    """
+    q = np.asarray(q_int, dtype=np.int64)
+    if q.ndim != 3:
+        raise ValueError(f"expected (heads, rows, dim) queries, got shape {q.shape}")
+    num_heads, num_rows, head_dim = q.shape
+    vshape = key_planes.value_shape
+    if len(vshape) != 3 or vshape[0] != num_heads or vshape[2] != head_dim:
+        raise ValueError(
+            f"key planes value shape {vshape} does not match "
+            f"({num_heads}, S, {head_dim}) queries"
+        )
+    bits = key_planes.bits
+    num_keys = key_planes.value_shape[1]
+    guards = np.broadcast_to(np.asarray(guards, dtype=np.float64), (num_heads,))
+
+    lut = build_bui_lut(q.reshape(num_heads * num_rows, head_dim), bits=bits)
+    i_min = lut.i_min.reshape(num_heads, num_rows, bits + 1)
+    i_max = lut.i_max.reshape(num_heads, num_rows, bits + 1)
+    weights = plane_weights(bits)
+
+    shape = (num_heads, num_rows, num_keys)
+    if allowed is None:
+        alive = np.ones(shape, dtype=bool)
+    else:
+        alive = np.broadcast_to(np.asarray(allowed, dtype=bool), shape).copy()
+    if protect is None:
+        protected = np.zeros(shape, dtype=bool)
+    else:
+        protected = np.broadcast_to(np.asarray(protect, dtype=bool), shape)
+
+    partial = np.zeros(shape, dtype=np.int64)
+    planes_processed = np.zeros(shape, dtype=np.int64)
+    max_lb = np.full((num_heads, num_rows), -np.inf)
+    finite_guard = np.isfinite(guards)
+
+    loads = 0
+    eff_ops = 0
+    naive_ops = 0
+
+    # Column compaction: once a key is pruned for every (head, row) it can
+    # never contribute again, so later rounds gather only the surviving
+    # candidate columns — the vectorized analogue of the reference row
+    # kernel's shrinking alive-index set.  Results are unaffected; only the
+    # dead-column work is skipped.
+    cols = np.arange(num_keys)
+    for r in range(bits):
+        active_cols = np.flatnonzero(alive[:, :, cols].any(axis=(0, 1)))
+        if active_cols.size == 0:
+            break
+        if active_cols.size < cols.size:
+            cols = cols[active_cols]
+        alive_c = alive[:, :, cols]
+        plane = key_planes.planes[r][:, cols, :]  # (Hh, S', H) uint8
+        delta = np.einsum("hpd,hsd->hps", q, plane, dtype=np.int64)
+        sub = partial[:, :, cols]
+        sub = np.where(alive_c, sub + weights[r] * delta, sub)
+        partial[:, :, cols] = sub
+        planes_processed[:, :, cols] = np.where(alive_c, r + 1, planes_processed[:, :, cols])
+        loads += int(alive_c.sum())
+        pc = plane.sum(axis=2, dtype=np.int64)  # (Hh, S')
+        eff = np.minimum(pc, head_dim - pc)
+        eff_ops += int((eff[:, None, :] * alive_c).sum())
+        naive_ops += int((pc[:, None, :] * alive_c).sum())
+
+        lb = sub + i_min[:, :, r + 1][:, :, None]
+        ub = sub + i_max[:, :, r + 1][:, :, None]
+        lb_masked = np.where(alive_c, lb, -np.inf)
+        max_lb = np.maximum(max_lb, lb_masked.max(axis=2, initial=-np.inf))
+        threshold = np.where(finite_guard[:, None], max_lb - guards[:, None], -np.inf)
+        keep = (ub >= threshold[:, :, None]) | protected[:, :, cols]
+        alive[:, :, cols] = alive_c & keep
 
     retained = alive
     scores = np.where(retained, partial, 0)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 __all__ = ["PadeConfig"]
 
@@ -37,6 +38,13 @@ class PadeConfig:
         Keys always retained regardless of the filter (attention-sink
         protection; 0 disables).  The paper's head-tail update strategy
         leans on the same locality prior.
+    backend:
+        Name of the kernel backend running the fused filter
+        (``"reference"`` / ``"fast"`` or any registered third-party
+        backend).  ``None`` defers to the registry's precedence chain
+        (session default, then ``$REPRO_BACKEND``, then ``"fast"``) — see
+        :mod:`repro.core.backend`.  Backends are result-identical; this
+        only selects the loop structure.
     """
 
     bits: int = 8
@@ -48,6 +56,7 @@ class PadeConfig:
     causal: bool = False
     sink_tokens: int = 0
     recent_tokens: int = 0
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:

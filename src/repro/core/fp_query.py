@@ -20,7 +20,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.core.bsf import BSFRowResult, bsf_filter_row
+from repro.core.bsf import BSFRowResult
 from repro.quant.bitplane import BitPlanes
 
 __all__ = ["AlignedQuery", "align_query", "fp_bsf_filter_row"]
@@ -64,6 +64,7 @@ def fp_bsf_filter_row(
     guard_logits: float,
     logit_scale_k: float,
     mantissa_bits: int = 12,
+    backend=None,
 ) -> Tuple[BSFRowResult, AlignedQuery]:
     """Run the fused filter with an FP query row.
 
@@ -80,7 +81,12 @@ def fp_bsf_filter_row(
         K scale divided by sqrt(H) — the query side is exact by alignment.
     mantissa_bits:
         Mantissa width of the alignment (wider = less truncation).
+    backend:
+        Kernel backend name or instance; ``None`` resolves via the
+        registry (:mod:`repro.core.backend`).
     """
+    from repro.core.backend import get_backend
+
     aligned = align_query(np.asarray(q_row_fp, dtype=np.float64), mantissa_bits)
     head_dim = key_planes.value_shape[1]
     scale = (2.0 ** aligned.exponent) * logit_scale_k
@@ -94,5 +100,5 @@ def fp_bsf_filter_row(
         k_max = (1 << (key_planes.bits - 1)) - 1
         trunc_int = aligned.truncation_error / (2.0 ** aligned.exponent)
         guard_int += 2.0 * head_dim * k_max * trunc_int
-    res = bsf_filter_row(aligned.mantissa, key_planes, guard_int)
+    res = get_backend(backend).filter_row(aligned.mantissa, key_planes, guard_int)
     return res, aligned

@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.core.bui import build_bui_lut
 from repro.core.bui_gf import GuardedFilter
-from repro.core.bsf import bsf_filter_row
 from repro.quant.bitplane import BitPlanes
 
 __all__ = ["ISTAResult", "ISTAStats", "head_tail_order", "ista_attention_row", "ista_attention"]
@@ -150,6 +149,7 @@ def ista_attention_row(
     interleave: bool = True,
     allowed: Optional[np.ndarray] = None,
     protect: Optional[np.ndarray] = None,
+    backend=None,
 ) -> ISTAResult:
     """Run ISTA for one query row.
 
@@ -174,7 +174,13 @@ def ista_attention_row(
         Use the head-tail interleaved order; ``False`` = left-to-right.
     allowed / protect:
         Candidate mask / always-keep mask over keys.
+    backend:
+        Kernel backend name or instance running the fused filter; ``None``
+        resolves via the registry (:mod:`repro.core.backend`).
     """
+    from repro.core.backend import get_backend
+
+    kernel = get_backend(backend)
     q = np.asarray(q_row_int, dtype=np.int64)
     num_keys = key_planes.value_shape[0]
     values = np.asarray(values, dtype=np.float64)
@@ -212,7 +218,7 @@ def ista_attention_row(
     for block_idx in _iter_key_blocks(allowed_idx, block, interleave):
         mask = np.zeros(num_keys, dtype=bool)
         mask[block_idx] = True
-        res = bsf_filter_row(
+        res = kernel.filter_row(
             q, key_planes, guard, lut=lut, allowed=mask, protect=protected, gfilter=gfilter
         )
         stats.bit_plane_loads += res.bit_plane_loads
@@ -239,6 +245,7 @@ def ista_attention(
     interleave: bool = True,
     allowed: Optional[np.ndarray] = None,
     protect: Optional[np.ndarray] = None,
+    backend=None,
 ) -> ISTAResult:
     """Batched ISTA over ``P`` query rows (outer loop of Fig. 10c).
 
@@ -268,6 +275,7 @@ def ista_attention(
             interleave=interleave,
             allowed=row_mask(allowed, i),
             protect=row_mask(protect, i),
+            backend=backend,
         )
         outputs[i] = res.output
         retained[i] = res.retained

@@ -63,14 +63,31 @@ def multibit_filter_row(
     lut: Optional[BUILookupTable] = None,
     allowed: Optional[np.ndarray] = None,
     protect: Optional[np.ndarray] = None,
+    backend=None,
 ) -> MultiBitResult:
     """Fused filter consuming ``group`` bit planes per decision round.
 
     Semantics match :func:`repro.core.bsf.bsf_filter_row` with decisions
     made only at plane counts that are multiples of ``group``; with
-    ``group=1`` the two are identical (tested invariant).
+    ``group=1`` the two are identical (tested invariant), and that case is
+    dispatched to the configured kernel backend
+    (:mod:`repro.core.backend`) rather than re-implemented here.
     """
     q = np.asarray(q_row, dtype=np.int64)
+    if group == 1:
+        from repro.core.backend import get_backend
+
+        res = get_backend(backend).filter_row(
+            q, key_planes, guard, lut=lut, allowed=allowed, protect=protect
+        )
+        return MultiBitResult(
+            retained=res.retained,
+            planes_processed=res.planes_processed,
+            scores=res.scores,
+            bit_plane_loads=res.bit_plane_loads,
+            decision_rounds=int(res.threshold_trace.size),
+            group=1,
+        )
     bits = key_planes.bits
     if bits % group != 0:
         raise ValueError(f"group {group} must divide operand bits {bits}")
@@ -121,6 +138,7 @@ def multibit_filter(
     guard: float,
     group: int = 2,
     allowed: Optional[np.ndarray] = None,
+    backend=None,
 ) -> "list[MultiBitResult]":
     """Batched grouped filter (one result per query row)."""
     q = np.atleast_2d(np.asarray(q_int, dtype=np.int64))
@@ -135,6 +153,8 @@ def multibit_filter(
             arr = np.asarray(allowed, dtype=bool)
             mask = arr[i] if arr.ndim == 2 else arr
         results.append(
-            multibit_filter_row(q[i], key_planes, guard, group=group, lut=row_lut, allowed=mask)
+            multibit_filter_row(
+                q[i], key_planes, guard, group=group, lut=row_lut, allowed=mask, backend=backend
+            )
         )
     return results

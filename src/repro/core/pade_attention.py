@@ -156,6 +156,7 @@ def pade_attention(
         interleave=cfg.head_tail_interleave,
         allowed=allowed,
         protect=protect,
+        backend=cfg.backend,
     )
     return PadeAttentionResult(
         output=res.output,

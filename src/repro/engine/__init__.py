@@ -1,0 +1,32 @@
+"""Batched multi-head serving layer for PADE sparse attention.
+
+* :mod:`repro.engine.cache` — persistent per-head bit-plane KV cache
+  (decompose once at prefill, extend incrementally each decode step).
+* :mod:`repro.engine.engine` — :class:`PadeEngine`: multi-head attention
+  over model presets with per-head guards, a head-batched filter round
+  (one einsum covers all heads), and aggregate serving statistics.
+* :mod:`repro.engine.scheduler` — request admission + lockstep decode
+  rounds batching concurrent requests.
+
+Quickstart (synthetic single-layer decode)::
+
+    from repro.engine import EngineRequest, PadeEngine
+    engine = PadeEngine(backend="fast")
+    engine.submit(EngineRequest("req0", k, v, decode_q=q, decode_k=dk, decode_v=dv))
+    results = engine.run()
+    out = results["req0"].decode_outputs        # (H, T, Dv)
+"""
+
+from repro.engine.cache import BitPlaneKVCache
+from repro.engine.engine import EngineAttentionResult, EngineStats, PadeEngine
+from repro.engine.scheduler import EngineRequest, EngineScheduler, RequestResult
+
+__all__ = [
+    "BitPlaneKVCache",
+    "PadeEngine",
+    "EngineAttentionResult",
+    "EngineStats",
+    "EngineRequest",
+    "EngineScheduler",
+    "RequestResult",
+]

@@ -1,0 +1,180 @@
+"""Persistent multi-head bit-plane KV cache for the serving engine.
+
+The per-call operator (:func:`repro.core.pade_attention.pade_attention`)
+re-quantizes K and re-decomposes its bit planes on every invocation — fine
+for one-shot figure generation, ruinous for decode serving where the same
+cache is filtered thousands of times.  This module keeps the decomposed
+planes *resident*: keys are quantized and decomposed exactly once when they
+enter the cache (prefill bulk, decode appends), and every subsequent filter
+round reads the stored planes directly.
+
+Two serving-specific choices:
+
+* **Frozen scales.**  Per-head quantization scales are calibrated on the
+  prefill keys and frozen; decode appends are quantized with the same
+  scale (clipping outliers).  This matches static-scale deployment and is
+  what makes incremental decomposition sound — a rescale would invalidate
+  every stored plane.
+* **Head-major layout.**  Planes are stored as one ``(bits, H, S, D)``
+  array so the head-batched kernel
+  (:func:`repro.core.bsf_fast.bsf_filter_fast_heads`) can consume a round
+  for all heads with a single einsum, no per-call stacking.
+
+Capacity grows by doubling, so a decode loop's per-step append cost is
+amortized O(1) rows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.bitplane import BitPlanes, decompose_bitplanes
+from repro.quant.integer import quantize_symmetric
+
+__all__ = ["BitPlaneKVCache"]
+
+
+class BitPlaneKVCache:
+    """Appendable per-head Key bit planes + float Values for one sequence.
+
+    Attributes
+    ----------
+    num_heads / head_dim / v_dim:
+        Shapes of the cached tensors.
+    bits:
+        Operand bit width of the stored planes.
+    rows_decomposed:
+        Total (head, token) rows ever decomposed — the work a per-call
+        pipeline would redo every step, counted once here.
+    appends:
+        Number of incremental ``append`` calls since prefill.
+    """
+
+    def __init__(self, num_heads: int, head_dim: int, v_dim: int, bits: int = 8) -> None:
+        if num_heads < 1 or head_dim < 1 or v_dim < 1:
+            raise ValueError("num_heads, head_dim and v_dim must be positive")
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.v_dim = v_dim
+        self.bits = bits
+        self._length = 0
+        self._capacity = 0
+        self._planes: Optional[np.ndarray] = None  # (bits, H, cap, D) uint8
+        self._k_int: Optional[np.ndarray] = None  # (H, cap, D) int64
+        self._values: Optional[np.ndarray] = None  # (H, cap, Dv) float64
+        self._scales: Optional[np.ndarray] = None  # (H,) frozen at prefill
+        self.rows_decomposed = 0
+        self.appends = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of cached tokens."""
+        return self._length
+
+    @property
+    def scales(self) -> np.ndarray:
+        """Frozen per-head K quantization scales (set by :meth:`prefill`)."""
+        if self._scales is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return self._scales
+
+    @property
+    def planes(self) -> BitPlanes:
+        """View of the cached planes, value shape ``(H, length, D)``."""
+        if self._planes is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return BitPlanes(planes=self._planes[:, :, : self._length, :], bits=self.bits)
+
+    @property
+    def values(self) -> np.ndarray:
+        """View of the cached V rows, shape ``(H, length, Dv)``."""
+        if self._values is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return self._values[:, : self._length, :]
+
+    @property
+    def k_int(self) -> np.ndarray:
+        """View of the cached integer keys, shape ``(H, length, D)``."""
+        if self._k_int is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return self._k_int[:, : self._length, :]
+
+    # ------------------------------------------------------------------
+    def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Quantize, decompose and store the prompt keys/values.
+
+        ``k`` has shape ``(H, S, D)`` and ``v`` shape ``(H, S, Dv)``.  May
+        only be called once per cache; per-head scales are calibrated here
+        and frozen for all later appends.
+        """
+        if self._length:
+            raise RuntimeError("prefill() may only be called on an empty cache")
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if k.shape[:1] + k.shape[2:] != (self.num_heads, self.head_dim):
+            raise ValueError(f"expected K shape ({self.num_heads}, S, {self.head_dim}), got {k.shape}")
+        if v.shape != (self.num_heads, k.shape[1], self.v_dim):
+            raise ValueError(f"expected V shape ({self.num_heads}, {k.shape[1]}, {self.v_dim}), got {v.shape}")
+        seq_len = k.shape[1]
+        quantized = [quantize_symmetric(k[h], bits=self.bits) for h in range(self.num_heads)]
+        self._scales = np.array([float(qh.scale) for qh in quantized])
+        k_int = np.stack([qh.data for qh in quantized])  # (H, S, D)
+        bp = decompose_bitplanes(k_int, bits=self.bits)
+
+        self._reserve(max(seq_len, 1))
+        self._planes[:, :, :seq_len, :] = bp.planes
+        self._k_int[:, :seq_len, :] = k_int
+        self._values[:, :seq_len, :] = v
+        self._length = seq_len
+        self.rows_decomposed += self.num_heads * seq_len
+
+    def append(self, k_step: np.ndarray, v_step: np.ndarray) -> None:
+        """Add one token per head, decomposing only the new rows.
+
+        ``k_step`` has shape ``(H, D)`` and ``v_step`` shape ``(H, Dv)``.
+        Uses the frozen prefill scales, so the stored planes of earlier
+        tokens stay valid untouched.
+        """
+        if self._scales is None:
+            raise RuntimeError("append() requires a prefilled cache")
+        k_step = np.asarray(k_step, dtype=np.float64)
+        v_step = np.asarray(v_step, dtype=np.float64)
+        if k_step.shape != (self.num_heads, self.head_dim):
+            raise ValueError(f"expected K step shape ({self.num_heads}, {self.head_dim}), got {k_step.shape}")
+        if v_step.shape != (self.num_heads, self.v_dim):
+            raise ValueError(f"expected V step shape ({self.num_heads}, {self.v_dim}), got {v_step.shape}")
+        self._reserve(self._length + 1)
+        k_int = np.stack(
+            [
+                quantize_symmetric(k_step[h], bits=self.bits, scale=self._scales[h]).data
+                for h in range(self.num_heads)
+            ]
+        )  # (H, D)
+        bp = decompose_bitplanes(k_int, bits=self.bits)  # (bits, H, D)
+        pos = self._length
+        self._planes[:, :, pos, :] = bp.planes
+        self._k_int[:, pos, :] = k_int
+        self._values[:, pos, :] = v_step
+        self._length = pos + 1
+        self.rows_decomposed += self.num_heads
+        self.appends += 1
+
+    # ------------------------------------------------------------------
+    def _reserve(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        new_cap = max(needed, max(1, self._capacity) * 2)
+        planes = np.zeros((self.bits, self.num_heads, new_cap, self.head_dim), dtype=np.uint8)
+        k_int = np.zeros((self.num_heads, new_cap, self.head_dim), dtype=np.int64)
+        values = np.zeros((self.num_heads, new_cap, self.v_dim), dtype=np.float64)
+        if self._length:
+            planes[:, :, : self._length, :] = self._planes[:, :, : self._length, :]
+            k_int[:, : self._length, :] = self._k_int[:, : self._length, :]
+            values[:, : self._length, :] = self._values[:, : self._length, :]
+        self._planes = planes
+        self._k_int = k_int
+        self._values = values
+        self._capacity = new_cap

@@ -1,0 +1,289 @@
+"""`PadeEngine` — batched multi-head serving layer over the fused filter.
+
+Where :func:`repro.core.pade_attention.pade_attention` is a one-shot,
+single-head operator (quantize → decompose → filter → attend, everything
+rebuilt per call), the engine is the layer a serving stack talks to:
+
+* **multi-head, multi-layer**: attention runs with per-head quantization
+  scales and guards; :meth:`PadeEngine.new_model_caches` shapes one cache
+  per layer from a model preset
+  (:class:`repro.model.configs.ModelConfig`), so one engine serves a
+  whole stack;
+* **persistent bit-plane cache**: Key planes are decomposed once at
+  prefill (:class:`repro.engine.cache.BitPlaneKVCache`) and extended
+  incrementally each decode step, never rebuilt;
+* **head-batched fast path**: each filter round covers all heads with one
+  einsum via ``KernelBackend.filter_heads`` (the ``"fast"`` backend
+  dispatches :func:`repro.core.bsf_fast.bsf_filter_fast_heads`);
+* **request scheduling**: :meth:`PadeEngine.submit` /
+  :meth:`PadeEngine.run` batch prefill admission and decode rounds across
+  concurrent requests (see :mod:`repro.engine.scheduler`).
+
+The engine's retained sets are backend-invariant: running the same
+workload under ``"reference"`` and ``"fast"`` produces byte-identical
+retention (asserted by ``benchmarks/bench_engine.py`` and the engine
+tests), so backend choice is purely a throughput knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.backend import KernelBackend, get_backend
+from repro.core.bui_gf import guard_in_int_units
+from repro.core.config import PadeConfig
+from repro.core.pade_attention import causal_allowed, protection_mask
+from repro.engine.cache import BitPlaneKVCache
+from repro.quant.integer import quantize_symmetric
+
+__all__ = ["EngineStats", "EngineAttentionResult", "PadeEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters over everything an engine instance has served."""
+
+    prefill_tokens: int = 0
+    decode_steps: int = 0
+    filter_calls: int = 0
+    bit_plane_loads: int = 0
+    effective_bit_ops: int = 0
+    naive_bit_ops: int = 0
+    retained_keys: int = 0
+    candidate_keys: int = 0
+    rows_decomposed: int = 0  # quantize+decompose work actually performed
+    rows_reused: int = 0  # cache hits a per-call pipeline would re-decompose
+
+    @property
+    def sparsity(self) -> float:
+        if self.candidate_keys == 0:
+            return 0.0
+        return 1.0 - self.retained_keys / self.candidate_keys
+
+    @property
+    def decomposition_reuse(self) -> float:
+        """Fraction of consumed K rows served from the plane cache."""
+        total = self.rows_decomposed + self.rows_reused
+        return self.rows_reused / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class EngineAttentionResult:
+    """One engine attention call: all heads of one layer, one query block.
+
+    ``output`` has shape ``(H, P, Dv)``, ``retained`` and ``scores``
+    shape ``(H, P, S)``; ``logit_scales`` / ``guards`` are the per-head
+    integer-unit parameters the filter actually used; ``candidate_keys``
+    counts the (head, query, key) pairs the masks made eligible.
+    """
+
+    output: np.ndarray
+    retained: np.ndarray
+    scores: np.ndarray
+    logit_scales: np.ndarray
+    guards: np.ndarray
+    candidate_keys: int
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of *candidate* pairs pruned (disallowed pairs — e.g.
+        causally masked — are never candidates, matching
+        :class:`~repro.core.bsf.BSFResult` semantics)."""
+        if self.candidate_keys == 0:
+            return 0.0
+        return 1.0 - float(self.retained.sum()) / self.candidate_keys
+
+
+class PadeEngine:
+    """Batched multi-head PADE attention with a resident bit-plane cache.
+
+    Parameters
+    ----------
+    config:
+        Algorithm parameters (bits, alpha, radius, sink/recency
+        protection).  ``config.backend`` participates in backend
+        resolution unless ``backend`` is passed explicitly.
+    backend:
+        Kernel backend name or instance; overrides ``config.backend``.
+    max_active:
+        Decode-round batch width of the scheduler — how many requests may
+        be in flight at once (see :meth:`run`).
+    """
+
+    def __init__(
+        self,
+        config: Optional[PadeConfig] = None,
+        backend: Optional[Union[str, KernelBackend]] = None,
+        max_active: int = 8,
+    ) -> None:
+        self.config = config or PadeConfig.standard()
+        self.kernel: KernelBackend = get_backend(
+            backend if backend is not None else self.config.backend
+        )
+        self.stats = EngineStats()
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        from repro.engine.scheduler import EngineScheduler
+
+        self._scheduler = EngineScheduler(self, max_active=max_active)
+
+    # ------------------------------------------------------------------
+    # Low-level per-layer operations
+    # ------------------------------------------------------------------
+    def new_cache(self, num_heads: int, head_dim: int, v_dim: int) -> BitPlaneKVCache:
+        """Create an empty cache shaped for one layer of this engine."""
+        return BitPlaneKVCache(num_heads, head_dim, v_dim, bits=self.config.bits)
+
+    def new_model_caches(self, model, v_dim: Optional[int] = None) -> List[BitPlaneKVCache]:
+        """One empty cache per layer of a model preset.
+
+        ``model`` is a :class:`repro.model.configs.ModelConfig` or preset
+        name; caches are shaped for the model's KV heads (GQA models cache
+        ``num_kv_heads``, not ``num_heads``).  Prefill/decode each layer's
+        cache with that layer's K/V to serve the whole stack from one
+        engine.
+        """
+        from repro.model.configs import get_model
+
+        cfg = get_model(model) if isinstance(model, str) else model
+        dim = cfg.head_dim if v_dim is None else v_dim
+        return [
+            self.new_cache(cfg.num_kv_heads, cfg.head_dim, dim)
+            for _ in range(cfg.num_layers)
+        ]
+
+    def attend(
+        self,
+        cache: BitPlaneKVCache,
+        q: np.ndarray,
+        query_offset: Optional[int] = None,
+    ) -> EngineAttentionResult:
+        """Attend a query block against the cached keys for every head.
+
+        ``q`` has shape ``(H, P, D)``.  ``query_offset`` positions the
+        block inside the sequence for causal/recency masks; it defaults to
+        ``length - P`` (the trailing block, i.e. the prefill/decode case).
+        """
+        cfg = self.config
+        q = np.asarray(q, dtype=np.float64)
+        if q.ndim != 3 or q.shape[0] != cache.num_heads or q.shape[2] != cache.head_dim:
+            raise ValueError(
+                f"expected queries ({cache.num_heads}, P, {cache.head_dim}), got {q.shape}"
+            )
+        num_heads, num_queries, head_dim = q.shape
+        seq_len = cache.length
+        offset = seq_len - num_queries if query_offset is None else query_offset
+
+        q_quant = [quantize_symmetric(q[h], bits=cfg.bits) for h in range(num_heads)]
+        q_int = np.stack([qh.data for qh in q_quant])
+        q_scales = np.array([float(qh.scale) for qh in q_quant])
+        logit_scales = q_scales * cache.scales
+        if cfg.scale_logits:
+            logit_scales = logit_scales / np.sqrt(head_dim)
+        guards = np.array(
+            [guard_in_int_units(cfg.alpha, cfg.radius, float(s)) for s in logit_scales]
+        )
+
+        allowed = causal_allowed(num_queries, seq_len, offset) if cfg.causal else None
+        protect = protection_mask(
+            num_queries, seq_len, cfg.sink_tokens, cfg.recent_tokens, offset
+        )
+
+        res = self.kernel.filter_heads(
+            q_int, cache.planes, guards, allowed=allowed, protect=protect
+        )
+
+        # Retained scores are exact integer Q·K products; fold them through
+        # a masked softmax and the cached V rows.
+        logits = res.scores.astype(np.float64) * logit_scales[:, None, None]
+        logits = np.where(res.retained, logits, -np.inf)
+        row_max = logits.max(axis=2, keepdims=True)
+        row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+        probs = np.exp(logits - row_max)
+        denom = probs.sum(axis=2, keepdims=True)
+        probs = np.divide(probs, denom, out=np.zeros_like(probs), where=denom > 0)
+        output = np.einsum("hps,hsd->hpd", probs, cache.values)
+
+        candidates = (
+            int(np.broadcast_to(allowed, res.retained.shape).sum())
+            if allowed is not None
+            else res.retained.size
+        )
+        self.stats.filter_calls += 1
+        self.stats.bit_plane_loads += res.bit_plane_loads
+        self.stats.effective_bit_ops += res.effective_bit_ops
+        self.stats.naive_bit_ops += res.naive_bit_ops
+        self.stats.retained_keys += int(res.retained.sum())
+        self.stats.candidate_keys += candidates
+        return EngineAttentionResult(
+            output=output,
+            retained=res.retained,
+            scores=res.scores,
+            logit_scales=logit_scales,
+            guards=guards,
+            candidate_keys=candidates,
+        )
+
+    def prefill(
+        self,
+        cache: BitPlaneKVCache,
+        k: np.ndarray,
+        v: np.ndarray,
+        q: Optional[np.ndarray] = None,
+    ) -> Optional[EngineAttentionResult]:
+        """Populate a cache from prompt K/V and optionally attend ``q``.
+
+        This is the only place the bulk decomposition cost is paid; every
+        later :meth:`decode_step` reuses the stored planes.
+        """
+        before = cache.rows_decomposed
+        cache.prefill(k, v)
+        self.stats.prefill_tokens += cache.length
+        self.stats.rows_decomposed += cache.rows_decomposed - before
+        if q is None:
+            return None
+        return self.attend(cache, q)
+
+    def decode_step(
+        self,
+        cache: BitPlaneKVCache,
+        q: np.ndarray,
+        k_step: np.ndarray,
+        v_step: np.ndarray,
+    ) -> EngineAttentionResult:
+        """One autoregressive step: extend the cache, attend the new query.
+
+        ``q`` / ``k_step`` have shape ``(H, D)`` and ``v_step`` ``(H, Dv)``
+        — one token per head.  Only the appended token is decomposed; the
+        other ``H × (S-1)`` rows come straight from the plane cache (the
+        reuse a per-call pipeline forfeits).
+        """
+        cache.append(k_step, v_step)
+        self.stats.decode_steps += 1
+        self.stats.rows_decomposed += cache.num_heads
+        self.stats.rows_reused += cache.num_heads * (cache.length - 1)
+        return self.attend(cache, np.asarray(q, dtype=np.float64)[:, None, :])
+
+    # ------------------------------------------------------------------
+    # Request-level scheduling (delegates to the scheduler)
+    # ------------------------------------------------------------------
+    def submit(self, request) -> None:
+        """Queue an :class:`~repro.engine.scheduler.EngineRequest`."""
+        self._scheduler.submit(request)
+
+    def run(self):
+        """Serve every queued request to completion (batched rounds).
+
+        Returns ``{request_id: RequestResult}``; see
+        :class:`repro.engine.scheduler.EngineScheduler` for the admission
+        and round-robin policy.
+        """
+        return self._scheduler.run()
+
+    @property
+    def schedule_trace(self):
+        """Chronological ``(event, request_ids)`` log of the last run."""
+        return self._scheduler.trace

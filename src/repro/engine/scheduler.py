@@ -1,0 +1,181 @@
+"""Request-level scheduling for :class:`repro.engine.engine.PadeEngine`.
+
+Serving traffic arrives as *requests*: a prompt to prefill, then a stream
+of decode steps.  The scheduler batches them the way the hardware model
+wants to see them:
+
+* **admission** — queued requests are admitted in arrival order while
+  fewer than ``max_active`` are in flight; admission performs the one-time
+  prefill (bulk quantize + plane decomposition).
+* **decode rounds** — every active request advances one decode step per
+  round, so cache appends stay in lockstep and each request's heads are
+  batched through one ``filter_heads`` call per round.
+* **completion** — a request finishes when its decode stream is
+  exhausted; its slot is refilled at the next round boundary.
+
+Since the offline substrate has no real model producing Q/K/V on the fly,
+a request carries its decode-step tensors up front (synthesized or
+replayed); the engine consumes them step by step exactly as a model
+runtime would hand them over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["EngineRequest", "RequestResult", "EngineScheduler"]
+
+
+@dataclass(frozen=True)
+class EngineRequest:
+    """One serving request: prompt K/V (+ optional prompt queries) and the
+    per-step decode tensors.
+
+    Shapes: ``k``/``v`` are ``(H, S, D)`` / ``(H, S, Dv)``;
+    ``q_prompt`` is ``(H, P, D)`` or ``None``; the decode streams are
+    ``(H, T, D)`` / ``(H, T, D)`` / ``(H, T, Dv)`` with a shared step
+    count ``T`` (``None`` for prefill-only requests).
+    """
+
+    request_id: str
+    k: np.ndarray
+    v: np.ndarray
+    q_prompt: Optional[np.ndarray] = None
+    decode_q: Optional[np.ndarray] = None
+    decode_k: Optional[np.ndarray] = None
+    decode_v: Optional[np.ndarray] = None
+
+    @property
+    def decode_steps(self) -> int:
+        return 0 if self.decode_q is None else self.decode_q.shape[1]
+
+    def __post_init__(self) -> None:
+        streams = (self.decode_q, self.decode_k, self.decode_v)
+        present = [s for s in streams if s is not None]
+        if present and len(present) != 3:
+            raise ValueError("decode_q/decode_k/decode_v must be provided together")
+        if present and len({s.shape[1] for s in present}) != 1:
+            raise ValueError("decode streams must share the same step count")
+
+
+@dataclass
+class RequestResult:
+    """Everything the engine produced for one completed request."""
+
+    request_id: str
+    prefill_output: Optional[np.ndarray]  # (H, P, Dv) or None
+    decode_outputs: np.ndarray  # (H, T, Dv), T may be 0
+    retained_history: List[np.ndarray] = field(default_factory=list)  # per step (H, S_t)
+    final_length: int = 0
+
+    @property
+    def steps(self) -> int:
+        return len(self.retained_history)
+
+    def retained_bytes(self) -> bytes:
+        """Canonical byte encoding of every step's retained-token set.
+
+        Used to assert backend invariance: two runs retain byte-identical
+        token sets iff these encodings compare equal.
+        """
+        return b"".join(np.packbits(r.astype(np.uint8)).tobytes() for r in self.retained_history)
+
+
+@dataclass
+class _RequestState:
+    request: EngineRequest
+    cache: object
+    prefill_output: Optional[np.ndarray] = None
+    outputs: List[np.ndarray] = field(default_factory=list)
+    retained_history: List[np.ndarray] = field(default_factory=list)
+    next_step: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.next_step >= self.request.decode_steps
+
+
+class EngineScheduler:
+    """FIFO admission + lockstep decode rounds over one engine."""
+
+    def __init__(self, engine, max_active: int = 8) -> None:
+        self.engine = engine
+        self.max_active = max_active
+        self.queued: List[EngineRequest] = []
+        self.active: List[_RequestState] = []
+        self.trace: List[Tuple[str, Tuple[str, ...]]] = []
+
+    # ------------------------------------------------------------------
+    def submit(self, request: EngineRequest) -> None:
+        in_flight = [r.request_id for r in self.queued]
+        in_flight += [s.request.request_id for s in self.active]
+        if request.request_id in in_flight:
+            raise ValueError(f"request id {request.request_id!r} already queued")
+        self.queued.append(request)
+
+    def _admit(self) -> None:
+        while self.queued and len(self.active) < self.max_active:
+            request = self.queued.pop(0)
+            num_heads, _, head_dim = np.asarray(request.k).shape
+            v_dim = np.asarray(request.v).shape[2]
+            cache = self.engine.new_cache(num_heads, head_dim, v_dim)
+            res = self.engine.prefill(cache, request.k, request.v, q=request.q_prompt)
+            state = _RequestState(request=request, cache=cache)
+            if res is not None:
+                state.prefill_output = res.output
+            self.active.append(state)
+            self.trace.append(("prefill", (request.request_id,)))
+
+    def _decode_round(self) -> None:
+        round_ids = []
+        for state in self.active:
+            if state.done:
+                continue
+            t = state.next_step
+            req = state.request
+            res = self.engine.decode_step(
+                state.cache, req.decode_q[:, t, :], req.decode_k[:, t, :], req.decode_v[:, t, :]
+            )
+            state.outputs.append(res.output[:, 0, :])
+            state.retained_history.append(res.retained[:, 0, :])
+            state.next_step = t + 1
+            round_ids.append(req.request_id)
+        if round_ids:
+            self.trace.append(("decode_round", tuple(round_ids)))
+
+    def _collect(self, results: Dict[str, RequestResult]) -> None:
+        still_active = []
+        for state in self.active:
+            if not state.done:
+                still_active.append(state)
+                continue
+            req = state.request
+            if state.outputs:
+                decode_outputs = np.stack(state.outputs, axis=1)  # (H, T, Dv)
+            else:
+                num_heads = np.asarray(req.k).shape[0]
+                v_dim = np.asarray(req.v).shape[2]
+                decode_outputs = np.zeros((num_heads, 0, v_dim))
+            results[req.request_id] = RequestResult(
+                request_id=req.request_id,
+                prefill_output=state.prefill_output,
+                decode_outputs=decode_outputs,
+                retained_history=state.retained_history,
+                final_length=state.cache.length,
+            )
+            self.trace.append(("finish", (req.request_id,)))
+        self.active = still_active
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, RequestResult]:
+        """Serve all queued requests to completion; returns per-id results."""
+        self.trace = []
+        results: Dict[str, RequestResult] = {}
+        while self.queued or self.active:
+            self._admit()
+            self._decode_round()
+            self._collect(results)
+        return results

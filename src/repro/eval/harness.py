@@ -34,7 +34,7 @@ from repro.attention.baselines import (
 )
 from repro.attention.dense import attention_scores, softmax
 from repro.attention.masks import causal_mask
-from repro.core.bsf_fast import bsf_filter_fast as bsf_filter
+from repro.core.backend import get_backend, resolve_backend_name
 from repro.core.bui_gf import guard_in_int_units
 from repro.core.config import PadeConfig
 from repro.core.ista import ista_attention_row
@@ -79,7 +79,18 @@ __all__ = [
     "fig25_mx_example",
     "fig26_quantization",
     "fig26_decoding",
+    "engine_decode_profile",
 ]
+
+
+def bsf_filter(q_int, key_planes, guard, allowed=None, protect=None):
+    """Run the fused filter through the configured kernel backend.
+
+    The harness never picks a concrete kernel: the CLI ``--backend`` flag,
+    ``$REPRO_BACKEND``, or the registry default decide (results are
+    backend-invariant, only wall-clock changes).
+    """
+    return get_backend().filter(q_int, key_planes, guard, allowed=allowed, protect=protect)
 
 
 # ---------------------------------------------------------------------------
@@ -910,6 +921,57 @@ def fig26_quantization(seq_len: int = 2048) -> Dict[str, Dict[str, float]]:
             "pade": pade.total_energy_pj / dense.total_energy_pj,
         }
     return out
+
+
+def engine_decode_profile(
+    model_name: str = "llama2-7b",
+    context: int = 512,
+    steps: int = 32,
+    num_heads: int = 8,
+    requests: int = 2,
+) -> Dict[str, float]:
+    """Serving-engine decode profile: cached-plane reuse + filter statistics.
+
+    Runs :class:`repro.engine.PadeEngine` on a synthetic multi-head decode
+    workload (the serving-level view the per-call figure functions lack)
+    and reports the statistics that motivate the engine: how much
+    quantize/decompose work the resident bit-plane cache absorbs, and the
+    sparsity the head-batched filter achieves.  Deterministic — safe for
+    ``--json`` smoke runs.
+    """
+    from repro.engine import PadeEngine
+    from repro.eval.workloads import build_engine_request
+
+    model = get_model(model_name)
+    cfg = PadeConfig.standard()
+    engine = PadeEngine(cfg)
+    for i in range(requests):
+        engine.submit(
+            build_engine_request(
+                f"req{i}", num_heads, context, steps, min(model.head_dim, 64), seed=i
+            )
+        )
+    results = engine.run()
+    stats = engine.stats
+    # A per-call pipeline re-decomposes the whole cache every step.
+    percall_rows = sum(
+        num_heads * (context + t + 1) for t in range(steps)
+    ) * requests + requests * num_heads * context
+    return {
+        "backend": resolve_backend_name(),
+        "requests": float(requests),
+        "decode_steps": float(stats.decode_steps),
+        "final_length": float(next(iter(results.values())).final_length),
+        "sparsity": stats.sparsity,
+        "effective_bit_fraction": (
+            stats.effective_bit_ops / stats.naive_bit_ops if stats.naive_bit_ops else 0.0
+        ),
+        "rows_decomposed": float(stats.rows_decomposed),
+        "rows_reused": float(stats.rows_reused),
+        "decomposition_reuse": stats.decomposition_reuse,
+        "percall_rows_decomposed": float(percall_rows),
+        "decomposition_savings": 1.0 - stats.rows_decomposed / percall_rows,
+    }
 
 
 def fig26_decoding(

@@ -28,6 +28,7 @@ __all__ = [
     "PipelineStats",
     "measure_pipeline_stats",
     "build_attention_workload",
+    "build_engine_request",
 ]
 
 
@@ -169,3 +170,51 @@ def build_attention_workload(
         decode=decode,
     )
     return aw, stats
+
+
+def build_engine_request(
+    request_id: str,
+    num_heads: int,
+    context_len: int,
+    decode_steps: int,
+    head_dim: int,
+    profile: str = "nlp",
+    seed: int = 0,
+    prompt_queries: int = 1,
+):
+    """Synthesize a multi-head decode request for the serving engine.
+
+    Each head gets its own structured attention problem over
+    ``context_len + decode_steps`` positions: the first ``context_len``
+    keys/values form the prompt (with ``prompt_queries`` trailing prompt
+    queries attended at prefill) and the rest become the per-step decode
+    streams, so the engine replays exactly the workload a model runtime
+    would hand over token by token.
+    """
+    from repro.engine import EngineRequest
+
+    rng = np.random.default_rng(seed)
+    prof = PROFILE_PRESETS[profile]
+    total = context_len + decode_steps
+    num_queries = max(1, prompt_queries) + decode_steps
+    qp, k_heads, v_heads, dq, dk, dv = [], [], [], [], [], []
+    for _ in range(num_heads):
+        # Query rows sit at positions total - num_queries .. total - 1, so the
+        # first block is the prompt tail and the rest are the decode steps.
+        q, k, v = synthesize_qkv(num_queries, total, head_dim, prof, rng)
+        split = num_queries - decode_steps
+        qp.append(q[:split])
+        k_heads.append(k[:context_len])
+        v_heads.append(v[:context_len])
+        dq.append(q[split:])
+        dk.append(k[context_len:])
+        dv.append(v[context_len:])
+    return EngineRequest(
+        request_id=request_id,
+        k=np.stack(k_heads),
+        v=np.stack(v_heads),
+        q_prompt=np.stack(qp) if prompt_queries else None,
+        decode_q=np.stack(dq) if decode_steps else None,
+        decode_k=np.stack(dk) if decode_steps else None,
+        decode_v=np.stack(dv) if decode_steps else None,
+    )

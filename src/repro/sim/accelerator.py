@@ -24,7 +24,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.bsf import bsf_filter
+from repro.core.backend import get_backend
 from repro.core.bui_gf import guard_in_int_units
 from repro.core.config import PadeConfig
 from repro.core.ista import ista_attention
@@ -156,6 +156,7 @@ class PadeAccelerator:
             logit_scale /= np.sqrt(head_dim)
 
         # --- Functional pass: retention + plane statistics ---------------
+        kernel = get_backend(cfg.pade.backend)
         if cfg.enable_sparsity:
             guard = guard_in_int_units(cfg.pade.alpha, cfg.pade.radius, logit_scale)
             if cfg.enable_ista:
@@ -164,16 +165,17 @@ class PadeAccelerator:
                     guard, logit_scale,
                     tile_size=cfg.pade.tile_size,
                     interleave=cfg.pade.head_tail_interleave,
+                    backend=kernel,
                 )
                 retained = func.retained
                 rescale_ops = func.stats.rescale_vector_ops
                 # Re-derive per-pair plane counts from a row-wise pass (the
                 # ISTA pass shares them; loads differ only by window order).
-                bsf = bsf_filter(q_int.data, key_planes, guard)
+                bsf = kernel.filter(q_int.data, key_planes, guard)
                 planes = bsf.planes_processed
                 effective_ops = bsf.effective_bit_ops
             else:
-                bsf = bsf_filter(q_int.data, key_planes, guard)
+                bsf = kernel.filter(q_int.data, key_planes, guard)
                 retained = bsf.retained
                 planes = bsf.planes_processed
                 effective_ops = bsf.effective_bit_ops
