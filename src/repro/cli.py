@@ -5,6 +5,7 @@
     python -m repro.cli table2 --json        # machine-readable output
     python -m repro.cli all                  # run everything (slow)
     python -m repro.cli engine               # serving-engine decode profile
+    python -m repro.cli serve --rate 0.5 --budget 2048 --policy fcfs
     python -m repro.cli fig4 --backend reference   # pick the kernel backend
 
 ``--backend`` selects the fused-filter kernel implementation for the whole
@@ -12,6 +13,11 @@ run (``reference`` = Python-loop kernels, ``fast`` = round-vectorized;
 results are identical, only wall-clock differs).  Without the flag the
 ``$REPRO_BACKEND`` environment variable, then the registry default
 (``fast``), applies — see :mod:`repro.core.backend`.
+
+The ``serve`` experiment additionally honors ``--rate`` (mean Poisson
+arrivals per decode round), ``--budget`` (global KV token budget of the
+paged plane pool), and ``--policy`` (``fcfs`` or ``shortest-prompt``
+admission ordering).
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "fig26": (H.fig26_quantization, "Fig.26a: quantization variants"),
     "fig26b": (H.fig26_decoding, "Fig.26b: long-sequence decoding"),
     "engine": (H.engine_decode_profile, "Serving engine: cached-plane decode profile"),
+    "serve": (H.serving_profile, "Serving: continuous batching over the paged plane pool"),
 }
 
 
@@ -104,6 +111,19 @@ def main(argv=None) -> int:
         help="fused-filter kernel backend (default: $REPRO_BACKEND or 'fast'); "
         "backends are result-identical, only speed differs",
     )
+    serve_group = parser.add_argument_group("serve", "flags for the 'serve' experiment")
+    serve_group.add_argument(
+        "--rate", type=float, default=0.4,
+        help="mean Poisson request arrivals per decode round (serve only)",
+    )
+    serve_group.add_argument(
+        "--budget", type=int, default=1536,
+        help="global KV token budget of the paged plane pool (serve only)",
+    )
+    serve_group.add_argument(
+        "--policy", choices=("fcfs", "shortest-prompt"), default="fcfs",
+        help="admission ordering of the continuous scheduler (serve only)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
@@ -120,8 +140,13 @@ def main(argv=None) -> int:
 
     for name in names:
         fn, desc = EXPERIMENTS[name]
+        kwargs = (
+            {"rate": args.rate, "budget": args.budget, "policy": args.policy}
+            if name == "serve"
+            else {}
+        )
         t0 = time.time()
-        data = fn()
+        data = fn(**kwargs)
         elapsed = time.time() - t0
         if args.json:
             print(json.dumps({name: _to_jsonable(data)}, indent=2))

@@ -1,12 +1,17 @@
 """Batched multi-head serving layer for PADE sparse attention.
 
-* :mod:`repro.engine.cache` — persistent per-head bit-plane KV cache
-  (decompose once at prefill, extend incrementally each decode step).
+* :mod:`repro.engine.cache` — persistent per-head bit-plane KV caches:
+  the dense per-sequence :class:`BitPlaneKVCache` and the paged
+  :class:`PagedBitPlaneKVCache` over a shared :class:`PlaneBlockPool`
+  (fixed-size token blocks under a global budget; same interface, so the
+  attention path is storage-agnostic).
 * :mod:`repro.engine.engine` — :class:`PadeEngine`: multi-head attention
   over model presets with per-head guards, a head-batched filter round
   (one einsum covers all heads), and aggregate serving statistics.
-* :mod:`repro.engine.scheduler` — request admission + lockstep decode
-  rounds batching concurrent requests.
+* :mod:`repro.engine.scheduler` — :class:`EngineScheduler` (lockstep FIFO
+  baseline) and :class:`ContinuousScheduler` (arrival-aware iteration-level
+  batching with ``fcfs`` / ``shortest-prompt`` admission and
+  budget-pressure preemption).
 
 Quickstart (synthetic single-layer decode)::
 
@@ -15,18 +20,40 @@ Quickstart (synthetic single-layer decode)::
     engine.submit(EngineRequest("req0", k, v, decode_q=q, decode_k=dk, decode_v=dv))
     results = engine.run()
     out = results["req0"].decode_outputs        # (H, T, Dv)
+
+Continuous batching under a token budget::
+
+    results = engine.serve(requests, token_budget=4096, policy="fcfs")
+    results["req0"].first_token_time            # decode-round units
+    engine.last_serve.occupancy                 # pool occupancy timeline
 """
 
-from repro.engine.cache import BitPlaneKVCache
+from repro.engine.cache import (
+    BitPlaneKVCache,
+    PagedBitPlaneKVCache,
+    PlaneBlockPool,
+    PoolExhausted,
+)
 from repro.engine.engine import EngineAttentionResult, EngineStats, PadeEngine
-from repro.engine.scheduler import EngineRequest, EngineScheduler, RequestResult
+from repro.engine.scheduler import (
+    SCHEDULING_POLICIES,
+    ContinuousScheduler,
+    EngineRequest,
+    EngineScheduler,
+    RequestResult,
+)
 
 __all__ = [
     "BitPlaneKVCache",
+    "PagedBitPlaneKVCache",
+    "PlaneBlockPool",
+    "PoolExhausted",
     "PadeEngine",
     "EngineAttentionResult",
     "EngineStats",
     "EngineRequest",
     "EngineScheduler",
+    "ContinuousScheduler",
     "RequestResult",
+    "SCHEDULING_POLICIES",
 ]

@@ -1,4 +1,4 @@
-"""Persistent multi-head bit-plane KV cache for the serving engine.
+"""Persistent multi-head bit-plane KV caches for the serving engine.
 
 The per-call operator (:func:`repro.core.pade_attention.pade_attention`)
 re-quantizes K and re-decomposes its bit planes on every invocation — fine
@@ -8,7 +8,22 @@ planes *resident*: keys are quantized and decomposed exactly once when they
 enter the cache (prefill bulk, decode appends), and every subsequent filter
 round reads the stored planes directly.
 
-Two serving-specific choices:
+Two storage strategies share one interface
+(``planes/values/k_int/scales/length/prefill/append``):
+
+* :class:`BitPlaneKVCache` — one dense, privately owned buffer per
+  sequence, capacity doubling on growth.  Simple, but every request
+  reserves up to 2x its live footprint and nothing bounds the *sum* of
+  footprints across concurrent requests.
+* :class:`PagedBitPlaneKVCache` — rows live in fixed-size token blocks
+  allocated from a shared :class:`PlaneBlockPool` under a global token
+  budget (the PagedAttention/vLLM memory shape).  Views are gathered
+  through the cache's block table, so consumers — ``PadeEngine.attend``
+  and both kernel backends — are untouched; allocation failure raises
+  :class:`PoolExhausted`, the signal the continuous scheduler turns into
+  preemption.
+
+Two serving-specific choices apply to both:
 
 * **Frozen scales.**  Per-head quantization scales are calibrated on the
   prefill keys and frozen; decode appends are quantized with the same
@@ -19,21 +34,78 @@ Two serving-specific choices:
   array so the head-batched kernel
   (:func:`repro.core.bsf_fast.bsf_filter_fast_heads`) can consume a round
   for all heads with a single einsum, no per-call stacking.
-
-Capacity grows by doubling, so a decode loop's per-step append cost is
-amortized O(1) rows.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.quant.bitplane import BitPlanes, decompose_bitplanes
-from repro.quant.integer import quantize_symmetric
+from repro.quant.integer import int_range
 
-__all__ = ["BitPlaneKVCache"]
+__all__ = [
+    "quantize_heads",
+    "BitPlaneKVCache",
+    "PlaneBlockPool",
+    "PagedBitPlaneKVCache",
+    "PoolExhausted",
+]
+
+
+def quantize_heads(
+    k: np.ndarray, bits: int, scales: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-head quantization, vectorized over the head axis.
+
+    ``k`` has shape ``(H, ...)``; the scale is computed (or applied) per
+    head over all trailing axes.  Byte-identical to calling
+    :func:`repro.quant.integer.quantize_symmetric` once per head — same
+    max-abs scale resolution, same round-to-nearest-even, same clip —
+    without the ``H × S`` Python-loop dispatch (regression-pinned by
+    ``tests/test_paged_cache.py``).
+
+    Returns ``(k_int, scales)`` with ``k_int`` int64 of ``k``'s shape and
+    ``scales`` float64 of shape ``(H,)``.
+    """
+    k = np.asarray(k, dtype=np.float64)
+    qmin, qmax = int_range(bits)
+    if scales is None:
+        max_abs = np.max(np.abs(k).reshape(k.shape[0], -1), axis=1)
+        scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    else:
+        scales = np.asarray(scales, dtype=np.float64)
+    expand = (slice(None),) + (None,) * (k.ndim - 1)
+    q = np.rint(k / scales[expand])
+    k_int = np.clip(q, qmin, qmax).astype(np.int64)
+    return k_int, scales
+
+
+def _check_prefill(cache, k: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared prefill validation for both cache implementations."""
+    if cache.length:
+        raise RuntimeError("prefill() may only be called on an empty cache")
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    if k.shape[:1] + k.shape[2:] != (cache.num_heads, cache.head_dim):
+        raise ValueError(f"expected K shape ({cache.num_heads}, S, {cache.head_dim}), got {k.shape}")
+    if v.shape != (cache.num_heads, k.shape[1], cache.v_dim):
+        raise ValueError(f"expected V shape ({cache.num_heads}, {k.shape[1]}, {cache.v_dim}), got {v.shape}")
+    return k, v
+
+
+def _check_step(cache, k_step: np.ndarray, v_step: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Shared append validation for both cache implementations."""
+    if cache._scales is None:
+        raise RuntimeError("append() requires a prefilled cache")
+    k_step = np.asarray(k_step, dtype=np.float64)
+    v_step = np.asarray(v_step, dtype=np.float64)
+    if k_step.shape != (cache.num_heads, cache.head_dim):
+        raise ValueError(f"expected K step shape ({cache.num_heads}, {cache.head_dim}), got {k_step.shape}")
+    if v_step.shape != (cache.num_heads, cache.v_dim):
+        raise ValueError(f"expected V step shape ({cache.num_heads}, {cache.v_dim}), got {v_step.shape}")
+    return k_step, v_step
 
 
 class BitPlaneKVCache:
@@ -110,18 +182,10 @@ class BitPlaneKVCache:
         only be called once per cache; per-head scales are calibrated here
         and frozen for all later appends.
         """
-        if self._length:
-            raise RuntimeError("prefill() may only be called on an empty cache")
-        k = np.asarray(k, dtype=np.float64)
-        v = np.asarray(v, dtype=np.float64)
-        if k.shape[:1] + k.shape[2:] != (self.num_heads, self.head_dim):
-            raise ValueError(f"expected K shape ({self.num_heads}, S, {self.head_dim}), got {k.shape}")
-        if v.shape != (self.num_heads, k.shape[1], self.v_dim):
-            raise ValueError(f"expected V shape ({self.num_heads}, {k.shape[1]}, {self.v_dim}), got {v.shape}")
+        k, v = _check_prefill(self, k, v)
         seq_len = k.shape[1]
-        quantized = [quantize_symmetric(k[h], bits=self.bits) for h in range(self.num_heads)]
-        self._scales = np.array([float(qh.scale) for qh in quantized])
-        k_int = np.stack([qh.data for qh in quantized])  # (H, S, D)
+        k_int, scales = quantize_heads(k, bits=self.bits)  # (H, S, D)
+        self._scales = scales
         bp = decompose_bitplanes(k_int, bits=self.bits)
 
         self._reserve(max(seq_len, 1))
@@ -138,21 +202,9 @@ class BitPlaneKVCache:
         Uses the frozen prefill scales, so the stored planes of earlier
         tokens stay valid untouched.
         """
-        if self._scales is None:
-            raise RuntimeError("append() requires a prefilled cache")
-        k_step = np.asarray(k_step, dtype=np.float64)
-        v_step = np.asarray(v_step, dtype=np.float64)
-        if k_step.shape != (self.num_heads, self.head_dim):
-            raise ValueError(f"expected K step shape ({self.num_heads}, {self.head_dim}), got {k_step.shape}")
-        if v_step.shape != (self.num_heads, self.v_dim):
-            raise ValueError(f"expected V step shape ({self.num_heads}, {self.v_dim}), got {v_step.shape}")
+        k_step, v_step = _check_step(self, k_step, v_step)
         self._reserve(self._length + 1)
-        k_int = np.stack(
-            [
-                quantize_symmetric(k_step[h], bits=self.bits, scale=self._scales[h]).data
-                for h in range(self.num_heads)
-            ]
-        )  # (H, D)
+        k_int, _ = quantize_heads(k_step, bits=self.bits, scales=self._scales)  # (H, D)
         bp = decompose_bitplanes(k_int, bits=self.bits)  # (bits, H, D)
         pos = self._length
         self._planes[:, :, pos, :] = bp.planes
@@ -178,3 +230,255 @@ class BitPlaneKVCache:
         self._k_int = k_int
         self._values = values
         self._capacity = new_cap
+
+
+class PoolExhausted(RuntimeError):
+    """A block allocation would exceed the pool's global token budget.
+
+    The continuous scheduler catches this to trigger preemption; anything
+    else letting it propagate means the budget cannot even hold the
+    requesting sequence alone.
+    """
+
+
+class PlaneBlockPool:
+    """Fixed-size token blocks of plane/k_int/value rows under one budget.
+
+    The pool owns three backing stores shaped for ``num_blocks × block_size``
+    token rows (planes ``(bits, H, rows, D)`` uint8, integer keys
+    ``(H, rows, D)`` int64, values ``(H, rows, Dv)`` float64) and hands out
+    block indices.  Block ``b`` owns physical rows
+    ``[b * block_size, (b + 1) * block_size)``; a
+    :class:`PagedBitPlaneKVCache` maps its logical token positions onto
+    those rows through its block table.
+
+    ``token_budget`` is rounded *down* to a whole number of blocks — the
+    pool never over-commits the budget it was given.
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        head_dim: int,
+        v_dim: int,
+        bits: int = 8,
+        block_size: int = 16,
+        token_budget: int = 4096,
+    ) -> None:
+        if num_heads < 1 or head_dim < 1 or v_dim < 1:
+            raise ValueError("num_heads, head_dim and v_dim must be positive")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if token_budget < block_size:
+            raise ValueError(f"token_budget {token_budget} below one block ({block_size} tokens)")
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        self.v_dim = v_dim
+        self.bits = bits
+        self.block_size = block_size
+        self.num_blocks = token_budget // block_size
+        rows = self.num_blocks * block_size
+        self._planes = np.zeros((bits, num_heads, rows, head_dim), dtype=np.uint8)
+        self._k_int = np.zeros((num_heads, rows, head_dim), dtype=np.int64)
+        self._values = np.zeros((num_heads, rows, v_dim), dtype=np.float64)
+        # LIFO free list seeded so the first allocations come out 0, 1, 2...
+        self._free: List[int] = list(range(self.num_blocks - 1, -1, -1))
+        self._allocated: set = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def token_budget(self) -> int:
+        """Total token rows the pool can hold (budget rounded to blocks)."""
+        return self.num_blocks * self.block_size
+
+    @property
+    def free_block_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_block_count(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def free_tokens(self) -> int:
+        return self.free_block_count * self.block_size
+
+    @property
+    def used_tokens(self) -> int:
+        """Token rows reserved by live block tables (block granularity)."""
+        return self.used_block_count * self.block_size
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the token budget currently reserved."""
+        return self.used_block_count / self.num_blocks
+
+    # ------------------------------------------------------------------
+    def allocate(self) -> int:
+        """Take one free block; raises :class:`PoolExhausted` when full."""
+        if not self._free:
+            raise PoolExhausted(
+                f"pool exhausted: all {self.num_blocks} blocks "
+                f"({self.token_budget} tokens) in use"
+            )
+        block = self._free.pop()
+        self._allocated.add(block)
+        return block
+
+    def release(self, blocks) -> None:
+        """Return blocks to the free list (double frees are rejected)."""
+        for block in blocks:
+            if block not in self._allocated:
+                raise ValueError(f"block {block} is not allocated")
+            self._allocated.remove(block)
+            self._free.append(block)
+
+    def rows_of(self, block: int) -> np.ndarray:
+        """Physical row indices owned by ``block``."""
+        start = block * self.block_size
+        return np.arange(start, start + self.block_size)
+
+
+class PagedBitPlaneKVCache:
+    """Block-table bit-plane cache over a shared :class:`PlaneBlockPool`.
+
+    Presents exactly the :class:`BitPlaneKVCache` interface —
+    ``planes/values/k_int/scales/length/prefill/append`` plus the
+    ``rows_decomposed``/``appends`` counters — so ``PadeEngine.attend`` and
+    both kernel backends consume it unchanged.  The views are *gathers*
+    through the block table rather than slices of a private buffer, which
+    is the price of sharing: any number of sequences interleave allocation
+    from one pool, and :meth:`release` returns a sequence's blocks for
+    immediate reuse (completion or preemption).
+
+    Raises :class:`PoolExhausted` from ``prefill``/``append`` *before*
+    mutating any state, so a failed allocation is always safe to retry
+    after the scheduler frees blocks.
+    """
+
+    def __init__(self, pool: PlaneBlockPool) -> None:
+        self.pool = pool
+        self.num_heads = pool.num_heads
+        self.head_dim = pool.head_dim
+        self.v_dim = pool.v_dim
+        self.bits = pool.bits
+        self._blocks: List[int] = []
+        self._length = 0
+        self._scales: Optional[np.ndarray] = None
+        self.rows_decomposed = 0
+        self.appends = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of cached tokens."""
+        return self._length
+
+    @property
+    def block_table(self) -> Tuple[int, ...]:
+        """Pool block indices backing this sequence, in token order."""
+        return tuple(self._blocks)
+
+    @property
+    def tokens_reserved(self) -> int:
+        """Token rows this cache holds in the pool (block granularity)."""
+        return len(self._blocks) * self.pool.block_size
+
+    @property
+    def scales(self) -> np.ndarray:
+        """Frozen per-head K quantization scales (set by :meth:`prefill`)."""
+        if self._scales is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return self._scales
+
+    def _row_index(self) -> np.ndarray:
+        """Physical pool rows of tokens ``0 .. length-1``, in order."""
+        if not self._blocks:
+            return np.empty(0, dtype=np.int64)
+        bs = self.pool.block_size
+        table = np.asarray(self._blocks, dtype=np.int64)
+        rows = (table[:, None] * bs + np.arange(bs, dtype=np.int64)[None, :]).reshape(-1)
+        return rows[: self._length]
+
+    @property
+    def planes(self) -> BitPlanes:
+        """Gathered planes of this sequence, value shape ``(H, length, D)``."""
+        if self._scales is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        gathered = self.pool._planes[:, :, self._row_index(), :]
+        return BitPlanes(planes=gathered, bits=self.bits)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Gathered V rows, shape ``(H, length, Dv)``."""
+        if self._scales is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return self.pool._values[:, self._row_index(), :]
+
+    @property
+    def k_int(self) -> np.ndarray:
+        """Gathered integer keys, shape ``(H, length, D)``."""
+        if self._scales is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return self.pool._k_int[:, self._row_index(), :]
+
+    # ------------------------------------------------------------------
+    def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Quantize, decompose and scatter the prompt into pool blocks.
+
+        Allocation happens before any write: either every block the prompt
+        needs is claimed, or :class:`PoolExhausted` is raised with the pool
+        untouched.
+        """
+        k, v = _check_prefill(self, k, v)
+        seq_len = k.shape[1]
+        bs = self.pool.block_size
+        needed = max(1, -(-seq_len // bs))
+        if needed > self.pool.free_block_count:
+            raise PoolExhausted(
+                f"prefill of {seq_len} tokens needs {needed} blocks; "
+                f"pool has {self.pool.free_block_count} free"
+            )
+        k_int, scales = quantize_heads(k, bits=self.bits)
+        bp = decompose_bitplanes(k_int, bits=self.bits)
+        self._blocks = [self.pool.allocate() for _ in range(needed)]
+        self._scales = scales
+        self._length = seq_len
+        rows = self._row_index()
+        self.pool._planes[:, :, rows, :] = bp.planes
+        self.pool._k_int[:, rows, :] = k_int
+        self.pool._values[:, rows, :] = v
+        self.rows_decomposed += self.num_heads * seq_len
+
+    def append(self, k_step: np.ndarray, v_step: np.ndarray) -> None:
+        """Add one token per head, growing the block table on demand.
+
+        A new block (if the tail block is full) is allocated before any
+        state changes; on :class:`PoolExhausted` the cache is exactly as it
+        was, so the scheduler can preempt a victim and retry.
+        """
+        k_step, v_step = _check_step(self, k_step, v_step)
+        bs = self.pool.block_size
+        if self._length == len(self._blocks) * bs:
+            self._blocks.append(self.pool.allocate())
+        k_int, _ = quantize_heads(k_step, bits=self.bits, scales=self._scales)
+        bp = decompose_bitplanes(k_int, bits=self.bits)  # (bits, H, D)
+        pos = self._length
+        row = self._blocks[pos // bs] * bs + pos % bs
+        self.pool._planes[:, :, row, :] = bp.planes
+        self.pool._k_int[:, row, :] = k_int
+        self.pool._values[:, row, :] = v_step
+        self._length = pos + 1
+        self.rows_decomposed += self.num_heads
+        self.appends += 1
+
+    def release(self) -> None:
+        """Return every block to the pool and reset to the empty state.
+
+        After release the cache may be prefilled again — the path a
+        preempted request takes on re-admission.
+        """
+        self.pool.release(self._blocks)
+        self._blocks = []
+        self._length = 0
+        self._scales = None

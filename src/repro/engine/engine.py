@@ -17,7 +17,10 @@ rebuilt per call), the engine is the layer a serving stack talks to:
   dispatches :func:`repro.core.bsf_fast.bsf_filter_fast_heads`);
 * **request scheduling**: :meth:`PadeEngine.submit` /
   :meth:`PadeEngine.run` batch prefill admission and decode rounds across
-  concurrent requests (see :mod:`repro.engine.scheduler`).
+  concurrent requests in lockstep; :meth:`PadeEngine.serve` runs the
+  continuous-batching path — arrival-aware admission every round over a
+  paged block pool with a global token budget and preemption under
+  pressure (see :mod:`repro.engine.scheduler`).
 
 The engine's retained sets are backend-invariant: running the same
 workload under ``"reference"`` and ``"fast"`` produces byte-identical
@@ -129,6 +132,7 @@ class PadeEngine:
         from repro.engine.scheduler import EngineScheduler
 
         self._scheduler = EngineScheduler(self, max_active=max_active)
+        self._last_serve = None
 
     # ------------------------------------------------------------------
     # Low-level per-layer operations
@@ -268,7 +272,7 @@ class PadeEngine:
         return self.attend(cache, np.asarray(q, dtype=np.float64)[:, None, :])
 
     # ------------------------------------------------------------------
-    # Request-level scheduling (delegates to the scheduler)
+    # Request-level scheduling (delegates to the schedulers)
     # ------------------------------------------------------------------
     def submit(self, request) -> None:
         """Queue an :class:`~repro.engine.scheduler.EngineRequest`."""
@@ -287,3 +291,44 @@ class PadeEngine:
     def schedule_trace(self):
         """Chronological ``(event, request_ids)`` log of the last run."""
         return self._scheduler.trace
+
+    def serve(
+        self,
+        requests,
+        max_active: Optional[int] = None,
+        token_budget: int = 4096,
+        block_size: int = 16,
+        policy: str = "fcfs",
+        admission: str = "continuous",
+    ):
+        """Serve ``requests`` with continuous batching over a paged pool.
+
+        Arrival-aware admission at every decode-round boundary, KV rows in
+        fixed-size blocks under ``token_budget``, preemption under memory
+        pressure — see :class:`repro.engine.scheduler.ContinuousScheduler`
+        for the policy knobs.  Returns ``{request_id: RequestResult}``
+        with per-request timing (arrival/admit/first-token/finish)
+        populated; the scheduler of the last call stays inspectable via
+        :attr:`last_serve` (trace, timed events, pool occupancy timeline).
+        """
+        from repro.engine.scheduler import ContinuousScheduler
+
+        scheduler = ContinuousScheduler(
+            self,
+            max_active=self._scheduler.max_active if max_active is None else max_active,
+            token_budget=token_budget,
+            block_size=block_size,
+            policy=policy,
+            admission=admission,
+        )
+        for request in requests:
+            scheduler.submit(request)
+        self._last_serve = scheduler
+        return scheduler.run()
+
+    @property
+    def last_serve(self):
+        """The :class:`ContinuousScheduler` of the most recent :meth:`serve`."""
+        if self._last_serve is None:
+            raise RuntimeError("serve() has not been called on this engine")
+        return self._last_serve

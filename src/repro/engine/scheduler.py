@@ -1,22 +1,27 @@
 """Request-level scheduling for :class:`repro.engine.engine.PadeEngine`.
 
 Serving traffic arrives as *requests*: a prompt to prefill, then a stream
-of decode steps.  The scheduler batches them the way the hardware model
-wants to see them:
+of decode steps.  Two schedulers batch them:
 
-* **admission** — queued requests are admitted in arrival order while
-  fewer than ``max_active`` are in flight; admission performs the one-time
-  prefill (bulk quantize + plane decomposition).
-* **decode rounds** — every active request advances one decode step per
-  round, so cache appends stay in lockstep and each request's heads are
-  batched through one ``filter_heads`` call per round.
-* **completion** — a request finishes when its decode stream is
-  exhausted; its slot is refilled at the next round boundary.
+* :class:`EngineScheduler` — the original lockstep layer: FIFO admission
+  while slots are free, every request owns a private dense
+  :class:`~repro.engine.cache.BitPlaneKVCache`, no notion of time or
+  memory pressure.  Kept as the uncontended baseline.
+* :class:`ContinuousScheduler` — iteration-level (continuous) batching
+  over a shared :class:`~repro.engine.cache.PlaneBlockPool`: requests
+  carry arrival times, admission happens at *every* decode-round boundary
+  under a pluggable policy (``fcfs`` / ``shortest-prompt``), KV rows live
+  in fixed-size blocks under a global token budget, and budget pressure
+  preempts the youngest request (its blocks are freed; it re-prefills
+  from scratch on re-admission, so its retained sets are identical to an
+  uncontended run).
 
 Since the offline substrate has no real model producing Q/K/V on the fly,
 a request carries its decode-step tensors up front (synthesized or
 replayed); the engine consumes them step by step exactly as a model
-runtime would hand them over.
+runtime would hand them over.  Time is measured in decode rounds: each
+round boundary advances the clock by one unit, and arrival times are
+expressed on the same axis.
 """
 
 from __future__ import annotations
@@ -26,7 +31,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["EngineRequest", "RequestResult", "EngineScheduler"]
+from repro.engine.cache import PagedBitPlaneKVCache, PlaneBlockPool, PoolExhausted
+
+__all__ = [
+    "EngineRequest",
+    "RequestResult",
+    "EngineScheduler",
+    "ContinuousScheduler",
+    "SCHEDULING_POLICIES",
+]
 
 
 @dataclass(frozen=True)
@@ -37,7 +50,9 @@ class EngineRequest:
     Shapes: ``k``/``v`` are ``(H, S, D)`` / ``(H, S, Dv)``;
     ``q_prompt`` is ``(H, P, D)`` or ``None``; the decode streams are
     ``(H, T, D)`` / ``(H, T, D)`` / ``(H, T, Dv)`` with a shared step
-    count ``T`` (``None`` for prefill-only requests).
+    count ``T`` (``None`` for prefill-only requests).  ``arrival_time``
+    is in decode-round units; the lockstep scheduler ignores it, the
+    continuous scheduler never admits a request before it.
     """
 
     request_id: str
@@ -47,10 +62,20 @@ class EngineRequest:
     decode_q: Optional[np.ndarray] = None
     decode_k: Optional[np.ndarray] = None
     decode_v: Optional[np.ndarray] = None
+    arrival_time: float = 0.0
 
     @property
     def decode_steps(self) -> int:
         return 0 if self.decode_q is None else self.decode_q.shape[1]
+
+    @property
+    def prompt_tokens(self) -> int:
+        return int(np.asarray(self.k).shape[1])
+
+    @property
+    def total_tokens(self) -> int:
+        """Peak KV footprint of this request: prompt plus every decode step."""
+        return self.prompt_tokens + self.decode_steps
 
     def __post_init__(self) -> None:
         streams = (self.decode_q, self.decode_k, self.decode_v)
@@ -59,17 +84,32 @@ class EngineRequest:
             raise ValueError("decode_q/decode_k/decode_v must be provided together")
         if present and len({s.shape[1] for s in present}) != 1:
             raise ValueError("decode streams must share the same step count")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be >= 0")
 
 
 @dataclass
 class RequestResult:
-    """Everything the engine produced for one completed request."""
+    """Everything the engine produced for one completed request.
+
+    The timing fields are populated by :class:`ContinuousScheduler` (the
+    lockstep scheduler leaves them at their defaults): all are in
+    decode-round units on the same clock as ``EngineRequest.arrival_time``.
+    ``first_token_time`` is when the first decode token (or, for
+    prefill-only requests, the prefill output) became available.
+    """
 
     request_id: str
     prefill_output: Optional[np.ndarray]  # (H, P, Dv) or None
     decode_outputs: np.ndarray  # (H, T, Dv), T may be 0
     retained_history: List[np.ndarray] = field(default_factory=list)  # per step (H, S_t)
     final_length: int = 0
+    arrival_time: float = 0.0
+    admit_time: float = 0.0
+    first_token_time: Optional[float] = None
+    finish_time: float = 0.0
+    prompt_tokens: int = 0
+    preemptions: int = 0
 
     @property
     def steps(self) -> int:
@@ -88,6 +128,7 @@ class RequestResult:
 class _RequestState:
     request: EngineRequest
     cache: object
+    admit_index: int = 0
     prefill_output: Optional[np.ndarray] = None
     outputs: List[np.ndarray] = field(default_factory=list)
     retained_history: List[np.ndarray] = field(default_factory=list)
@@ -96,6 +137,13 @@ class _RequestState:
     @property
     def done(self) -> bool:
         return self.next_step >= self.request.decode_steps
+
+    def reset(self) -> None:
+        """Discard all progress (preemption restarts the request)."""
+        self.prefill_output = None
+        self.outputs = []
+        self.retained_history = []
+        self.next_step = 0
 
 
 class EngineScheduler:
@@ -165,6 +213,7 @@ class EngineScheduler:
                 decode_outputs=decode_outputs,
                 retained_history=state.retained_history,
                 final_length=state.cache.length,
+                prompt_tokens=req.prompt_tokens,
             )
             self.trace.append(("finish", (req.request_id,)))
         self.active = still_active
@@ -177,5 +226,303 @@ class EngineScheduler:
         while self.queued or self.active:
             self._admit()
             self._decode_round()
+            self._collect(results)
+        return results
+
+
+#: Admission orderings the continuous scheduler understands.
+SCHEDULING_POLICIES = ("fcfs", "shortest-prompt")
+
+
+@dataclass
+class _Timing:
+    """Per-request clock marks that survive preemption/restart.
+
+    ``admit_time`` and ``first_token_time`` keep their *first* values
+    across a preemption: decode replay is deterministic (same request
+    tensors, same retained sets), so tokens streamed before eviction stay
+    valid and TTFT measures when the first of them actually left the
+    engine.  The eviction stall is not hidden — it lands in TPOT and
+    ``finish_time``, which only the final (successful) pass sets.
+    """
+
+    arrival_time: float
+    admit_time: Optional[float] = None
+    first_token_time: Optional[float] = None
+    preemptions: int = 0
+
+
+class ContinuousScheduler:
+    """Iteration-level batching over a shared paged bit-plane pool.
+
+    Every loop iteration is one decode round (one clock unit):
+
+    1. **admission** — queued requests whose ``arrival_time`` has passed
+       are considered in policy order (``fcfs``: arrival then submission;
+       ``shortest-prompt``: prompt length first).  A request is admitted
+       while a slot is free (< ``max_active``) and the pool can hold its
+       prompt *plus* one headroom block per unfinished active request (so
+       admitting it cannot immediately preempt the running batch).
+       Admission prefills into a :class:`PagedBitPlaneKVCache` drawn from
+       the shared pool.
+    2. **decode round** — every active request advances one step.  If an
+       append needs a block and the pool is exhausted, the *youngest*
+       active request (latest admission) is preempted: its blocks are
+       released and it rejoins the queue to re-prefill from scratch later.
+       Restart-from-scratch keeps retained sets bit-identical to an
+       uncontended run — the cache contents depend only on the request's
+       own tensors, never on who shared the pool.
+    3. **completion** — finished requests release their blocks and report
+       timing (arrival/admit/first-token/finish) alongside their outputs.
+
+    The pool is created lazily from the first admitted request's shapes;
+    all requests in one run must share ``(H, D, Dv)`` (one model).  With
+    every arrival at 0, the ``fcfs`` policy and an uncontended pool, the
+    event trace reduces exactly to :class:`EngineScheduler`'s.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.engine.PadeEngine` to serve on.
+    max_active:
+        Decode-round batch width.
+    token_budget:
+        Global KV budget in tokens, rounded down to whole blocks.
+    block_size:
+        Tokens per pool block.
+    policy:
+        Admission ordering, one of :data:`SCHEDULING_POLICIES`.
+    admission:
+        ``"continuous"`` admits at every round boundary; ``"drain"`` only
+        when the active set is empty — the static-batching baseline the
+        serving benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_active: int = 8,
+        token_budget: int = 4096,
+        block_size: int = 16,
+        policy: str = "fcfs",
+        admission: str = "continuous",
+    ) -> None:
+        if policy not in SCHEDULING_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
+        if admission not in ("continuous", "drain"):
+            raise ValueError(f"admission must be 'continuous' or 'drain', got {admission!r}")
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        self.engine = engine
+        self.max_active = max_active
+        self.token_budget = token_budget
+        self.block_size = block_size
+        self.policy = policy
+        self.admission = admission
+        self.pool: Optional[PlaneBlockPool] = None
+        self.time = 0.0
+        self.pending: List[Tuple[int, EngineRequest]] = []  # (submit order, request)
+        self.active: List[_RequestState] = []
+        self.trace: List[Tuple[str, Tuple[str, ...]]] = []
+        self.events: List[Tuple[float, str, Tuple[str, ...]]] = []  # timed trace
+        self.occupancy: List[Tuple[float, int, int]] = []  # (time, used tokens, active)
+        self._timings: Dict[str, _Timing] = {}
+        self._submit_seq = 0
+        self._admit_seq = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: EngineRequest) -> None:
+        in_flight = [r.request_id for _, r in self.pending]
+        in_flight += [s.request.request_id for s in self.active]
+        if request.request_id in in_flight:
+            raise ValueError(f"request id {request.request_id!r} already queued")
+        self.pending.append((self._submit_seq, request))
+        self._submit_seq += 1
+        self._timings.setdefault(request.request_id, _Timing(arrival_time=request.arrival_time))
+
+    # ------------------------------------------------------------------
+    def _record(self, event: str, ids: Tuple[str, ...]) -> None:
+        self.trace.append((event, ids))
+        self.events.append((self.time, event, ids))
+
+    def _policy_key(self, entry: Tuple[int, EngineRequest]):
+        order, req = entry
+        if self.policy == "shortest-prompt":
+            return (req.prompt_tokens, req.arrival_time, order)
+        return (req.arrival_time, order)
+
+    def _ensure_pool(self, request: EngineRequest) -> PlaneBlockPool:
+        num_heads, _, head_dim = np.asarray(request.k).shape
+        v_dim = np.asarray(request.v).shape[2]
+        if self.pool is None:
+            self.pool = PlaneBlockPool(
+                num_heads,
+                head_dim,
+                v_dim,
+                bits=self.engine.config.bits,
+                block_size=self.block_size,
+                token_budget=self.token_budget,
+            )
+        elif (self.pool.num_heads, self.pool.head_dim, self.pool.v_dim) != (
+            num_heads,
+            head_dim,
+            v_dim,
+        ):
+            raise ValueError(
+                f"request {request.request_id!r} shape ({num_heads}, {head_dim}, {v_dim}) "
+                f"does not match the pool's ({self.pool.num_heads}, "
+                f"{self.pool.head_dim}, {self.pool.v_dim})"
+            )
+        return self.pool
+
+    def _check_footprints(self) -> None:
+        num_blocks = self.token_budget // self.block_size
+        for _, req in self.pending:
+            needed = max(1, -(-req.total_tokens // self.block_size))
+            if needed > num_blocks:
+                raise ValueError(
+                    f"request {req.request_id!r} needs {req.total_tokens} tokens "
+                    f"({needed} blocks); the budget holds only {num_blocks} blocks "
+                    f"of {self.block_size} — it could never be served"
+                )
+
+    # ------------------------------------------------------------------
+    def _admit(self) -> None:
+        if self.admission == "drain" and self.active:
+            return
+        while len(self.active) < self.max_active:
+            arrived = [e for e in self.pending if e[1].arrival_time <= self.time]
+            if not arrived:
+                return
+            entry = min(arrived, key=self._policy_key)
+            request = entry[1]
+            pool = self._ensure_pool(request)
+            blocks_needed = max(1, -(-request.prompt_tokens // pool.block_size))
+            # One headroom block per unfinished active request keeps this
+            # admission from forcing a preemption in the very next round.
+            headroom = sum(1 for s in self.active if not s.done)
+            if pool.free_block_count < blocks_needed + headroom:
+                return
+            self.pending.remove(entry)
+            cache = PagedBitPlaneKVCache(pool)
+            res = self.engine.prefill(cache, request.k, request.v, q=request.q_prompt)
+            state = _RequestState(request=request, cache=cache, admit_index=self._admit_seq)
+            self._admit_seq += 1
+            if res is not None:
+                state.prefill_output = res.output
+            self.active.append(state)
+            timing = self._timings[request.request_id]
+            if timing.admit_time is None:
+                timing.admit_time = self.time
+            if request.decode_steps == 0 and timing.first_token_time is None:
+                # Prefill-only: the prompt output is the first (and last) token.
+                timing.first_token_time = self.time + 1.0
+            self._record("prefill", (request.request_id,))
+
+    def _preempt_youngest(self) -> None:
+        victim = max(self.active, key=lambda s: s.admit_index)
+        self.active.remove(victim)
+        victim.cache.release()
+        victim.reset()
+        self._timings[victim.request.request_id].preemptions += 1
+        self.pending.append((self._submit_seq, victim.request))
+        self._submit_seq += 1
+        self._record("preempt", (victim.request.request_id,))
+
+    def _decode_round(self) -> None:
+        round_ids = []
+        i = 0
+        while i < len(self.active):
+            state = self.active[i]
+            if state.done:
+                i += 1
+                continue
+            t = state.next_step
+            req = state.request
+            try:
+                res = self.engine.decode_step(
+                    state.cache,
+                    req.decode_q[:, t, :],
+                    req.decode_k[:, t, :],
+                    req.decode_v[:, t, :],
+                )
+            except PoolExhausted:
+                if len(self.active) == 1:
+                    # Defensive: _check_footprints guarantees a lone
+                    # request's blocks always fit, so this only fires if
+                    # something else squats on the pool.
+                    raise RuntimeError(
+                        f"token budget {self.token_budget} cannot hold request "
+                        f"{req.request_id!r} alone; raise --budget or shrink the request"
+                    )
+                # The youngest active request is always the list tail, so it
+                # has not decoded yet this round — preempting it discards no
+                # work.  Retry slot i (if the victim was this request, i now
+                # falls off the end and the round is over).
+                self._preempt_youngest()
+                continue
+            state.outputs.append(res.output[:, 0, :])
+            state.retained_history.append(res.retained[:, 0, :])
+            state.next_step = t + 1
+            if t == 0:
+                timing = self._timings[req.request_id]
+                if timing.first_token_time is None:
+                    timing.first_token_time = self.time + 1.0
+            round_ids.append(req.request_id)
+            i += 1
+        if round_ids:
+            self._record("decode_round", tuple(round_ids))
+
+    def _collect(self, results: Dict[str, RequestResult]) -> None:
+        still_active = []
+        for state in self.active:
+            if not state.done:
+                still_active.append(state)
+                continue
+            req = state.request
+            if state.outputs:
+                decode_outputs = np.stack(state.outputs, axis=1)  # (H, T, Dv)
+            else:
+                num_heads = np.asarray(req.k).shape[0]
+                v_dim = np.asarray(req.v).shape[2]
+                decode_outputs = np.zeros((num_heads, 0, v_dim))
+            timing = self._timings[req.request_id]
+            results[req.request_id] = RequestResult(
+                request_id=req.request_id,
+                prefill_output=state.prefill_output,
+                decode_outputs=decode_outputs,
+                retained_history=state.retained_history,
+                final_length=state.cache.length,
+                arrival_time=timing.arrival_time,
+                admit_time=timing.admit_time if timing.admit_time is not None else 0.0,
+                first_token_time=timing.first_token_time,
+                finish_time=self.time,
+                prompt_tokens=req.prompt_tokens,
+                preemptions=timing.preemptions,
+            )
+            state.cache.release()
+            self._record("finish", (req.request_id,))
+        self.active = still_active
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, RequestResult]:
+        """Serve every submitted request to completion; returns per-id results."""
+        self.time = 0.0
+        self.trace = []
+        self.events = []
+        self.occupancy = []
+        self._check_footprints()
+        results: Dict[str, RequestResult] = {}
+        while self.pending or self.active:
+            if not self.active and self.pending:
+                # Idle: fast-forward the clock to the next arrival.
+                next_arrival = min(r.arrival_time for _, r in self.pending)
+                if next_arrival > self.time:
+                    self.time = float(next_arrival)
+            self._admit()
+            self._decode_round()
+            self.time += 1.0
+            used = self.pool.used_tokens if self.pool is not None else 0
+            self.occupancy.append((self.time, used, len(self.active)))
             self._collect(results)
         return results

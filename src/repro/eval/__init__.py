@@ -4,6 +4,8 @@
   pipeline statistics (keep fractions, mean planes) that parameterize the
   analytic models.
 * :mod:`repro.eval.metrics` — reductions, speedups, geometric means.
+* :mod:`repro.eval.serving_metrics` — serving currency: TTFT / TPOT /
+  queueing-delay percentiles, throughput, pool occupancy.
 * :mod:`repro.eval.harness` — one function per experiment (``fig2_*`` ...
   ``fig26_*``, ``table1`` ... ``table3``), each returning plain data.
 * :mod:`repro.eval.reporting` — ASCII renderers used by the benches.
@@ -15,8 +17,17 @@ from repro.eval.workloads import (
     PipelineStats,
     measure_pipeline_stats,
     build_attention_workload,
+    build_serving_workload,
+    poisson_arrival_times,
+    trace_arrival_times,
 )
 from repro.eval.metrics import geomean, reduction, speedup
+from repro.eval.serving_metrics import (
+    RequestTiming,
+    latency_percentiles,
+    summarize_serving,
+    timing_from_result,
+)
 from repro.eval import harness
 from repro.eval.reporting import print_table, print_series
 
@@ -26,6 +37,13 @@ __all__ = [
     "PipelineStats",
     "measure_pipeline_stats",
     "build_attention_workload",
+    "build_serving_workload",
+    "poisson_arrival_times",
+    "trace_arrival_times",
+    "RequestTiming",
+    "latency_percentiles",
+    "summarize_serving",
+    "timing_from_result",
     "geomean",
     "reduction",
     "speedup",

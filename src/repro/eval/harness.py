@@ -80,6 +80,7 @@ __all__ = [
     "fig26_quantization",
     "fig26_decoding",
     "engine_decode_profile",
+    "serving_profile",
 ]
 
 
@@ -971,6 +972,61 @@ def engine_decode_profile(
         "decomposition_reuse": stats.decomposition_reuse,
         "percall_rows_decomposed": float(percall_rows),
         "decomposition_savings": 1.0 - stats.rows_decomposed / percall_rows,
+    }
+
+
+def serving_profile(
+    rate: float = 0.4,
+    budget: int = 1536,
+    policy: str = "fcfs",
+    requests: int = 6,
+    context: int = 64,
+    steps: int = 10,
+    num_heads: int = 4,
+    head_dim: int = 32,
+    block_size: int = 16,
+    max_active: int = 4,
+    seed: int = 11,
+) -> Dict[str, float]:
+    """Continuous-batching serving profile over the paged bit-plane pool.
+
+    Runs :meth:`repro.engine.PadeEngine.serve` on a Poisson arrival
+    workload (``rate`` requests per decode round) under a global KV
+    ``budget`` (tokens) and reports the serving currency — TTFT / TPOT /
+    queueing-delay percentiles, throughput, preemptions, and pool
+    occupancy.  Deterministic for a given seed — safe for ``--json``
+    smoke runs; the CLI exposes ``--rate/--budget/--policy``.
+    """
+    from repro.engine import PadeEngine
+    from repro.eval.serving_metrics import summarize_serving
+    from repro.eval.workloads import build_serving_workload
+
+    engine = PadeEngine(PadeConfig.standard())
+    workload = build_serving_workload(
+        requests, num_heads, context, steps, head_dim, rate=rate, seed=seed
+    )
+    results = engine.serve(
+        workload,
+        max_active=max_active,
+        token_budget=budget,
+        block_size=block_size,
+        policy=policy,
+    )
+    scheduler = engine.last_serve
+    report = summarize_serving(
+        results.values(),
+        occupancy=scheduler.occupancy,
+        token_budget=scheduler.pool.token_budget if scheduler.pool else None,
+    )
+    return {
+        "backend": resolve_backend_name(),
+        "policy": policy,
+        "rate": rate,
+        "token_budget": float(budget),
+        "block_size": float(block_size),
+        "max_active": float(max_active),
+        **report,
+        "engine_sparsity": engine.stats.sparsity,
     }
 
 

@@ -1,0 +1,142 @@
+"""Serving-side latency and utilization metrics (TTFT / TPOT / queueing).
+
+The figure harness measures *per-call* quantities (sparsity, bit ops,
+energy); a serving stack is judged on a different currency — how long a
+request waits (queueing delay), how fast the first token lands (TTFT),
+how fast tokens stream after that (TPOT), and how well the KV budget is
+used (pool occupancy).  This module turns the per-request timing the
+continuous scheduler records into those numbers, with the p50/p95/p99
+tails that capacity planning actually cares about.
+
+All times are in decode-round units on the scheduler's clock; the
+conversions to wall-clock are a single multiply by the round latency of
+whatever hardware model is being costed, so ratios and percentile shapes
+carry over unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "RequestTiming",
+    "timing_from_result",
+    "latency_percentiles",
+    "summarize_serving",
+]
+
+#: Tail percentiles reported for every latency series.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class RequestTiming:
+    """Clock marks of one served request (decode-round units).
+
+    ``first_token_time`` is when the first decode token (or the prefill
+    output, for prefill-only requests) became available; ``decode_tokens``
+    counts generated tokens.
+    """
+
+    request_id: str
+    arrival_time: float
+    admit_time: float
+    first_token_time: Optional[float]
+    finish_time: float
+    prompt_tokens: int
+    decode_tokens: int
+    preemptions: int = 0
+
+    @property
+    def queueing_delay(self) -> float:
+        """Rounds spent waiting for admission (slot + memory headroom)."""
+        return self.admit_time - self.arrival_time
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token, measured from *arrival* (the user's view)."""
+        first = self.finish_time if self.first_token_time is None else self.first_token_time
+        return first - self.arrival_time
+
+    @property
+    def tpot(self) -> float:
+        """Mean time per output token after the first (0 for <=1 token)."""
+        if self.decode_tokens <= 1 or self.first_token_time is None:
+            return 0.0
+        return (self.finish_time - self.first_token_time) / (self.decode_tokens - 1)
+
+
+def timing_from_result(result) -> RequestTiming:
+    """Extract a :class:`RequestTiming` from a scheduler ``RequestResult``."""
+    return RequestTiming(
+        request_id=result.request_id,
+        arrival_time=result.arrival_time,
+        admit_time=result.admit_time,
+        first_token_time=result.first_token_time,
+        finish_time=result.finish_time,
+        prompt_tokens=result.prompt_tokens,
+        decode_tokens=result.decode_outputs.shape[1],
+        preemptions=result.preemptions,
+    )
+
+
+def latency_percentiles(values: Sequence[float], prefix: str) -> Dict[str, float]:
+    """Mean + p50/p95/p99 of a latency series, keyed ``{prefix}_{stat}``.
+
+    Uses linear interpolation (numpy default) so small request counts
+    still produce stable, monotone tails; an empty series reports zeros.
+    """
+    out = {f"mean_{prefix}": 0.0}
+    out.update({f"p{int(q)}_{prefix}": 0.0 for q in PERCENTILES})
+    if len(values) == 0:
+        return out
+    arr = np.asarray(values, dtype=np.float64)
+    out[f"mean_{prefix}"] = float(arr.mean())
+    for q in PERCENTILES:
+        out[f"p{int(q)}_{prefix}"] = float(np.percentile(arr, q))
+    return out
+
+
+def summarize_serving(
+    results: Iterable,
+    occupancy: Sequence[Tuple[float, int, int]] = (),
+    token_budget: Optional[int] = None,
+) -> Dict[str, float]:
+    """Reduce per-request results + the occupancy timeline to one report.
+
+    ``results`` is any iterable of ``RequestResult``; ``occupancy`` is the
+    scheduler's ``(time, used_tokens, active_requests)`` timeline.  The
+    report covers latency (TTFT / TPOT / queueing delay, each with
+    mean/p50/p95/p99), throughput (generated tokens per round over the
+    makespan), preemption count, and — when ``token_budget`` is given —
+    mean/peak pool occupancy as a fraction of the budget.
+    """
+    timings = [timing_from_result(r) for r in results]
+    if not timings:
+        raise ValueError("no results to summarize")
+    report: Dict[str, float] = {"requests": float(len(timings))}
+    report.update(latency_percentiles([t.ttft for t in timings], "ttft"))
+    report.update(latency_percentiles([t.tpot for t in timings if t.decode_tokens > 1], "tpot"))
+    report.update(latency_percentiles([t.queueing_delay for t in timings], "queueing_delay"))
+
+    first_arrival = min(t.arrival_time for t in timings)
+    last_finish = max(t.finish_time for t in timings)
+    makespan = last_finish - first_arrival
+    total_decode = sum(t.decode_tokens for t in timings)
+    report["makespan_rounds"] = makespan
+    report["generated_tokens"] = float(total_decode)
+    report["throughput_tokens_per_round"] = total_decode / makespan if makespan > 0 else 0.0
+    report["preemptions"] = float(sum(t.preemptions for t in timings))
+
+    if occupancy:
+        used = np.asarray([u for _, u, _ in occupancy], dtype=np.float64)
+        active = np.asarray([a for _, _, a in occupancy], dtype=np.float64)
+        report["peak_active_requests"] = float(active.max())
+        report["mean_active_requests"] = float(active.mean())
+        if token_budget:
+            report["mean_pool_occupancy"] = float(used.mean() / token_budget)
+            report["peak_pool_occupancy"] = float(used.max() / token_budget)
+    return report

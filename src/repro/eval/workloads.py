@@ -29,6 +29,9 @@ __all__ = [
     "measure_pipeline_stats",
     "build_attention_workload",
     "build_engine_request",
+    "poisson_arrival_times",
+    "trace_arrival_times",
+    "build_serving_workload",
 ]
 
 
@@ -120,10 +123,11 @@ def measure_pipeline_stats(
     Measurement runs at ``min(seq_len, seq_cap)`` keys.  Beyond the cap the
     keep fraction is extrapolated with the locality law the generator obeys:
     the relevant set (sinks + local band + heavy hitters) grows sublinearly
-    with context, so the *fraction* kept falls roughly as ``(cap/S)^0.7`` —
-    the mechanism behind the paper's "sparsity increases with sequence
-    length" observations (Figs. 2b, 15c, 26b).  Mean planes drift toward
-    the MSB-only floor as pruned tokens dominate.
+    with context, so the *fraction* kept falls as ``(cap/S)^0.55`` (floored
+    at 3e-3) — the mechanism behind the paper's "sparsity increases with
+    sequence length" observations (Figs. 2b, 15c, 26b).  Mean planes drift
+    toward the MSB-only floor (2 planes) as ``(cap/S)^0.15``, since pruned
+    tokens terminate after the sign/MSB rounds.
     """
     cfg = get_model(model) if isinstance(model, str) else model
     prof = profile or ("cv" if cfg.modality == "cv" else "nlp")
@@ -181,6 +185,7 @@ def build_engine_request(
     profile: str = "nlp",
     seed: int = 0,
     prompt_queries: int = 1,
+    arrival_time: float = 0.0,
 ):
     """Synthesize a multi-head decode request for the serving engine.
 
@@ -217,4 +222,93 @@ def build_engine_request(
         decode_q=np.stack(dq) if decode_steps else None,
         decode_k=np.stack(dk) if decode_steps else None,
         decode_v=np.stack(dv) if decode_steps else None,
+        arrival_time=arrival_time,
     )
+
+
+# ---------------------------------------------------------------------------
+# Serving-traffic generators (arrival processes over decode-round time)
+# ---------------------------------------------------------------------------
+
+def poisson_arrival_times(num_requests: int, rate: float, seed: int = 0) -> np.ndarray:
+    """Cumulative arrival times of a Poisson process with ``rate`` per round.
+
+    Inter-arrival gaps are i.i.d. ``Exponential(1/rate)``, so ``rate`` is
+    the mean number of request arrivals per decode round — the open-loop
+    load knob of every serving benchmark.  Returns ``num_requests``
+    non-decreasing floats starting after time 0.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if rate <= 0:
+        raise ValueError("rate must be > 0 arrivals per round")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate, size=num_requests)
+    return np.cumsum(gaps)
+
+
+def trace_arrival_times(times) -> np.ndarray:
+    """Validate an explicit (replayed) arrival trace.
+
+    ``times`` is any sequence of non-negative, non-decreasing floats —
+    e.g. timestamps replayed from a production trace, rebased to round
+    units.  Returned as a float64 array.
+    """
+    arr = np.asarray(list(times), dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("arrival trace must be a non-empty 1-D sequence")
+    if (arr < 0).any():
+        raise ValueError("arrival times must be >= 0")
+    if (np.diff(arr) < 0).any():
+        raise ValueError("arrival times must be non-decreasing")
+    return arr
+
+
+def build_serving_workload(
+    num_requests: int,
+    num_heads: int,
+    context_len: int,
+    decode_steps: int,
+    head_dim: int,
+    rate: Optional[float] = None,
+    arrival_times=None,
+    context_spread: float = 0.25,
+    profile: str = "nlp",
+    seed: int = 0,
+):
+    """Synthesize a list of timed :class:`EngineRequest`\\ s for the
+    continuous scheduler.
+
+    Arrivals come from ``arrival_times`` (an explicit trace) or a Poisson
+    process at ``rate`` requests per decode round (exactly one of the two
+    must be given).  Prompt lengths are jittered uniformly within
+    ``context_len * (1 ± context_spread)`` so admission policies that look
+    at prompt size (``shortest-prompt``) have something to reorder;
+    tensors are synthesized per request with decorrelated seeds, so the
+    same ``seed`` always reproduces the same workload.
+    """
+    if (rate is None) == (arrival_times is None):
+        raise ValueError("provide exactly one of rate / arrival_times")
+    if arrival_times is not None:
+        times = trace_arrival_times(arrival_times)
+        if times.size != num_requests:
+            raise ValueError(f"expected {num_requests} arrival times, got {times.size}")
+    else:
+        times = poisson_arrival_times(num_requests, rate, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    spread = abs(context_spread)
+    low = max(1, int(round(context_len * (1.0 - spread))))
+    high = max(low, int(round(context_len * (1.0 + spread))))
+    return [
+        build_engine_request(
+            f"req{i}",
+            num_heads,
+            int(rng.integers(low, high + 1)),
+            decode_steps,
+            head_dim,
+            profile=profile,
+            seed=seed + 101 * (i + 1),
+            arrival_time=float(times[i]),
+        )
+        for i in range(num_requests)
+    ]

@@ -1,0 +1,231 @@
+"""Continuous scheduler: trace invariants, preemption, policy, timing.
+
+The invariants ISSUE 2 pins down:
+
+* no request decodes before its arrival time;
+* the active set never exceeds ``max_active`` and pool usage never
+  exceeds the token budget;
+* preempted requests still finish, with retained sets byte-identical to
+  an uncontended (ample-budget) run;
+* with every arrival at 0, ``fcfs`` and an uncontended pool, the event
+  trace reduces exactly to the old lockstep :class:`EngineScheduler`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.engine import ContinuousScheduler, EngineRequest, PadeEngine
+from repro.eval.serving_metrics import summarize_serving, timing_from_result
+from repro.eval.workloads import build_engine_request, build_serving_workload
+
+
+def _timed_request(i, arrival, context=20, steps=8, num_heads=2, head_dim=8):
+    return build_engine_request(
+        f"q{i}", num_heads, context, steps, head_dim=head_dim,
+        seed=100 + i, arrival_time=arrival,
+    )
+
+
+def _serve(requests, **kwargs):
+    engine = PadeEngine()
+    results = engine.serve(requests, **kwargs)
+    return results, engine.last_serve
+
+
+class TestArrivalSemantics:
+    def test_no_decode_before_arrival(self):
+        requests = [_timed_request(i, arrival=2.5 * i) for i in range(4)]
+        _, sched = _serve(requests, token_budget=4096, block_size=8)
+        arrivals = {r.request_id: r.arrival_time for r in requests}
+        decoded = set()
+        for time, event, ids in sched.events:
+            if event in ("prefill", "decode_round"):
+                for rid in ids:
+                    assert arrivals[rid] <= time, (rid, event, time)
+                    decoded.add(rid)
+        assert decoded == set(arrivals)
+
+    def test_admission_at_round_boundaries_not_drain(self):
+        """A request arriving mid-batch is admitted as soon as a slot frees,
+        not when the whole batch drains."""
+        requests = [
+            _timed_request(0, arrival=0.0, steps=4),
+            _timed_request(1, arrival=0.0, steps=12),
+            _timed_request(2, arrival=1.0, steps=4),
+        ]
+        res, _ = _serve(requests, max_active=2, token_budget=4096, block_size=8)
+        # q0 finishes after 4 rounds; q2 must start right then, while q1
+        # (12 steps) is still decoding.
+        assert res["q2"].admit_time < res["q1"].finish_time
+
+    def test_idle_clock_fast_forwards_to_next_arrival(self):
+        res, _ = _serve([_timed_request(0, arrival=7.0)], token_budget=1024, block_size=8)
+        assert res["q0"].admit_time == 7.0
+        assert res["q0"].first_token_time == 8.0
+
+    def test_arrival_time_validation(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(_timed_request(0, arrival=0.0), arrival_time=-1.0)
+
+
+class TestBudgetInvariants:
+    def test_active_and_pool_bounded(self):
+        requests = [_timed_request(i, arrival=0.5 * i, steps=10) for i in range(6)]
+        _, sched = _serve(
+            requests, max_active=3, token_budget=96, block_size=4
+        )
+        budget = sched.pool.token_budget
+        for _, used, active in sched.occupancy:
+            assert active <= 3
+            assert used <= budget
+
+    def test_unserveable_request_rejected_up_front(self):
+        big = _timed_request(0, arrival=0.0, context=200, steps=50)
+        engine = PadeEngine()
+        with pytest.raises(ValueError, match="never be served"):
+            engine.serve([big], token_budget=64, block_size=8)
+
+    def test_lone_request_completes_at_exact_budget(self):
+        # The footprint guard admits a request whose peak usage equals the
+        # budget exactly; running alone it must finish without preemption.
+        req = _timed_request(0, arrival=0.0, context=30, steps=8)
+        engine = PadeEngine()
+        results = engine.serve([req], token_budget=40, block_size=4)
+        assert results["q0"].final_length == 38
+        assert results["q0"].preemptions == 0
+
+
+class TestPreemption:
+    def _contended(self):
+        return [_timed_request(i, arrival=float(i), context=20, steps=12) for i in range(3)]
+
+    def test_preempted_requests_finish_with_identical_retention(self):
+        tight, tight_sched = _serve(
+            self._contended(), max_active=4, token_budget=48, block_size=4
+        )
+        ample, _ = _serve(
+            self._contended(), max_active=4, token_budget=4096, block_size=4
+        )
+        preempts = [ids for event, ids in tight_sched.trace if event == "preempt"]
+        assert preempts, "workload was expected to trigger preemption"
+        assert set(tight) == set(ample)
+        for rid in ample:
+            assert tight[rid].retained_bytes() == ample[rid].retained_bytes()
+            np.testing.assert_array_equal(
+                tight[rid].decode_outputs, ample[rid].decode_outputs
+            )
+        preempted_ids = {ids[0] for ids in preempts}
+        assert any(tight[rid].preemptions > 0 for rid in preempted_ids)
+
+    def test_preemption_evicts_youngest(self):
+        _, sched = _serve(self._contended(), max_active=4, token_budget=48, block_size=4)
+        admitted_before = []
+        for event, ids in sched.trace:
+            if event == "prefill":
+                admitted_before.append(ids[0])
+            elif event == "preempt":
+                # The victim is always the most recently admitted live request.
+                assert ids[0] == admitted_before[-1]
+
+    def test_preempted_blocks_are_freed(self):
+        _, sched = _serve(self._contended(), max_active=4, token_budget=48, block_size=4)
+        assert sched.pool.used_block_count == 0  # everything released at the end
+
+
+class TestPolicies:
+    def test_fcfs_reduces_to_lockstep_trace_on_ample_pool(self):
+        reqs = [build_engine_request(f"r{i}", 2, 24, 3, head_dim=8, seed=i) for i in range(3)]
+        lock = PadeEngine(max_active=2)
+        for r in reqs:
+            lock.submit(r)
+        lock_results = lock.run()
+        cont = PadeEngine()
+        cont_results = cont.serve(reqs, max_active=2, token_budget=4096, block_size=8)
+        assert cont.last_serve.trace == lock.schedule_trace
+        for rid in lock_results:
+            assert (
+                lock_results[rid].retained_bytes() == cont_results[rid].retained_bytes()
+            )
+            np.testing.assert_array_equal(
+                lock_results[rid].decode_outputs, cont_results[rid].decode_outputs
+            )
+
+    def test_shortest_prompt_reorders_admission(self):
+        engine = PadeEngine()
+        long_req = build_engine_request("long", 2, 60, 2, head_dim=8, seed=1)
+        short_req = build_engine_request("short", 2, 12, 2, head_dim=8, seed=2)
+        results = engine.serve(
+            [long_req, short_req], max_active=1, token_budget=1024,
+            block_size=8, policy="shortest-prompt",
+        )
+        assert results["short"].admit_time < results["long"].admit_time
+
+    def test_fcfs_respects_arrival_order_over_submission_order(self):
+        late = _timed_request(0, arrival=3.0)
+        early = _timed_request(1, arrival=0.0)
+        results, _ = _serve([late, early], max_active=1, token_budget=1024, block_size=8)
+        assert results["q1"].admit_time < results["q0"].admit_time
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            ContinuousScheduler(PadeEngine(), policy="round-robin")
+        with pytest.raises(ValueError, match="admission"):
+            ContinuousScheduler(PadeEngine(), admission="static")
+
+    def test_duplicate_request_id_rejected(self):
+        sched = ContinuousScheduler(PadeEngine())
+        sched.submit(_timed_request(0, arrival=0.0))
+        with pytest.raises(ValueError, match="q0"):
+            sched.submit(_timed_request(0, arrival=0.0))
+
+    def test_mixed_shapes_rejected(self):
+        sched = ContinuousScheduler(PadeEngine(), token_budget=1024, block_size=8)
+        sched.submit(_timed_request(0, arrival=0.0, num_heads=2))
+        sched.submit(_timed_request(1, arrival=0.0, num_heads=3))
+        with pytest.raises(ValueError, match="shape"):
+            sched.run()
+
+
+class TestTimingAndMetrics:
+    def test_result_timing_fields(self):
+        requests = [_timed_request(i, arrival=2.0 * i, steps=5) for i in range(3)]
+        results, sched = _serve(requests, token_budget=2048, block_size=8)
+        for res in results.values():
+            assert res.admit_time >= res.arrival_time
+            assert res.first_token_time is not None
+            assert res.first_token_time > res.admit_time
+            assert res.finish_time >= res.first_token_time
+            timing = timing_from_result(res)
+            assert timing.ttft >= 1.0
+            assert timing.queueing_delay >= 0.0
+            assert timing.decode_tokens == 5
+
+    def test_prefill_only_request_gets_first_token_at_admission(self):
+        req = build_engine_request(
+            "p", 2, 16, 0, head_dim=8, prompt_queries=2, arrival_time=1.0
+        )
+        results, _ = _serve([req], token_budget=1024, block_size=8)
+        res = results["p"]
+        assert res.prefill_output is not None
+        assert res.first_token_time == res.admit_time + 1.0
+        assert res.decode_outputs.shape[1] == 0
+
+    def test_summarize_serving_report(self):
+        workload = build_serving_workload(
+            5, 2, 24, 6, 8, rate=0.5, seed=3
+        )
+        results, sched = _serve(workload, token_budget=1024, block_size=8)
+        report = summarize_serving(
+            results.values(), occupancy=sched.occupancy,
+            token_budget=sched.pool.token_budget,
+        )
+        assert report["requests"] == 5.0
+        assert report["mean_ttft"] >= 1.0
+        assert report["p99_ttft"] >= report["p50_ttft"]
+        assert 0.0 < report["peak_pool_occupancy"] <= 1.0
+        assert report["generated_tokens"] == 30.0
+        assert report["throughput_tokens_per_round"] > 0.0

@@ -56,6 +56,29 @@ class TestWorkloads:
         assert long.keep_fraction < short.keep_fraction
         assert long.mean_planes <= short.mean_planes
 
+    def test_extrapolated_branch_follows_documented_law(self):
+        """Beyond seq_cap the keep fraction falls as (cap/S)^0.55 (floored)
+        and mean planes decay toward the 2-plane floor as (cap/S)^0.15 —
+        exactly what the docstring promises (ISSUE 2 satellite)."""
+        model = get_model("llama2-7b")
+        cap = 1024
+        base = measure_pipeline_stats(model, cap, seq_cap=cap)
+        long = measure_pipeline_stats(model, 8 * cap, seq_cap=cap)
+        expected_keep = max(3e-3, base.keep_fraction * (1.0 / 8.0) ** 0.55)
+        assert long.keep_fraction == pytest.approx(expected_keep, rel=1e-12)
+        expected_planes = 2.0 + (base.mean_planes - 2.0) * (1.0 / 8.0) ** 0.15
+        assert long.mean_planes == pytest.approx(expected_planes, rel=1e-12)
+        # Non-extrapolated fields pass through the capped measurement.
+        assert long.effective_bit_fraction == base.effective_bit_fraction
+        assert long.lost_mass == base.lost_mass
+        # At or below the cap the measurement is returned untouched.
+        assert measure_pipeline_stats(model, cap - 1, seq_cap=cap).keep_fraction != (
+            long.keep_fraction
+        )
+        # The 3e-3 floor binds for absurdly long contexts.
+        floored = measure_pipeline_stats(model, 10**9, seq_cap=cap)
+        assert floored.keep_fraction == pytest.approx(3e-3)
+
     def test_build_attention_workload(self):
         w, stats = build_attention_workload("mmlu")
         assert w.seq_len == 500 and not w.decode

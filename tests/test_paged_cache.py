@@ -1,0 +1,258 @@
+"""Paged bit-plane cache: pool accounting + dense/paged parity properties.
+
+The paged cache is only sound if it is *indistinguishable* from the dense
+cache through every consumer: byte-identical ``planes/k_int/values``
+views, identical frozen scales, and identical retained sets through
+``PadeEngine.attend`` under both kernel backends, for any interleaving of
+prefill/append against any block size.  Hypothesis drives the schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PadeConfig
+from repro.engine import (
+    BitPlaneKVCache,
+    PadeEngine,
+    PagedBitPlaneKVCache,
+    PlaneBlockPool,
+    PoolExhausted,
+)
+from repro.engine.cache import quantize_heads
+from repro.quant.integer import quantize_symmetric
+
+
+def _kv(rng, num_heads, seq_len, head_dim, v_dim):
+    return (
+        rng.normal(size=(num_heads, seq_len, head_dim)),
+        rng.normal(size=(num_heads, seq_len, v_dim)),
+    )
+
+
+def _fill_pair(rng, num_heads, head_dim, v_dim, prefill_len, appends, block_size):
+    """Run the same prefill/append schedule through a dense and a paged cache."""
+    total = prefill_len + appends
+    k, v = _kv(rng, num_heads, total, head_dim, v_dim)
+    dense = BitPlaneKVCache(num_heads, head_dim, v_dim)
+    pool = PlaneBlockPool(
+        num_heads, head_dim, v_dim, block_size=block_size,
+        token_budget=max(block_size, total + block_size),
+    )
+    paged = PagedBitPlaneKVCache(pool)
+    dense.prefill(k[:, :prefill_len], v[:, :prefill_len])
+    paged.prefill(k[:, :prefill_len], v[:, :prefill_len])
+    for t in range(prefill_len, total):
+        dense.append(k[:, t], v[:, t])
+        paged.append(k[:, t], v[:, t])
+    return dense, paged, pool
+
+
+class TestDensePagedParity:
+    @given(
+        num_heads=st.integers(1, 3),
+        head_dim=st.integers(2, 6),
+        prefill_len=st.integers(1, 12),
+        appends=st.integers(0, 8),
+        block_size=st.integers(1, 7),
+        seed=st.integers(0, 2**16),
+    )
+    def test_views_byte_identical(
+        self, num_heads, head_dim, prefill_len, appends, block_size, seed
+    ):
+        rng = np.random.default_rng(seed)
+        dense, paged, _ = _fill_pair(
+            rng, num_heads, head_dim, head_dim, prefill_len, appends, block_size
+        )
+        assert dense.length == paged.length
+        assert dense.planes.planes.tobytes() == paged.planes.planes.tobytes()
+        assert dense.k_int.tobytes() == paged.k_int.tobytes()
+        assert dense.values.tobytes() == paged.values.tobytes()
+        assert dense.scales.tobytes() == paged.scales.tobytes()
+        assert dense.rows_decomposed == paged.rows_decomposed
+        assert dense.appends == paged.appends
+
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    @given(
+        prefill_len=st.integers(4, 24),
+        appends=st.integers(0, 6),
+        block_size=st.integers(1, 9),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=15)
+    def test_attend_identical_through_engine(
+        self, backend, prefill_len, appends, block_size, seed
+    ):
+        """Same retained sets, scores and outputs through PadeEngine.attend."""
+        num_heads, head_dim = 2, 8
+        rng = np.random.default_rng(seed)
+        dense, paged, _ = _fill_pair(
+            rng, num_heads, head_dim, head_dim, prefill_len, appends, block_size
+        )
+        engine = PadeEngine(PadeConfig.standard(), backend=backend)
+        q = rng.normal(size=(num_heads, 2, head_dim))
+        res_dense = engine.attend(dense, q)
+        res_paged = engine.attend(paged, q)
+        assert np.array_equal(res_dense.retained, res_paged.retained)
+        assert np.array_equal(res_dense.scores, res_paged.scores)
+        assert res_dense.output.tobytes() == res_paged.output.tobytes()
+        assert res_dense.candidate_keys == res_paged.candidate_keys
+
+    @given(
+        schedule=st.lists(st.integers(0, 1), min_size=2, max_size=12),
+        block_size=st.integers(1, 5),
+        seed=st.integers(0, 2**16),
+    )
+    def test_interleaved_sequences_share_one_pool(self, schedule, block_size, seed):
+        """Two sequences interleaving appends in one pool never cross-talk."""
+        num_heads, head_dim = 2, 4
+        rng = np.random.default_rng(seed)
+        counts = [3 + schedule.count(0), 3 + schedule.count(1)]
+        ks, vs = zip(*[_kv(rng, num_heads, c, head_dim, head_dim) for c in counts])
+        pool = PlaneBlockPool(
+            num_heads, head_dim, head_dim, block_size=block_size,
+            token_budget=(sum(counts) + 2 * block_size),
+        )
+        dense = [BitPlaneKVCache(num_heads, head_dim, head_dim) for _ in range(2)]
+        paged = [PagedBitPlaneKVCache(pool) for _ in range(2)]
+        for i in range(2):
+            dense[i].prefill(ks[i][:, :3], vs[i][:, :3])
+            paged[i].prefill(ks[i][:, :3], vs[i][:, :3])
+        cursor = [3, 3]
+        for who in schedule:
+            t = cursor[who]
+            dense[who].append(ks[who][:, t], vs[who][:, t])
+            paged[who].append(ks[who][:, t], vs[who][:, t])
+            cursor[who] = t + 1
+        for i in range(2):
+            assert dense[i].planes.planes.tobytes() == paged[i].planes.planes.tobytes()
+            assert dense[i].k_int.tobytes() == paged[i].k_int.tobytes()
+            assert dense[i].values.tobytes() == paged[i].values.tobytes()
+
+    def test_release_and_reuse_blocks(self, rng):
+        """Freed blocks are recycled and the recycled contents are correct."""
+        num_heads, head_dim = 2, 4
+        pool = PlaneBlockPool(num_heads, head_dim, head_dim, block_size=4, token_budget=16)
+        k, v = _kv(rng, num_heads, 12, head_dim, head_dim)
+        first = PagedBitPlaneKVCache(pool)
+        first.prefill(k, v)  # 3 blocks
+        assert pool.used_block_count == 3
+        second = PagedBitPlaneKVCache(pool)
+        with pytest.raises(PoolExhausted):
+            second.prefill(k, v)  # needs 3, only 1 free
+        first.release()
+        assert pool.used_block_count == 0
+        assert first.length == 0
+        second.prefill(k, v)
+        reference = BitPlaneKVCache(num_heads, head_dim, head_dim)
+        reference.prefill(k, v)
+        assert reference.k_int.tobytes() == second.k_int.tobytes()
+        assert reference.planes.planes.tobytes() == second.planes.planes.tobytes()
+
+    def test_append_exhaustion_leaves_cache_intact(self, rng):
+        """A failed append mutates nothing, so the retry after a victim
+        frees its blocks (the preemption path) yields the exact rows."""
+        num_heads, head_dim = 1, 4
+        pool = PlaneBlockPool(num_heads, head_dim, head_dim, block_size=2, token_budget=6)
+        cache = PagedBitPlaneKVCache(pool)
+        victim = PagedBitPlaneKVCache(pool)
+        k, v = _kv(rng, num_heads, 6, head_dim, head_dim)
+        cache.prefill(k[:, :4], v[:, :4])  # 2 blocks
+        victim.prefill(k[:, 4:], v[:, 4:])  # last block
+        with pytest.raises(PoolExhausted):
+            cache.append(k[:, 4], v[:, 4])
+        assert cache.length == 4
+        victim.release()
+        cache.append(k[:, 4], v[:, 4])  # same call now succeeds
+        dense = BitPlaneKVCache(num_heads, head_dim, head_dim)
+        dense.prefill(k[:, :4], v[:, :4])
+        dense.append(k[:, 4], v[:, 4])
+        assert dense.k_int.tobytes() == cache.k_int.tobytes()
+        assert dense.planes.planes.tobytes() == cache.planes.planes.tobytes()
+
+    def test_pool_rejects_double_free_and_tracks_budget(self):
+        pool = PlaneBlockPool(1, 4, 4, block_size=8, token_budget=35)
+        assert pool.num_blocks == 4  # budget rounded down to whole blocks
+        assert pool.token_budget == 32
+        block = pool.allocate()
+        pool.release([block])
+        with pytest.raises(ValueError):
+            pool.release([block])
+
+    def test_empty_cache_guards(self):
+        pool = PlaneBlockPool(1, 4, 4, block_size=4, token_budget=8)
+        cache = PagedBitPlaneKVCache(pool)
+        with pytest.raises(RuntimeError):
+            _ = cache.planes
+        with pytest.raises(RuntimeError):
+            cache.append(np.zeros((1, 4)), np.zeros((1, 4)))
+
+
+class TestVectorizedQuantizationRegression:
+    """The vectorized per-head quantizer is pinned byte-identical to the
+    original per-head ``quantize_symmetric`` loop (ISSUE 2 satellite)."""
+
+    @given(
+        num_heads=st.integers(1, 5),
+        seq_len=st.integers(1, 20),
+        head_dim=st.integers(1, 8),
+        seed=st.integers(0, 2**16),
+    )
+    def test_prefill_quantization_matches_loop(self, num_heads, seq_len, head_dim, seed):
+        rng = np.random.default_rng(seed)
+        k = rng.normal(size=(num_heads, seq_len, head_dim)) * rng.uniform(0.1, 10)
+        k_int, scales = quantize_heads(k, bits=8)
+        looped = [quantize_symmetric(k[h], bits=8) for h in range(num_heads)]
+        assert k_int.tobytes() == np.stack([q.data for q in looped]).tobytes()
+        assert scales.tobytes() == np.array([float(q.scale) for q in looped]).tobytes()
+
+    @given(
+        num_heads=st.integers(1, 5),
+        head_dim=st.integers(1, 8),
+        seed=st.integers(0, 2**16),
+    )
+    def test_append_quantization_matches_loop(self, num_heads, head_dim, seed):
+        """Frozen-scale (clipping) path: one step quantized per head."""
+        rng = np.random.default_rng(seed)
+        scales = rng.uniform(0.01, 0.5, size=num_heads)
+        step = rng.normal(size=(num_heads, head_dim)) * 3.0  # clips sometimes
+        k_int, out_scales = quantize_heads(step, bits=8, scales=scales)
+        looped = np.stack(
+            [quantize_symmetric(step[h], bits=8, scale=scales[h]).data for h in range(num_heads)]
+        )
+        assert k_int.tobytes() == looped.tobytes()
+        assert np.array_equal(out_scales, scales)
+
+    def test_zero_rows_quantize_with_unit_scale(self):
+        """All-zero heads resolve to scale 1.0, exactly like the scalar path."""
+        k = np.zeros((2, 3, 4))
+        k_int, scales = quantize_heads(k, bits=8)
+        assert np.array_equal(scales, np.ones(2))
+        assert not k_int.any()
+
+    def test_cache_contents_match_looped_reference(self, rng):
+        """End-to-end: cache state equals the pre-vectorization algorithm."""
+        num_heads, head_dim = 3, 8
+        k, v = _kv(rng, num_heads, 10, head_dim, head_dim)
+        cache = BitPlaneKVCache(num_heads, head_dim, head_dim)
+        cache.prefill(k[:, :7], v[:, :7])
+        for t in range(7, 10):
+            cache.append(k[:, t], v[:, t])
+        looped_prefill = [quantize_symmetric(k[h, :7], bits=8) for h in range(num_heads)]
+        frozen = np.array([float(q.scale) for q in looped_prefill])
+        looped_all = np.stack(
+            [
+                np.concatenate(
+                    [
+                        looped_prefill[h].data,
+                        quantize_symmetric(k[h, 7:], bits=8, scale=frozen[h]).data,
+                    ]
+                )
+                for h in range(num_heads)
+            ]
+        )
+        assert cache.scales.tobytes() == frozen.tobytes()
+        assert cache.k_int.tobytes() == looped_all.tobytes()
