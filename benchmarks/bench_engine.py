@@ -16,15 +16,18 @@ retained-token sets are byte-identical between the ``"reference"`` and
 ``"fast"`` backends.
 
     python benchmarks/bench_engine.py [--steps N] [--context S] [--heads H]
+    python benchmarks/bench_engine.py --quick --json-out BENCH_engine.json
 
-Also runnable under pytest (smaller default workload via --quick logic is
-not needed; the module-level test uses a reduced sweep so the benchmark
-suite stays tractable).
+``--quick`` shrinks the sweep for the CI perf-smoke job (same assertions,
+less wall-clock) and ``--json-out`` writes the measured dict to disk so
+the run can be archived as a build artifact.  Also runnable under pytest
+(the module-level test uses the same reduced sweep).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
@@ -94,7 +97,17 @@ def main() -> None:
     parser.add_argument("--context", type=int, default=2048)
     parser.add_argument("--steps", type=int, default=64)
     parser.add_argument("--head-dim", type=int, default=64)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep for CI perf-smoke (same assertions)",
+    )
+    parser.add_argument(
+        "--json-out", default=None,
+        help="write the measured results dict to this JSON file",
+    )
     args = parser.parse_args()
+    if args.quick:
+        args.context, args.steps = min(args.context, 512), min(args.steps, 8)
 
     print(f"decode sweep: {args.heads} heads, {args.context}-token context, "
           f"{args.steps} steps, head dim {args.head_dim}")
@@ -109,6 +122,10 @@ def main() -> None:
     assert r["retained_identical"], "reference/fast engine retained sets diverged"
     assert r["speedup_fast"] >= 3.0, f"engine speedup {r['speedup_fast']:.1f}x < 3x"
     print("  PASS: engine >= 3x faster with backend-invariant retention")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(r, fh, indent=2)
+        print(f"  wrote {args.json_out}")
 
 
 if __name__ == "__main__":

@@ -19,16 +19,18 @@ paged and dense cache paths under both kernel backends
 and preemption counts as the token budget shrinks.
 
     python benchmarks/bench_serving.py [--requests N] [--rate R] [--budget B]
+    python benchmarks/bench_serving.py --quick --json-out BENCH_serving.json
 
-Also runnable under pytest (the module-level test uses a reduced
-workload so the benchmark suite stays tractable).
+``--quick`` shrinks the workload for the CI perf-smoke job (same
+assertions, less wall-clock) and ``--json-out`` writes the measured dict
+to disk so the run can be archived as a build artifact.  Also runnable
+under pytest (the module-level test uses the same reduced workload).
 """
 
 from __future__ import annotations
 
 import argparse
-
-import numpy as np
+import json
 
 from repro.core import PadeConfig
 from repro.engine import PadeEngine
@@ -178,7 +180,18 @@ def main() -> None:
     parser.add_argument("--budget", type=int, default=512)
     parser.add_argument("--block-size", type=int, default=16)
     parser.add_argument("--max-active", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload for CI perf-smoke (same assertions)",
+    )
+    parser.add_argument(
+        "--json-out", default=None,
+        help="write the measured results dict to this JSON file",
+    )
     args = parser.parse_args()
+    if args.quick:
+        args.requests, args.context, args.steps = 6, 48, 8
+        args.budget, args.max_active = 384, 2
 
     print(
         f"serving sweep: {args.requests} requests, Poisson rate {args.rate}/round, "
@@ -202,11 +215,13 @@ def main() -> None:
     print(f"  paged == dense retained : {r['parity_ok']} (both backends)")
 
     print("\nthroughput vs budget (continuous, fast backend, longer decode):")
-    for row in budget_sweep(
+    sweep = budget_sweep(
+        budgets=(192, 1024) if args.quick else (192, 256, 384, 1024),
         num_requests=args.requests, rate=args.rate, context=args.context,
         num_heads=args.heads, head_dim=args.head_dim,
         max_active=args.max_active + 1,
-    ):
+    )
+    for row in sweep:
         print(
             f"  budget {row['budget']:5d}: {row['throughput_tokens_per_round']:5.2f} tok/round  "
             f"mean TTFT {row['mean_ttft']:6.2f}  p95 {row['p95_ttft']:6.2f}  "
@@ -219,6 +234,10 @@ def main() -> None:
         "continuous batching did not beat lockstep on mean TTFT"
     )
     print("\nPASS: continuous beats lockstep on mean TTFT with byte-identical retention")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump({"comparison": r, "budget_sweep": sweep}, fh, indent=2)
+        print(f"wrote {args.json_out}")
 
 
 if __name__ == "__main__":

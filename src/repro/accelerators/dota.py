@@ -10,7 +10,6 @@ overhead remains — so memory reduction stays near the Sanger baseline.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
 

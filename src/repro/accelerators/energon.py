@@ -10,7 +10,6 @@ keep its memory reduction modest (21% in Fig. 14).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
 

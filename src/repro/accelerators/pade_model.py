@@ -10,7 +10,6 @@ adds), scoreboard result reuse (each plane fetched once), ISTA tiling
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
 

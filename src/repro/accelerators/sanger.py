@@ -9,7 +9,6 @@ from scratch (no reuse of predictor work).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.accelerators.base import AcceleratorModel, AttentionWorkload, CostReport
 

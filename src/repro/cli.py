@@ -16,8 +16,12 @@ results are identical, only wall-clock differs).  Without the flag the
 
 The ``serve`` experiment additionally honors ``--rate`` (mean Poisson
 arrivals per decode round), ``--budget`` (global KV token budget of the
-paged plane pool), and ``--policy`` (``fcfs`` or ``shortest-prompt``
-admission ordering).
+paged plane pool), ``--policy`` (``fcfs`` or ``shortest-prompt``
+admission ordering), ``--prefix-sharing`` (hash-based copy-on-write
+prompt-prefix sharing on a shared-system-prompt workload),
+``--round-tokens`` (tokens one decode round can process — activates the
+prefill cost model), and ``--chunk`` (chunked prefill: per-request,
+per-round prompt chunk size; requires ``--round-tokens``).
 """
 
 from __future__ import annotations
@@ -26,7 +30,7 @@ import argparse
 import json
 import sys
 import time
-from typing import Callable, Dict
+from typing import Dict
 
 from repro.core.backend import available_backends, set_default_backend
 from repro.eval import harness as H
@@ -124,6 +128,21 @@ def main(argv=None) -> int:
         "--policy", choices=("fcfs", "shortest-prompt"), default="fcfs",
         help="admission ordering of the continuous scheduler (serve only)",
     )
+    serve_group.add_argument(
+        "--prefix-sharing", action="store_true",
+        help="content-hash copy-on-write prefix sharing over a "
+        "shared-system-prompt workload (serve only)",
+    )
+    serve_group.add_argument(
+        "--chunk", type=int, default=0,
+        help="chunked prefill: prompt tokens per request per round; "
+        "0 = unchunked (serve only, needs --round-tokens)",
+    )
+    serve_group.add_argument(
+        "--round-tokens", type=int, default=0,
+        help="tokens one decode round can process — activates the prefill "
+        "cost model; 0 = legacy instant prefill (serve only)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
@@ -141,7 +160,14 @@ def main(argv=None) -> int:
     for name in names:
         fn, desc = EXPERIMENTS[name]
         kwargs = (
-            {"rate": args.rate, "budget": args.budget, "policy": args.policy}
+            {
+                "rate": args.rate,
+                "budget": args.budget,
+                "policy": args.policy,
+                "prefix_sharing": args.prefix_sharing,
+                "chunk": args.chunk,
+                "round_tokens": args.round_tokens,
+            }
             if name == "serve"
             else {}
         )

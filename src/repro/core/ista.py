@@ -21,7 +21,7 @@ worse than left-to-right.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional
 
 import numpy as np
 

@@ -4,7 +4,11 @@
   the dense per-sequence :class:`BitPlaneKVCache` and the paged
   :class:`PagedBitPlaneKVCache` over a shared :class:`PlaneBlockPool`
   (fixed-size token blocks under a global budget; same interface, so the
-  attention path is storage-agnostic).
+  attention path is storage-agnostic).  The pool ref-counts blocks:
+  content-hashed prompt-prefix sharing (``prefix_sharing=True``) and
+  zero-copy cache forks with copy-on-write tails ride on top, and the
+  ``begin/extend/finish_prefill`` triple supports chunked prefill with
+  byte-identical results to one-shot prefill.
 * :mod:`repro.engine.engine` — :class:`PadeEngine`: multi-head attention
   over model presets with per-head guards, a head-batched filter round
   (one einsum covers all heads), and aggregate serving statistics.
@@ -26,6 +30,12 @@ Continuous batching under a token budget::
     results = engine.serve(requests, token_budget=4096, policy="fcfs")
     results["req0"].first_token_time            # decode-round units
     engine.last_serve.occupancy                 # pool occupancy timeline
+
+Prefix sharing + chunked prefill::
+
+    results = engine.serve(requests, token_budget=4096, prefix_sharing=True,
+                           round_token_budget=64, chunk_tokens=48)
+    engine.last_serve.prefix_hit_blocks         # blocks served from the index
 """
 
 from repro.engine.cache import (

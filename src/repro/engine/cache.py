@@ -23,6 +23,27 @@ Two storage strategies share one interface
   :class:`PoolExhausted`, the signal the continuous scheduler turns into
   preemption.
 
+Two sharing mechanisms ride on the paged pool (both off by default):
+
+* **Hash-based prefix sharing** — with ``prefix_sharing=True``, full
+  prompt blocks are content-addressed by a chained key
+  ``sha256(parent ‖ k_int_block ‖ v_block)`` rooted at a digest of the
+  cache config *and the frozen per-head scales*.  Because the stored
+  planes are a pure function of ``k_int``, a key match guarantees the
+  shared block is byte-identical to what this request would have
+  written, so retained sets are provably unchanged by sharing.  Matched
+  blocks are attached by reference count instead of re-allocated and
+  re-decomposed (pool budget *and* prefill compute saved).
+* **Copy-on-write forking** — :meth:`PagedBitPlaneKVCache.fork` clones a
+  cache onto the same ref-counted blocks (parallel sampling / beam
+  forking); the first divergent ``append`` into a shared partial tail
+  block copies it (:meth:`PlaneBlockPool.fork_block`) before writing.
+
+Chunked prefill is supported at cache level by the
+``begin_prefill`` / ``extend_prefill`` / ``finish_prefill`` triple:
+scales are calibrated on the *full* prompt up front, so chunk-by-chunk
+decomposition stays byte-identical to one-shot :meth:`prefill`.
+
 Two serving-specific choices apply to both:
 
 * **Frozen scales.**  Per-head quantization scales are calibrated on the
@@ -38,7 +59,8 @@ Two serving-specific choices apply to both:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import hashlib
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -72,7 +94,10 @@ def quantize_heads(
     k = np.asarray(k, dtype=np.float64)
     qmin, qmax = int_range(bits)
     if scales is None:
-        max_abs = np.max(np.abs(k).reshape(k.shape[0], -1), axis=1)
+        flat = np.abs(k).reshape(k.shape[0], -1)
+        # Zero-length sequences calibrate to the unit scale, matching the
+        # scalar quantizer's empty-input fallback.
+        max_abs = flat.max(axis=1) if flat.shape[1] else np.zeros(k.shape[0])
         scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
     else:
         scales = np.asarray(scales, dtype=np.float64)
@@ -254,6 +279,16 @@ class PlaneBlockPool:
 
     ``token_budget`` is rounded *down* to a whole number of blocks — the
     pool never over-commits the budget it was given.
+
+    Blocks are *ref-counted*: :meth:`allocate` hands out a block with one
+    reference, :meth:`share` adds references (prefix hits, cache forks),
+    and :meth:`release` drops one reference per call — the block returns
+    to the free list only when the last reference is gone.  Full prompt
+    blocks may additionally be *registered* under a content key
+    (:meth:`register_prefix`), making them discoverable by later
+    requests with the same prompt prefix; registration is removed when
+    the block is freed or forked, so the index never points at stale or
+    mutable content.
     """
 
     def __init__(
@@ -284,6 +319,13 @@ class PlaneBlockPool:
         # LIFO free list seeded so the first allocations come out 0, 1, 2...
         self._free: List[int] = list(range(self.num_blocks - 1, -1, -1))
         self._allocated: set = set()
+        self._refcounts: Dict[int, int] = {}
+        self._prefix_index: Dict[bytes, int] = {}  # content key -> block
+        self._block_key: Dict[int, bytes] = {}  # block -> content key
+        self.peak_used_blocks = 0  # high-water mark of concurrently live blocks
+        self.allocations = 0  # cumulative allocate() grants
+        self.prefix_shares = 0  # cumulative share() grants
+        self.forks = 0  # cumulative copy-on-write block copies
 
     # ------------------------------------------------------------------
     @property
@@ -313,9 +355,16 @@ class PlaneBlockPool:
         """Fraction of the token budget currently reserved."""
         return self.used_block_count / self.num_blocks
 
+    @property
+    def bytes_per_block(self) -> int:
+        """Backing-store bytes one block occupies (planes + k_int + values)."""
+        h, d, dv = self.num_heads, self.head_dim, self.v_dim
+        per_row = self.bits * h * d + h * d * 8 + h * dv * 8
+        return self.block_size * per_row
+
     # ------------------------------------------------------------------
     def allocate(self) -> int:
-        """Take one free block; raises :class:`PoolExhausted` when full."""
+        """Take one free block (refcount 1); :class:`PoolExhausted` when full."""
         if not self._free:
             raise PoolExhausted(
                 f"pool exhausted: all {self.num_blocks} blocks "
@@ -323,15 +372,109 @@ class PlaneBlockPool:
             )
         block = self._free.pop()
         self._allocated.add(block)
+        self._refcounts[block] = 1
+        self.allocations += 1
+        self.peak_used_blocks = max(self.peak_used_blocks, len(self._allocated))
         return block
 
+    def allocate_many(self, count: int) -> List[int]:
+        """Take ``count`` blocks atomically: all of them or none.
+
+        The free-list check happens before any block is claimed, so a
+        failed compound allocation can never leak a partial set — the
+        pool is byte-for-byte as it was before the call.
+        """
+        if count > len(self._free):
+            raise PoolExhausted(
+                f"allocation of {count} blocks exceeds the {len(self._free)} free "
+                f"({self.num_blocks} total, {self.token_budget} tokens)"
+            )
+        return [self.allocate() for _ in range(count)]
+
+    def share(self, block: int) -> int:
+        """Add one reference to an allocated block (prefix hit / fork)."""
+        if block not in self._allocated:
+            raise ValueError(f"block {block} is not allocated")
+        self._refcounts[block] += 1
+        self.prefix_shares += 1
+        return block
+
+    def ref_count(self, block: int) -> int:
+        """Live references to ``block`` (0 if free)."""
+        return self._refcounts.get(block, 0)
+
     def release(self, blocks) -> None:
-        """Return blocks to the free list (double frees are rejected)."""
+        """Drop one reference per block; free those reaching zero.
+
+        Releasing a block that is not allocated raises ``ValueError``
+        (the double-free guard — a block freed by its last holder leaves
+        ``_allocated`` immediately, so a stale second release is loud).
+        """
         for block in blocks:
             if block not in self._allocated:
                 raise ValueError(f"block {block} is not allocated")
+            self._decref(block)
+
+    def _decref(self, block: int) -> None:
+        self._refcounts[block] -= 1
+        if self._refcounts[block] == 0:
+            self._unregister(block)
+            del self._refcounts[block]
             self._allocated.remove(block)
             self._free.append(block)
+
+    # ------------------------------------------------------------------
+    def register_prefix(self, key: bytes, block: int) -> bool:
+        """Publish ``block`` under content ``key`` for later prefix hits.
+
+        First writer wins: if ``key`` is already registered (two requests
+        raced the same prompt), the existing entry is kept and ``False``
+        is returned — the caller's block simply stays private.
+        """
+        if block not in self._allocated:
+            raise ValueError(f"block {block} is not allocated")
+        if key in self._prefix_index:
+            return False
+        self._prefix_index[key] = block
+        self._block_key[block] = key
+        return True
+
+    def lookup_prefix(self, key: bytes) -> Optional[int]:
+        """Find the live block registered under ``key`` (None on miss)."""
+        return self._prefix_index.get(key)
+
+    def is_registered(self, block: int) -> bool:
+        return block in self._block_key
+
+    def _unregister(self, block: int) -> None:
+        key = self._block_key.pop(block, None)
+        if key is not None and self._prefix_index.get(key) == block:
+            del self._prefix_index[key]
+
+    def fork_block(self, block: int, rows_used: int) -> int:
+        """Make ``block`` privately writable (copy-on-write).
+
+        If this caller holds the only reference, the block is simply
+        unregistered (its content is about to diverge from the published
+        key) and returned unchanged.  Otherwise a fresh block is
+        allocated — *before* any mutation, so :class:`PoolExhausted`
+        leaves everything untouched — the first ``rows_used`` rows are
+        copied, and the shared block loses one reference.
+        """
+        if block not in self._allocated:
+            raise ValueError(f"block {block} is not allocated")
+        if self._refcounts[block] == 1:
+            self._unregister(block)
+            return block
+        fresh = self.allocate()
+        src = self.rows_of(block)[:rows_used]
+        dst = self.rows_of(fresh)[:rows_used]
+        self._planes[:, :, dst, :] = self._planes[:, :, src, :]
+        self._k_int[:, dst, :] = self._k_int[:, src, :]
+        self._values[:, dst, :] = self._values[:, src, :]
+        self._decref(block)
+        self.forks += 1
+        return fresh
 
     def rows_of(self, block: int) -> np.ndarray:
         """Physical row indices owned by ``block``."""
@@ -353,11 +496,23 @@ class PagedBitPlaneKVCache:
 
     Raises :class:`PoolExhausted` from ``prefill``/``append`` *before*
     mutating any state, so a failed allocation is always safe to retry
-    after the scheduler frees blocks.
+    after the scheduler frees blocks.  (``prefill`` with sharing enabled
+    may transiently take prefix references, but it releases them before
+    re-raising — pool state is net unchanged on failure.)
+
+    With ``prefix_sharing=True``, full prompt blocks whose chained
+    content key is already registered in the pool are *attached* (shared,
+    ref-counted) instead of allocated and re-decomposed; blocks this
+    cache writes itself are registered for later requests.  Sharing is
+    invisible to every consumer: a hit block is byte-identical to what
+    this cache would have written (the key covers config, frozen scales,
+    ``k_int`` and values), so gathers — and therefore retained sets —
+    are unchanged.
     """
 
-    def __init__(self, pool: PlaneBlockPool) -> None:
+    def __init__(self, pool: PlaneBlockPool, prefix_sharing: bool = False) -> None:
         self.pool = pool
+        self.prefix_sharing = bool(prefix_sharing)
         self.num_heads = pool.num_heads
         self.head_dim = pool.head_dim
         self.v_dim = pool.v_dim
@@ -367,6 +522,13 @@ class PagedBitPlaneKVCache:
         self._scales: Optional[np.ndarray] = None
         self.rows_decomposed = 0
         self.appends = 0
+        self.prefix_hit_blocks = 0  # full prompt blocks attached from the index
+        self.prefix_miss_blocks = 0  # shareable full prompt blocks written fresh
+        self._prefill_target = 0  # prompt length once begin_prefill ran
+        self._block_keys: List[bytes] = []  # chain keys of full prompt blocks
+        self._next_register = 0  # first full prompt block not yet registered
+        self._pending_k_int: Optional[np.ndarray] = None  # (H, S, D) during prefill
+        self._pending_v: Optional[np.ndarray] = None  # (H, S, Dv) during prefill
 
     # ------------------------------------------------------------------
     @property
@@ -391,6 +553,13 @@ class PagedBitPlaneKVCache:
             raise RuntimeError("cache is empty; call prefill() first")
         return self._scales
 
+    @property
+    def prefill_remaining(self) -> int:
+        """Prompt tokens still to be written by :meth:`extend_prefill`."""
+        if self._pending_k_int is None:
+            return 0
+        return self._prefill_target - self._length
+
     def _row_index(self) -> np.ndarray:
         """Physical pool rows of tokens ``0 .. length-1``, in order."""
         if not self._blocks:
@@ -399,6 +568,13 @@ class PagedBitPlaneKVCache:
         table = np.asarray(self._blocks, dtype=np.int64)
         rows = (table[:, None] * bs + np.arange(bs, dtype=np.int64)[None, :]).reshape(-1)
         return rows[: self._length]
+
+    def _rows_for(self, start: int, end: int) -> np.ndarray:
+        """Physical pool rows of token positions ``start .. end-1``."""
+        bs = self.pool.block_size
+        pos = np.arange(start, end, dtype=np.int64)
+        table = np.asarray(self._blocks, dtype=np.int64)
+        return table[pos // bs] * bs + pos % bs
 
     @property
     def planes(self) -> BitPlanes:
@@ -423,44 +599,187 @@ class PagedBitPlaneKVCache:
         return self.pool._k_int[:, self._row_index(), :]
 
     # ------------------------------------------------------------------
-    def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
-        """Quantize, decompose and scatter the prompt into pool blocks.
+    def _chain_keys(self, k_int: np.ndarray, v: np.ndarray, scales: np.ndarray) -> List[bytes]:
+        """Chained content keys of every *full* prompt block.
 
-        Allocation happens before any write: either every block the prompt
-        needs is claimed, or :class:`PoolExhausted` is raised with the pool
-        untouched.
+        The root digest covers the cache config and the frozen per-head
+        scales, so two prompts only chain together when their quantized
+        rows are byte-identical; each block key then folds in the block's
+        ``k_int`` and value rows on top of its parent's key.
+        """
+        bs = self.pool.block_size
+        root = hashlib.sha256()
+        root.update(
+            repr((self.bits, bs, self.num_heads, self.head_dim, self.v_dim)).encode()
+        )
+        root.update(scales.tobytes())
+        parent = root.digest()
+        keys = []
+        for b in range(k_int.shape[1] // bs):
+            h = hashlib.sha256(parent)
+            h.update(np.ascontiguousarray(k_int[:, b * bs : (b + 1) * bs, :]).tobytes())
+            h.update(np.ascontiguousarray(v[:, b * bs : (b + 1) * bs, :]).tobytes())
+            parent = h.digest()
+            keys.append(parent)
+        return keys
+
+    def begin_prefill(self, k: np.ndarray, v: np.ndarray) -> int:
+        """Calibrate scales on the full prompt and attach shared prefix blocks.
+
+        Quantizes the whole prompt up front (so chunked decomposition is
+        byte-identical to one-shot :meth:`prefill`), looks the leading
+        full blocks up in the pool's prefix index, and attaches every hit
+        by reference.  Returns the number of tokens already resident;
+        the rest are written by :meth:`extend_prefill`.
         """
         k, v = _check_prefill(self, k, v)
         seq_len = k.shape[1]
-        bs = self.pool.block_size
-        needed = max(1, -(-seq_len // bs))
-        if needed > self.pool.free_block_count:
-            raise PoolExhausted(
-                f"prefill of {seq_len} tokens needs {needed} blocks; "
-                f"pool has {self.pool.free_block_count} free"
-            )
         k_int, scales = quantize_heads(k, bits=self.bits)
-        bp = decompose_bitplanes(k_int, bits=self.bits)
-        self._blocks = [self.pool.allocate() for _ in range(needed)]
+        hits: List[int] = []
+        keys: List[bytes] = []
+        if self.prefix_sharing:
+            keys = self._chain_keys(k_int, v, scales)
+            for key in keys:
+                block = self.pool.lookup_prefix(key)
+                if block is None:
+                    break
+                hits.append(block)
+        self._blocks = [self.pool.share(b) for b in hits]
         self._scales = scales
-        self._length = seq_len
-        rows = self._row_index()
+        self._length = len(hits) * self.pool.block_size
+        self._prefill_target = seq_len
+        self._block_keys = keys
+        self._next_register = len(hits)
+        self._pending_k_int = k_int
+        self._pending_v = v
+        self.prefix_hit_blocks += len(hits)
+        self.prefix_miss_blocks += len(keys) - len(hits)
+        return self._length
+
+    def extend_prefill(self, max_tokens: Optional[int] = None) -> int:
+        """Decompose and write up to ``max_tokens`` more prompt rows.
+
+        Blocks for the chunk are claimed atomically before any write
+        (:meth:`PlaneBlockPool.allocate_many`), so :class:`PoolExhausted`
+        leaves both the cache and the pool exactly as they were — the
+        scheduler preempts a victim and retries the same chunk.  Returns
+        the number of tokens *written* — the compute actually spent, the
+        quantity a round token budget should be charged for; full prompt
+        blocks completed by the chunk are registered in the prefix index
+        (sharing mode only).
+
+        Sharing probes are *late-binding*: at every block-aligned
+        position the prefix index is re-checked before writing, so a
+        request admitted in the same round as its donor — before the
+        donor had written anything — still attaches the donor's blocks
+        as they appear, chunk by chunk.  Attached blocks are free: they
+        advance the prefill without counting against ``max_tokens``.
+        """
+        if self._pending_k_int is None:
+            raise RuntimeError("no prefill in progress; call begin_prefill() first")
+        if self.prefix_sharing:
+            bs_probe = self.pool.block_size
+            while (
+                self._length % bs_probe == 0
+                and self._length // bs_probe < len(self._block_keys)
+                and len(self._blocks) == self._length // bs_probe
+            ):
+                idx = self._length // bs_probe
+                block = self.pool.lookup_prefix(self._block_keys[idx])
+                if block is None:
+                    break
+                self._blocks.append(self.pool.share(block))
+                self._length += bs_probe
+                self.prefix_hit_blocks += 1
+                self.prefix_miss_blocks -= 1  # begin_prefill counted it a miss
+                self._next_register = idx + 1
+        remaining = self._prefill_target - self._length
+        take = remaining if max_tokens is None else min(int(max_tokens), remaining)
+        if take <= 0:
+            return 0
+        bs = self.pool.block_size
+        start = self._length
+        end = start + take
+        needed = -(-end // bs) - len(self._blocks)
+        if needed > 0:
+            self._blocks.extend(self.pool.allocate_many(needed))
+        k_int = self._pending_k_int[:, start:end, :]
+        bp = decompose_bitplanes(k_int, bits=self.bits)
+        rows = self._rows_for(start, end)
         self.pool._planes[:, :, rows, :] = bp.planes
         self.pool._k_int[:, rows, :] = k_int
-        self.pool._values[:, rows, :] = v
-        self.rows_decomposed += self.num_heads * seq_len
+        self.pool._values[:, rows, :] = self._pending_v[:, start:end, :]
+        self._length = end
+        self.rows_decomposed += self.num_heads * take
+        if self.prefix_sharing:
+            for i in range(self._next_register, min(end // bs, len(self._block_keys))):
+                self.pool.register_prefix(self._block_keys[i], self._blocks[i])
+                self._next_register = i + 1
+        return take
+
+    def finish_prefill(self) -> None:
+        """Seal the prompt: drop staging buffers, enable ``append``."""
+        if self._pending_k_int is None:
+            raise RuntimeError("no prefill in progress")
+        if self._length < self._prefill_target:
+            raise RuntimeError(
+                f"prefill incomplete: {self._length}/{self._prefill_target} tokens resident"
+            )
+        self._pending_k_int = None
+        self._pending_v = None
+
+    def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
+        """Quantize, decompose and scatter the prompt into pool blocks.
+
+        One-shot path: prefix hits attach shared blocks, the rest is
+        claimed atomically before any write.  On :class:`PoolExhausted`
+        any prefix references taken are released before re-raising, so
+        the pool is net untouched and the call is safe to retry after the
+        scheduler frees blocks.
+        """
+        hits, misses = self.prefix_hit_blocks, self.prefix_miss_blocks
+        self.begin_prefill(k, v)
+        try:
+            self.extend_prefill()
+        except PoolExhausted:
+            # Free the partially attached prefix references before
+            # re-raising — a failed admission must not squat on the pool —
+            # and roll back the hit/miss counters of the aborted attempt.
+            self.release()
+            self.prefix_hit_blocks, self.prefix_miss_blocks = hits, misses
+            raise
+        self.finish_prefill()
+
+    def _ensure_tail_private(self) -> None:
+        """Copy-on-write guard: make the tail block safe to write into.
+
+        A tail shared with a forked sibling (refcount > 1) — or still
+        published in the prefix index — is forked/unregistered before the
+        first divergent write, so sharers and index entries never observe
+        a mutation.  May raise :class:`PoolExhausted` (pre-mutation).
+        """
+        tail = self._blocks[-1]
+        if self.pool.ref_count(tail) == 1 and not self.pool.is_registered(tail):
+            return
+        rows_used = self._length - (len(self._blocks) - 1) * self.pool.block_size
+        self._blocks[-1] = self.pool.fork_block(tail, rows_used)
 
     def append(self, k_step: np.ndarray, v_step: np.ndarray) -> None:
         """Add one token per head, growing the block table on demand.
 
-        A new block (if the tail block is full) is allocated before any
-        state changes; on :class:`PoolExhausted` the cache is exactly as it
-        was, so the scheduler can preempt a victim and retry.
+        A new block (if the tail block is full) is allocated — or a
+        shared tail is copy-on-write forked — before any state changes;
+        on :class:`PoolExhausted` the cache is exactly as it was, so the
+        scheduler can preempt a victim and retry.
         """
         k_step, v_step = _check_step(self, k_step, v_step)
+        if self._pending_k_int is not None:
+            raise RuntimeError("append() during an unfinished chunked prefill")
         bs = self.pool.block_size
         if self._length == len(self._blocks) * bs:
             self._blocks.append(self.pool.allocate())
+        else:
+            self._ensure_tail_private()
         k_int, _ = quantize_heads(k_step, bits=self.bits, scales=self._scales)
         bp = decompose_bitplanes(k_int, bits=self.bits)  # (bits, H, D)
         pos = self._length
@@ -472,13 +791,41 @@ class PagedBitPlaneKVCache:
         self.rows_decomposed += self.num_heads
         self.appends += 1
 
-    def release(self) -> None:
-        """Return every block to the pool and reset to the empty state.
+    def fork(self) -> "PagedBitPlaneKVCache":
+        """Clone this cache onto the same ref-counted blocks (zero copy).
 
-        After release the cache may be prefilled again — the path a
-        preempted request takes on re-admission.
+        The clone shares every block — including a partial tail — and the
+        frozen scales; the first divergent :meth:`append` on either side
+        copy-on-write forks the tail, so both sequences stay byte-exact.
+        Forking mid-prefill is rejected (the staging buffers are not
+        shareable).
+        """
+        if self._scales is None:
+            raise RuntimeError("cannot fork an empty cache")
+        if self._pending_k_int is not None:
+            raise RuntimeError("cannot fork during an unfinished chunked prefill")
+        clone = PagedBitPlaneKVCache(self.pool, prefix_sharing=self.prefix_sharing)
+        clone._blocks = [self.pool.share(b) for b in self._blocks]
+        clone._length = self._length
+        clone._scales = self._scales.copy()
+        clone._prefill_target = self._prefill_target
+        clone._block_keys = list(self._block_keys)
+        clone._next_register = len(clone._block_keys)  # clone registers nothing
+        return clone
+
+    def release(self) -> None:
+        """Drop this cache's block references and reset to the empty state.
+
+        Shared blocks merely lose one reference; privately held blocks
+        return to the pool.  After release the cache may be prefilled
+        again — the path a preempted request takes on re-admission.
         """
         self.pool.release(self._blocks)
         self._blocks = []
         self._length = 0
         self._scales = None
+        self._prefill_target = 0
+        self._block_keys = []
+        self._next_register = 0
+        self._pending_k_int = None
+        self._pending_v = None

@@ -251,6 +251,33 @@ class PadeEngine:
             return None
         return self.attend(cache, q)
 
+    def prefill_begin(self, cache, k: np.ndarray, v: np.ndarray) -> int:
+        """Start a chunked prefill: calibrate scales, attach prefix hits.
+
+        Paged caches only.  Returns the tokens already resident (shared
+        prefix blocks attached by reference — zero decompose cost); the
+        remainder is fed through :meth:`prefill_extend` and sealed by
+        :meth:`prefill_finish`.  The chunk boundaries never change the
+        stored bytes: scales come from the full prompt, so the planes are
+        identical to a one-shot :meth:`prefill`.
+        """
+        return cache.begin_prefill(k, v)
+
+    def prefill_extend(self, cache, max_tokens: Optional[int] = None) -> int:
+        """Write up to ``max_tokens`` more prompt rows of a chunked prefill."""
+        before = cache.rows_decomposed
+        written = cache.extend_prefill(max_tokens)
+        self.stats.rows_decomposed += cache.rows_decomposed - before
+        return written
+
+    def prefill_finish(self, cache, q: Optional[np.ndarray] = None):
+        """Seal a chunked prefill and optionally attend the prompt queries."""
+        cache.finish_prefill()
+        self.stats.prefill_tokens += cache.length
+        if q is None:
+            return None
+        return self.attend(cache, q)
+
     def decode_step(
         self,
         cache: BitPlaneKVCache,
@@ -300,16 +327,24 @@ class PadeEngine:
         block_size: int = 16,
         policy: str = "fcfs",
         admission: str = "continuous",
+        prefix_sharing: bool = False,
+        chunk_tokens: int = 0,
+        round_token_budget: int = 0,
     ):
         """Serve ``requests`` with continuous batching over a paged pool.
 
         Arrival-aware admission at every decode-round boundary, KV rows in
         fixed-size blocks under ``token_budget``, preemption under memory
         pressure — see :class:`repro.engine.scheduler.ContinuousScheduler`
-        for the policy knobs.  Returns ``{request_id: RequestResult}``
-        with per-request timing (arrival/admit/first-token/finish)
-        populated; the scheduler of the last call stays inspectable via
-        :attr:`last_serve` (trace, timed events, pool occupancy timeline).
+        for the policy knobs.  ``prefix_sharing`` turns on hash-based
+        copy-on-write prompt-prefix sharing across requests;
+        ``round_token_budget`` activates the prefill cost model (a prompt
+        occupies rounds in proportion to its length) and ``chunk_tokens``
+        splits those prompts into chunks interleaved with decode rounds.
+        Returns ``{request_id: RequestResult}`` with per-request timing
+        (arrival/admit/first-token/finish) populated; the scheduler of
+        the last call stays inspectable via :attr:`last_serve` (trace,
+        timed events, pool occupancy timeline, prefix-cache counters).
         """
         from repro.engine.scheduler import ContinuousScheduler
 
@@ -320,6 +355,9 @@ class PadeEngine:
             block_size=block_size,
             policy=policy,
             admission=admission,
+            prefix_sharing=prefix_sharing,
+            chunk_tokens=chunk_tokens,
+            round_token_budget=round_token_budget,
         )
         for request in requests:
             scheduler.submit(request)

@@ -135,8 +135,13 @@ class _RequestState:
     next_step: int = 0
 
     @property
+    def prefilling(self) -> bool:
+        """True while a chunked prefill still owes prompt tokens."""
+        return getattr(self.cache, "prefill_remaining", 0) > 0
+
+    @property
     def done(self) -> bool:
-        return self.next_step >= self.request.decode_steps
+        return not self.prefilling and self.next_step >= self.request.decode_steps
 
     def reset(self) -> None:
         """Discard all progress (preemption restarts the request)."""
@@ -296,6 +301,23 @@ class ContinuousScheduler:
         ``"continuous"`` admits at every round boundary; ``"drain"`` only
         when the active set is empty — the static-batching baseline the
         serving benchmark compares against.
+    prefix_sharing:
+        Content-hash prompt-prefix sharing across requests: full prompt
+        blocks with a registered chain key are attached by reference
+        (copy-on-write) instead of re-allocated and re-decomposed.
+        Retained sets are unchanged — a hit block is byte-identical to
+        what the request would have written itself.
+    round_token_budget:
+        Tokens one decode round can process (0 = legacy instant-prefill
+        timing).  When set, a prompt's *missed* tokens cost rounds:
+        without chunking the oldest prefill owns whole rounds exclusively
+        (decode stalls — the motivation for chunked prefill); with
+        ``chunk_tokens`` set, decode runs first every round and the
+        leftover budget is split over prefilling requests in admission
+        order, at most ``chunk_tokens`` each.
+    chunk_tokens:
+        Per-request, per-round prefill chunk size (requires
+        ``round_token_budget``); 0 keeps prefills unchunked.
     """
 
     def __init__(
@@ -306,6 +328,9 @@ class ContinuousScheduler:
         block_size: int = 16,
         policy: str = "fcfs",
         admission: str = "continuous",
+        prefix_sharing: bool = False,
+        chunk_tokens: int = 0,
+        round_token_budget: int = 0,
     ) -> None:
         if policy not in SCHEDULING_POLICIES:
             raise ValueError(f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
@@ -313,12 +338,19 @@ class ContinuousScheduler:
             raise ValueError(f"admission must be 'continuous' or 'drain', got {admission!r}")
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
+        if chunk_tokens < 0 or round_token_budget < 0:
+            raise ValueError("chunk_tokens and round_token_budget must be >= 0")
+        if chunk_tokens and not round_token_budget:
+            raise ValueError("chunk_tokens requires round_token_budget (the per-round split)")
         self.engine = engine
         self.max_active = max_active
         self.token_budget = token_budget
         self.block_size = block_size
         self.policy = policy
         self.admission = admission
+        self.prefix_sharing = bool(prefix_sharing)
+        self.chunk_tokens = int(chunk_tokens)
+        self.round_token_budget = int(round_token_budget)
         self.pool: Optional[PlaneBlockPool] = None
         self.time = 0.0
         self.pending: List[Tuple[int, EngineRequest]] = []  # (submit order, request)
@@ -326,9 +358,18 @@ class ContinuousScheduler:
         self.trace: List[Tuple[str, Tuple[str, ...]]] = []
         self.events: List[Tuple[float, str, Tuple[str, ...]]] = []  # timed trace
         self.occupancy: List[Tuple[float, int, int]] = []  # (time, used tokens, active)
+        self.prefix_hit_blocks = 0  # prompt blocks attached from the prefix index
+        self.prefix_miss_blocks = 0  # shareable prompt blocks written fresh
+        self.chunk_stall_rounds = 0  # rounds where a prefill got zero budget
+        self.decode_blocked_rounds = 0  # rounds an exclusive prefill stalled decode
         self._timings: Dict[str, _Timing] = {}
         self._submit_seq = 0
         self._admit_seq = 0
+
+    @property
+    def _budgeted(self) -> bool:
+        """True when the round-token prefill cost model is active."""
+        return self.round_token_budget > 0
 
     # ------------------------------------------------------------------
     def submit(self, request: EngineRequest) -> None:
@@ -400,27 +441,61 @@ class ContinuousScheduler:
             blocks_needed = max(1, -(-request.prompt_tokens // pool.block_size))
             # One headroom block per unfinished active request keeps this
             # admission from forcing a preemption in the very next round.
+            # (Worst case: prefix hits only lower the real demand.)
             headroom = sum(1 for s in self.active if not s.done)
             if pool.free_block_count < blocks_needed + headroom:
                 return
             self.pending.remove(entry)
-            cache = PagedBitPlaneKVCache(pool)
-            res = self.engine.prefill(cache, request.k, request.v, q=request.q_prompt)
+            cache = PagedBitPlaneKVCache(pool, prefix_sharing=self.prefix_sharing)
             state = _RequestState(request=request, cache=cache, admit_index=self._admit_seq)
             self._admit_seq += 1
-            if res is not None:
-                state.prefill_output = res.output
-            self.active.append(state)
             timing = self._timings[request.request_id]
             if timing.admit_time is None:
                 timing.admit_time = self.time
-            if request.decode_steps == 0 and timing.first_token_time is None:
-                # Prefill-only: the prompt output is the first (and last) token.
-                timing.first_token_time = self.time + 1.0
-            self._record("prefill", (request.request_id,))
+            if self._budgeted:
+                # Bookkeeping only: shared prefix blocks attach for free,
+                # the missed tokens are paid for round by round.
+                self.engine.prefill_begin(cache, request.k, request.v)
+                self.active.append(state)
+                self._record("admit", (request.request_id,))
+                if not state.prefilling:  # full prefix hit: nothing left to pay
+                    self._finish_prefill(state)
+            else:
+                res = self.engine.prefill(cache, request.k, request.v, q=request.q_prompt)
+                if res is not None:
+                    state.prefill_output = res.output
+                self.active.append(state)
+                self._account_prefix(cache)
+                if request.decode_steps == 0 and timing.first_token_time is None:
+                    # Prefill-only: the prompt output is the first (and last) token.
+                    timing.first_token_time = self.time + 1.0
+                self._record("prefill", (request.request_id,))
+
+    def _account_prefix(self, cache) -> None:
+        self.prefix_hit_blocks += cache.prefix_hit_blocks
+        self.prefix_miss_blocks += cache.prefix_miss_blocks
+
+    def _finish_prefill(self, state: _RequestState) -> None:
+        """Seal a budgeted prefill: prompt-query attend + timing marks."""
+        request = state.request
+        res = self.engine.prefill_finish(state.cache, q=request.q_prompt)
+        if res is not None:
+            state.prefill_output = res.output
+        # Counted at completion so late-binding hits (blocks attached
+        # chunk by chunk as a concurrent donor registers them) are seen.
+        self._account_prefix(state.cache)
+        timing = self._timings[request.request_id]
+        if request.decode_steps == 0 and timing.first_token_time is None:
+            timing.first_token_time = self.time + 1.0
+        self._record("prefill", (request.request_id,))
 
     def _preempt_youngest(self) -> None:
-        victim = max(self.active, key=lambda s: s.admit_index)
+        # Never evict a finished-but-uncollected request: its blocks are
+        # freed by _collect at the end of this round anyway, and a
+        # preemption would discard fully computed outputs just to redo
+        # them.  The raiser itself is never done, so candidates exist.
+        candidates = [s for s in self.active if not s.done]
+        victim = max(candidates, key=lambda s: s.admit_index)
         self.active.remove(victim)
         victim.cache.release()
         victim.reset()
@@ -429,12 +504,12 @@ class ContinuousScheduler:
         self._submit_seq += 1
         self._record("preempt", (victim.request.request_id,))
 
-    def _decode_round(self) -> None:
+    def _decode_round(self) -> int:
         round_ids = []
         i = 0
         while i < len(self.active):
             state = self.active[i]
-            if state.done:
+            if state.done or state.prefilling:
                 i += 1
                 continue
             t = state.next_step
@@ -472,6 +547,60 @@ class ContinuousScheduler:
             i += 1
         if round_ids:
             self._record("decode_round", tuple(round_ids))
+        return len(round_ids)
+
+    # ------------------------------------------------------------------
+    def _extend_with_preemption(self, state: _RequestState, tokens: int) -> int:
+        """Feed ``tokens`` prompt tokens to one prefilling request.
+
+        :class:`PoolExhausted` preempts the youngest active request and
+        retries, exactly like the decode path; if the victim turns out to
+        be ``state`` itself, the chunk is abandoned (the request is back
+        in the queue, its blocks freed).
+        """
+        while True:
+            try:
+                written = self.engine.prefill_extend(state.cache, tokens)
+                break
+            except PoolExhausted:
+                if len(self.active) == 1:
+                    raise RuntimeError(
+                        f"token budget {self.token_budget} cannot hold request "
+                        f"{state.request.request_id!r} alone; raise --budget or "
+                        f"shrink the request"
+                    ) from None
+                self._preempt_youngest()
+                if state not in self.active:
+                    return 0
+        if not state.prefilling:
+            self._finish_prefill(state)
+        return written
+
+    def _prefill_round(self, decode_tokens: int) -> None:
+        """Spend this round's leftover token budget on pending prefills.
+
+        Unchunked: the oldest prefill owns the whole round (decode was
+        already skipped by the caller).  Chunked: prefilling requests are
+        served in admission order from the budget decode left over, at
+        most ``chunk_tokens`` each — so a short prompt makes progress
+        every round instead of queueing behind a long one.
+        """
+        prefilling = [s for s in self.active if s.prefilling]
+        if not prefilling:
+            return
+        prefilling.sort(key=lambda s: s.admit_index)
+        if not self.chunk_tokens:
+            self._extend_with_preemption(prefilling[0], self.round_token_budget)
+            return
+        budget_left = self.round_token_budget - decode_tokens
+        for state in prefilling:
+            if state not in self.active:  # preempted by an earlier extend
+                continue
+            if budget_left <= 0:
+                self.chunk_stall_rounds += 1
+                break
+            take = min(self.chunk_tokens, budget_left)
+            budget_left -= self._extend_with_preemption(state, take)
 
     def _collect(self, results: Dict[str, RequestResult]) -> None:
         still_active = []
@@ -520,7 +649,21 @@ class ContinuousScheduler:
                 if next_arrival > self.time:
                     self.time = float(next_arrival)
             self._admit()
-            self._decode_round()
+            decode_tokens = 0
+            exclusive = (
+                self._budgeted
+                and not self.chunk_tokens
+                and any(s.prefilling for s in self.active)
+            )
+            if exclusive:
+                # Unchunked prefill hogs the engine: decode stalls — the
+                # degradation chunked prefill exists to remove.
+                if any(not s.done and not s.prefilling for s in self.active):
+                    self.decode_blocked_rounds += 1
+            else:
+                decode_tokens = self._decode_round()
+            if self._budgeted:
+                self._prefill_round(decode_tokens)
             self.time += 1.0
             used = self.pool.used_tokens if self.pool is not None else 0
             self.occupancy.append((self.time, used, len(self.active)))

@@ -987,36 +987,54 @@ def serving_profile(
     block_size: int = 16,
     max_active: int = 4,
     seed: int = 11,
+    prefix_sharing: bool = False,
+    chunk: int = 0,
+    round_tokens: int = 0,
 ) -> Dict[str, float]:
     """Continuous-batching serving profile over the paged bit-plane pool.
 
     Runs :meth:`repro.engine.PadeEngine.serve` on a Poisson arrival
     workload (``rate`` requests per decode round) under a global KV
     ``budget`` (tokens) and reports the serving currency — TTFT / TPOT /
-    queueing-delay percentiles, throughput, preemptions, and pool
-    occupancy.  Deterministic for a given seed — safe for ``--json``
-    smoke runs; the CLI exposes ``--rate/--budget/--policy``.
+    queueing-delay percentiles, throughput, preemptions, pool occupancy,
+    and (with ``prefix_sharing``) prefix-cache hit rate / blocks saved.
+    ``round_tokens`` activates the prefill cost model and ``chunk`` the
+    chunked-prefill split.  Deterministic for a given seed — safe for
+    ``--json`` smoke runs; the CLI exposes
+    ``--rate/--budget/--policy/--prefix-sharing/--chunk/--round-tokens``.
     """
     from repro.engine import PadeEngine
     from repro.eval.serving_metrics import summarize_serving
-    from repro.eval.workloads import build_serving_workload
+    from repro.eval.workloads import build_prefix_workload, build_serving_workload
 
     engine = PadeEngine(PadeConfig.standard())
-    workload = build_serving_workload(
-        requests, num_heads, context, steps, head_dim, rate=rate, seed=seed
-    )
+    if prefix_sharing:
+        # A shared-system-prompt stream: half the prompt is the common
+        # prefix, so the hit rate and blocks-saved figures are non-trivial.
+        workload = build_prefix_workload(
+            requests, num_heads, max(block_size, context // 2),
+            max(1, context // 2), steps, head_dim, rate=rate, seed=seed,
+        )
+    else:
+        workload = build_serving_workload(
+            requests, num_heads, context, steps, head_dim, rate=rate, seed=seed
+        )
     results = engine.serve(
         workload,
         max_active=max_active,
         token_budget=budget,
         block_size=block_size,
         policy=policy,
+        prefix_sharing=prefix_sharing,
+        chunk_tokens=chunk,
+        round_token_budget=round_tokens,
     )
     scheduler = engine.last_serve
     report = summarize_serving(
         results.values(),
         occupancy=scheduler.occupancy,
         token_budget=scheduler.pool.token_budget if scheduler.pool else None,
+        scheduler=scheduler,
     )
     return {
         "backend": resolve_backend_name(),
@@ -1025,6 +1043,9 @@ def serving_profile(
         "token_budget": float(budget),
         "block_size": float(block_size),
         "max_active": float(max_active),
+        "prefix_sharing": float(prefix_sharing),
+        "chunk_tokens": float(chunk),
+        "round_token_budget": float(round_tokens),
         **report,
         "engine_sparsity": engine.stats.sparsity,
     }

@@ -25,6 +25,7 @@ __all__ = [
     "RequestTiming",
     "timing_from_result",
     "latency_percentiles",
+    "prefix_cache_stats",
     "summarize_serving",
 ]
 
@@ -100,10 +101,32 @@ def latency_percentiles(values: Sequence[float], prefix: str) -> Dict[str, float
     return out
 
 
+def prefix_cache_stats(
+    hit_blocks: int, miss_blocks: int, bytes_per_block: int = 0
+) -> Dict[str, float]:
+    """Prefix-cache effectiveness in serving currency.
+
+    ``hit_blocks`` is how many full prompt blocks were attached from the
+    pool's content index instead of allocated + re-decomposed;
+    ``miss_blocks`` how many shareable blocks had to be written fresh.
+    Every hit is one pool block *and* one block's worth of prefill
+    compute saved, so the report doubles as a blocks-saved figure.
+    """
+    shareable = hit_blocks + miss_blocks
+    return {
+        "prefix_hit_blocks": float(hit_blocks),
+        "prefix_miss_blocks": float(miss_blocks),
+        "prefix_hit_rate": hit_blocks / shareable if shareable else 0.0,
+        "prefix_blocks_saved": float(hit_blocks),
+        "prefix_bytes_saved": float(hit_blocks * bytes_per_block),
+    }
+
+
 def summarize_serving(
     results: Iterable,
     occupancy: Sequence[Tuple[float, int, int]] = (),
     token_budget: Optional[int] = None,
+    scheduler=None,
 ) -> Dict[str, float]:
     """Reduce per-request results + the occupancy timeline to one report.
 
@@ -112,7 +135,12 @@ def summarize_serving(
     report covers latency (TTFT / TPOT / queueing delay, each with
     mean/p50/p95/p99), throughput (generated tokens per round over the
     makespan), preemption count, and — when ``token_budget`` is given —
-    mean/peak pool occupancy as a fraction of the budget.
+    mean/peak pool occupancy as a fraction of the budget.  Passing the
+    ``ContinuousScheduler`` itself adds the prefix-cache figures
+    (hit rate, blocks/bytes saved, peak live blocks) and the chunked-
+    prefill stall counters (``chunk_stall_rounds`` — rounds a prefill got
+    zero budget; ``decode_blocked_rounds`` — rounds an unchunked prefill
+    stalled decode).
     """
     timings = [timing_from_result(r) for r in results]
     if not timings:
@@ -139,4 +167,20 @@ def summarize_serving(
         if token_budget:
             report["mean_pool_occupancy"] = float(used.mean() / token_budget)
             report["peak_pool_occupancy"] = float(used.max() / token_budget)
+
+    if scheduler is not None:
+        pool = getattr(scheduler, "pool", None)
+        report.update(
+            prefix_cache_stats(
+                getattr(scheduler, "prefix_hit_blocks", 0),
+                getattr(scheduler, "prefix_miss_blocks", 0),
+                pool.bytes_per_block if pool is not None else 0,
+            )
+        )
+        report["chunk_stall_rounds"] = float(getattr(scheduler, "chunk_stall_rounds", 0))
+        report["decode_blocked_rounds"] = float(
+            getattr(scheduler, "decode_blocked_rounds", 0)
+        )
+        if pool is not None:
+            report["peak_used_blocks"] = float(pool.peak_used_blocks)
     return report

@@ -20,7 +20,7 @@ from repro.attention.dense import softmax
 from repro.core.config import PadeConfig
 from repro.core.pade_attention import pade_attention
 from repro.model.configs import ModelConfig, get_model
-from repro.model.synthetic import AttentionProfile, PROFILE_PRESETS, synthesize_qkv
+from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv
 
 __all__ = [
     "Workload",
@@ -32,6 +32,7 @@ __all__ = [
     "poisson_arrival_times",
     "trace_arrival_times",
     "build_serving_workload",
+    "build_prefix_workload",
 ]
 
 
@@ -312,3 +313,88 @@ def build_serving_workload(
         )
         for i in range(num_requests)
     ]
+
+
+def build_prefix_workload(
+    num_requests: int,
+    num_heads: int,
+    prefix_len: int,
+    unique_len: int,
+    decode_steps: int,
+    head_dim: int,
+    rate: Optional[float] = None,
+    arrival_times=None,
+    profile: str = "nlp",
+    seed: int = 0,
+):
+    """Synthesize requests sharing one system-prompt prefix (hash-hittable).
+
+    Every request's prompt is ``shared prefix (prefix_len tokens) +
+    private suffix (unique_len tokens)``.  Prefix sharing keys cover the
+    *quantized* prompt under the request's frozen per-head scales, so two
+    prompts only share when their calibration agrees; this generator
+    guarantees that by clipping each request's private K rows (suffix and
+    decode stream) to the prefix's per-head max-abs — the shared system
+    prompt dominates calibration, exactly the deployment prefix caching
+    targets.  Arrivals come from an explicit trace, a Poisson process at
+    ``rate``, or default to everyone at time 0 (the maximal-overlap case
+    the pool-savings benchmark measures).
+    """
+    if prefix_len < 1 or unique_len < 1:
+        raise ValueError("prefix_len and unique_len must be >= 1")
+    if rate is not None and arrival_times is not None:
+        raise ValueError("provide at most one of rate / arrival_times")
+    if arrival_times is not None:
+        times = trace_arrival_times(arrival_times)
+        if times.size != num_requests:
+            raise ValueError(f"expected {num_requests} arrival times, got {times.size}")
+    elif rate is not None:
+        times = poisson_arrival_times(num_requests, rate, seed=seed)
+    else:
+        times = np.zeros(num_requests)
+
+    from repro.engine import EngineRequest
+
+    prof = PROFILE_PRESETS[profile]
+    rng = np.random.default_rng(seed)
+    prefix_k = np.stack(
+        [synthesize_qkv(1, prefix_len, head_dim, prof, rng)[1] for _ in range(num_heads)]
+    )  # (H, prefix, D)
+    prefix_v = np.stack(
+        [synthesize_qkv(1, prefix_len, head_dim, prof, rng)[2] for _ in range(num_heads)]
+    )
+    # Per-head calibration cap: the prefix must own each head's max-abs so
+    # every sharer freezes identical quantization scales.
+    caps = np.abs(prefix_k).reshape(num_heads, -1).max(axis=1)  # (H,)
+
+    requests = []
+    num_queries = 1 + decode_steps
+    total = prefix_len + unique_len + decode_steps
+    for i in range(num_requests):
+        rng_i = np.random.default_rng(seed + 313 * (i + 1))
+        qp, ks, vs, dq, dk, dv = [], [], [], [], [], []
+        for h in range(num_heads):
+            q, k, v = synthesize_qkv(num_queries, total, head_dim, prof, rng_i)
+            k[:prefix_len] = prefix_k[h]
+            v[:prefix_len] = prefix_v[h]
+            np.clip(k[prefix_len:], -caps[h], caps[h], out=k[prefix_len:])
+            split = prefix_len + unique_len
+            qp.append(q[:1])
+            ks.append(k[:split])
+            vs.append(v[:split])
+            dq.append(q[1:])
+            dk.append(k[split:])
+            dv.append(v[split:])
+        requests.append(
+            EngineRequest(
+                request_id=f"req{i}",
+                k=np.stack(ks),
+                v=np.stack(vs),
+                q_prompt=np.stack(qp),
+                decode_q=np.stack(dq) if decode_steps else None,
+                decode_k=np.stack(dk) if decode_steps else None,
+                decode_v=np.stack(dv) if decode_steps else None,
+                arrival_time=float(times[i]),
+            )
+        )
+    return requests

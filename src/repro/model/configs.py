@@ -9,7 +9,7 @@ reporting only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 __all__ = ["ModelConfig", "MODEL_PRESETS", "get_model"]
 

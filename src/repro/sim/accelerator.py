@@ -31,10 +31,10 @@ from repro.core.ista import ista_attention
 from repro.quant.bitplane import decompose_bitplanes
 from repro.quant.integer import quantize_symmetric
 from repro.sim.dram import DramStats, HBMModel
-from repro.sim.qkpu import QKPUResult, simulate_qkpu
+from repro.sim.qkpu import simulate_qkpu
 from repro.sim.sram import SramBuffer
 from repro.sim.tech import DEFAULT_TECH, TechConfig
-from repro.sim.vpu import VPUResult, simulate_vpu
+from repro.sim.vpu import simulate_vpu
 
 __all__ = ["AcceleratorConfig", "SimReport", "PadeAccelerator"]
 

@@ -11,7 +11,6 @@ plane/retention filters — the quantities the Fig. 26(b) decoding study and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

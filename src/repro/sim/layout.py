@@ -11,9 +11,8 @@ model abstracts, so layout decisions can be unit-tested and visualized.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
-import numpy as np
 
 from repro.sim.tech import DEFAULT_TECH, TechConfig
 

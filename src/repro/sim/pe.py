@@ -21,7 +21,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.sim.tech import DEFAULT_TECH, TechConfig
 
 __all__ = ["Scoreboard", "LaneStats", "simulate_lane", "lane_task_costs"]
 

@@ -139,7 +139,6 @@ def simulate_qkpu(
 
     # Energy accounting.
     if effective_bit_ops is None:
-        planes_mask = np.zeros(key_planes.planes.shape[:2], dtype=np.int64)
         # approximate: every token contributes its processed planes once per row
         pc = key_planes.planes.sum(axis=2).astype(np.int64)  # (bits, S)
         eff = np.minimum(pc, key_planes.value_shape[1] - pc) if bidirectional else pc
@@ -148,7 +147,6 @@ def simulate_qkpu(
             for token in range(num_tokens):
                 total_eff += int(eff[: planes_processed[row, token], token].sum())
         effective_bit_ops = total_eff
-        del planes_mask
     total_tasks = int(planes_processed.sum())
     compute = effective_bit_ops * tech.bit_serial_add_pj + total_tasks * tech.shift_pj
     scoreboard = total_tasks * 2 * tech.scoreboard_access_pj  # read + update

@@ -10,7 +10,7 @@ area, 800 MHz, 352 KB SRAM, 256 GB/s @ 4 pJ/bit for every design).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["TechConfig", "DEFAULT_TECH"]
 

@@ -1,6 +1,5 @@
 """Tests for the analytic accelerator models (paper §VI comparisons)."""
 
-import numpy as np
 import pytest
 
 from repro.accelerators import (

@@ -1,6 +1,5 @@
 """Additional accelerator-model tests: BitWave, GPU modes, workload edges."""
 
-import numpy as np
 import pytest
 from dataclasses import replace
 

@@ -1,7 +1,6 @@
 """Tests for tiled online-softmax (FlashAttention-semantics) attention."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -65,7 +64,6 @@ class TestStats:
     def test_ascending_scores_update_max_every_tile(self):
         """Left-to-right over ascending logits forces a max update per tile
         — the pathology head-tail interleaving avoids (Fig. 10)."""
-        k = np.eye(8)[:, :4] if False else None
         q = np.array([[1.0, 0, 0, 0]])
         keys = np.stack([np.array([x, 0, 0, 0]) for x in np.linspace(0.1, 8.0, 8)])
         v = np.ones((8, 4))

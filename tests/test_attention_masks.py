@@ -1,6 +1,5 @@
 """Tests for mask constructors."""
 
-import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -18,7 +18,7 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.engine import ContinuousScheduler, EngineRequest, PadeEngine
+from repro.engine import ContinuousScheduler, PadeEngine
 from repro.eval.serving_metrics import summarize_serving, timing_from_result
 from repro.eval.workloads import build_engine_request, build_serving_workload
 

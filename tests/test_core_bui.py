@@ -9,7 +9,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.core.bui import BUILookupTable, build_bui_lut, uncertainty_interval
+from repro.core.bui import build_bui_lut, uncertainty_interval
 from repro.quant.bitplane import decompose_bitplanes, partial_reconstruct
 
 int8_vec = arrays(np.int64, st.integers(1, 24), elements=st.integers(-128, 127))

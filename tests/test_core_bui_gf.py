@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.bui_gf import GuardedFilter, PruneDecision, guard_in_int_units
+from repro.core.bui_gf import GuardedFilter, guard_in_int_units
 
 
 class TestThresholdUpdating:

@@ -1,7 +1,6 @@
 """Tests for the FP-query exponent-alignment extension (§VI-F)."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays

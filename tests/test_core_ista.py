@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.attention.dense import dense_attention, masked_dense_attention, softmax
+from repro.attention.dense import masked_dense_attention, softmax
 from repro.core.bsf import bsf_filter_row
 from repro.core.ista import head_tail_order, ista_attention, ista_attention_row
 from repro.quant.bitplane import decompose_bitplanes

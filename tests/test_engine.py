@@ -141,7 +141,6 @@ class TestEngineAttention:
         assert caches[0].head_dim == 128
 
     def test_backend_invariant_retention(self, rng):
-        request = build_engine_request("r", 3, 96, 6, head_dim=16, seed=5)
         results = {}
         for backend in ("reference", "fast"):
             engine = PadeEngine(backend=backend)

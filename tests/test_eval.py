@@ -1,7 +1,6 @@
 """Tests for the evaluation harness: every figure function must run and
 produce data with the paper's qualitative shape."""
 
-import numpy as np
 import pytest
 
 from repro.eval import harness as H

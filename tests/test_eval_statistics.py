@@ -6,7 +6,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.eval.statistics import (
-    Measurement,
     bootstrap_ci,
     paper_trimmed_mean,
     repeat_measure,
@@ -54,7 +53,9 @@ class TestBootstrap:
 
 class TestRepeatMeasure:
     def test_deterministic_given_seed(self):
-        fn = lambda r: float(r.normal(5, 1))
+        def fn(r):
+            return float(r.normal(5, 1))
+
         a = repeat_measure(fn, repeats=10, seed=3)
         b = repeat_measure(fn, repeats=10, seed=3)
         assert a == b

@@ -6,7 +6,7 @@ import pytest
 from repro.attention.dense import attention_scores, softmax
 from repro.core.config import PadeConfig
 from repro.model.configs import MODEL_PRESETS, get_model
-from repro.model.synthetic import AttentionProfile, PROFILE_PRESETS, synthesize_qkv, target_logits
+from repro.model.synthetic import PROFILE_PRESETS, synthesize_qkv, target_logits
 from repro.model.tasks import SENSITIVITY, TASKS, evaluate_task, get_task, lost_attention_mass
 from repro.model.transformer import MultiHeadAttention, generate_layer_qkv
 

@@ -233,6 +233,22 @@ class TestVectorizedQuantizationRegression:
         assert np.array_equal(scales, np.ones(2))
         assert not k_int.any()
 
+    def test_empty_sequence_quantizes_with_unit_scale(self):
+        """S=0 calibrates to scale 1.0 (the scalar quantizer's empty-input
+        fallback) instead of crashing on an empty reduction; an empty
+        prefill then supports decode appends on both cache kinds."""
+        k_int, scales = quantize_heads(np.zeros((2, 0, 4)), bits=8)
+        assert k_int.shape == (2, 0, 4)
+        assert np.array_equal(scales, np.ones(2))
+        for cache in (
+            BitPlaneKVCache(2, 4, 4),
+            PagedBitPlaneKVCache(PlaneBlockPool(2, 4, 4, block_size=4, token_budget=16)),
+        ):
+            cache.prefill(np.zeros((2, 0, 4)), np.zeros((2, 0, 4)))
+            assert cache.length == 0
+            cache.append(np.ones((2, 4)), np.ones((2, 4)))
+            assert cache.length == 1
+
     def test_cache_contents_match_looped_reference(self, rng):
         """End-to-end: cache state equals the pre-vectorization algorithm."""
         num_heads, head_dim = 3, 8

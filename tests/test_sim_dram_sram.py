@@ -1,9 +1,8 @@
 """Tests for the HBM2 and SRAM models."""
 
-import numpy as np
 import pytest
 
-from repro.sim.dram import DataLayout, DramStats, HBMModel
+from repro.sim.dram import DataLayout, HBMModel
 from repro.sim.sram import SramBuffer
 from repro.sim.tech import DEFAULT_TECH
 

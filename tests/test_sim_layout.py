@@ -1,6 +1,5 @@
 """Tests for the Fig. 22 address-mapping model."""
 
-import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
 

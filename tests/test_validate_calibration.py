@@ -2,15 +2,12 @@
 calibration."""
 
 import numpy as np
-import pytest
 
 from repro.core.bsf import bsf_filter, bsf_filter_row
-from repro.core.bui_gf import guard_in_int_units
 from repro.core.validate import validate_partial_scores, validate_retention
 from repro.model.calibration import CalibrationTarget, calibrate_profile, measure_profile
-from repro.model.synthetic import AttentionProfile, PROFILE_PRESETS, synthesize_qkv
+from repro.model.synthetic import PROFILE_PRESETS
 from repro.quant.bitplane import decompose_bitplanes, partial_reconstruct
-from repro.quant.integer import quantize_symmetric
 
 
 class TestRetentionValidator:
