@@ -3,6 +3,15 @@
 from repro.attention.dense import dense_attention, attention_scores, softmax
 from repro.attention.flash import flash_attention
 from repro.attention.masks import causal_mask, window_mask, sink_recent_mask
+from repro.attention.policy import (
+    AttentionPolicy,
+    BaselineAttentionPolicy,
+    PadePolicy,
+    POLICY_REGISTRY,
+    available_policies,
+    get_policy,
+    register_policy,
+)
 
 __all__ = [
     "dense_attention",
@@ -12,4 +21,11 @@ __all__ = [
     "causal_mask",
     "window_mask",
     "sink_recent_mask",
+    "AttentionPolicy",
+    "BaselineAttentionPolicy",
+    "PadePolicy",
+    "POLICY_REGISTRY",
+    "available_policies",
+    "get_policy",
+    "register_policy",
 ]

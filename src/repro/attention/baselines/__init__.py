@@ -6,18 +6,44 @@ the accuracy-vs-sparsity study can place every method on the same axes:
 
 * :mod:`streaming_llm` — static sinks + recency window (StreamingLLM).
 * :mod:`minference`   — dynamic pattern selection over a fixed pattern menu.
-* :mod:`double_sparsity` — channel-subset score estimation + top-k.
+* :mod:`double_sparsity` — channel-subset score estimation + token top-k.
 * :mod:`topk_oracle`  — exact-score top-k (the accuracy upper bound).
+* :mod:`quest`        — page-granular bound-based selection (Quest).
+* :mod:`h2o`          — accumulated-score cache eviction (Heavy-Hitter Oracle).
+* :mod:`spatten_cascade` — cross-layer cascade token pruning (SpAtten).
+* :mod:`dtatrans`     — layer-stack pruning with score recovery (DTATrans).
+
+Two call surfaces per method:
+
+* the legacy **one-shot functions** below (full-sequence, single head) —
+  thin wrappers over the incremental cores, discoverable through
+  :data:`BASELINE_REGISTRY` / :func:`get_baseline`;
+* the incremental **serving policies** (``*Policy`` classes) registered
+  in :data:`repro.attention.policy.POLICY_REGISTRY`, which the
+  policy-agnostic engine runs with continuous batching, paged caching,
+  preemption and prefix sharing.
 """
 
+from typing import Callable, Dict, List
+
 from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
-from repro.attention.baselines.streaming_llm import streaming_llm_attention
-from repro.attention.baselines.minference import minference_attention
-from repro.attention.baselines.double_sparsity import double_sparsity_attention
-from repro.attention.baselines.topk_oracle import topk_oracle_attention
+from repro.attention.baselines.streaming_llm import (
+    StreamingLLMPolicy,
+    streaming_llm_attention,
+)
+from repro.attention.baselines.minference import MInferencePolicy, minference_attention
+from repro.attention.baselines.double_sparsity import (
+    DoubleSparsityPolicy,
+    double_sparsity_attention,
+)
+from repro.attention.baselines.topk_oracle import TopKOraclePolicy, topk_oracle_attention
 from repro.attention.baselines.spatten_cascade import CascadeResult, spatten_cascade
-from repro.attention.baselines.h2o import H2OState, h2o_decode
-from repro.attention.baselines.quest import quest_attention, build_page_summaries
+from repro.attention.baselines.h2o import H2OPolicy, H2OState, h2o_decode
+from repro.attention.baselines.quest import (
+    QuestPolicy,
+    build_page_summaries,
+    quest_attention,
+)
 from repro.attention.baselines.dtatrans import DTATransResult, dtatrans_layer, dtatrans_stack
 
 __all__ = [
@@ -36,4 +62,42 @@ __all__ = [
     "DTATransResult",
     "dtatrans_layer",
     "dtatrans_stack",
+    "StreamingLLMPolicy",
+    "MInferencePolicy",
+    "DoubleSparsityPolicy",
+    "TopKOraclePolicy",
+    "QuestPolicy",
+    "H2OPolicy",
+    "BASELINE_REGISTRY",
+    "get_baseline",
+    "available_baselines",
 ]
+
+#: name -> legacy one-shot baseline entry point.  The mask-producing
+#: methods share the ``(q, k, v, keep_fraction, ...)`` signature;
+#: ``h2o`` / ``spatten_cascade`` / ``dtatrans`` keep their native
+#: decode-loop / layer-stack signatures.
+BASELINE_REGISTRY: Dict[str, Callable] = {
+    "streaming_llm": streaming_llm_attention,
+    "minference": minference_attention,
+    "double_sparsity": double_sparsity_attention,
+    "topk_oracle": topk_oracle_attention,
+    "quest": quest_attention,
+    "h2o": h2o_decode,
+    "spatten_cascade": spatten_cascade,
+    "dtatrans": dtatrans_stack,
+}
+
+
+def get_baseline(name: str) -> Callable:
+    """Look up a legacy one-shot baseline by registry name."""
+    if name not in BASELINE_REGISTRY:
+        raise ValueError(
+            f"unknown baseline {name!r}; choose from {available_baselines()}"
+        )
+    return BASELINE_REGISTRY[name]
+
+
+def available_baselines() -> List[str]:
+    """Sorted names of the registered one-shot baselines."""
+    return sorted(BASELINE_REGISTRY)

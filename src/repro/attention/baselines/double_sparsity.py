@@ -15,9 +15,9 @@ from typing import Optional
 import numpy as np
 
 from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
-from repro.attention.masks import causal_mask
+from repro.attention.policy import BaselineAttentionPolicy, register_policy
 
-__all__ = ["double_sparsity_attention", "select_heavy_channels"]
+__all__ = ["double_sparsity_attention", "select_heavy_channels", "DoubleSparsityPolicy"]
 
 
 def select_heavy_channels(k: np.ndarray, channel_fraction: float) -> np.ndarray:
@@ -28,6 +28,58 @@ def select_heavy_channels(k: np.ndarray, channel_fraction: float) -> np.ndarray:
     return np.sort(np.argsort(energy)[::-1][:num])
 
 
+@register_policy
+class DoubleSparsityPolicy(BaselineAttentionPolicy):
+    """Incremental channel-subset estimation + per-step token top-k.
+
+    The heavy channels are calibrated once per request when the prompt
+    enters the cache (the "offline" label-cache step) and frozen for
+    decoding; each step estimates scores over that channel subset only
+    and keeps the top-budget tokens.  ``channels`` overrides the
+    calibration with an explicit index set — the legacy one-shot
+    wrapper uses it to calibrate on the full sequence exactly as
+    before.
+    """
+
+    name = "double-sparsity"
+
+    def __init__(
+        self,
+        keep_fraction: float = 0.25,
+        channel_fraction: float = 0.25,
+        channels: Optional[np.ndarray] = None,
+    ) -> None:
+        self.keep_fraction = float(keep_fraction)
+        self.channel_fraction = float(channel_fraction)
+        self.channels = None if channels is None else np.asarray(channels, dtype=np.int64)
+
+    def new_state(self, cache, total_tokens=None):
+        state = super().new_state(cache, total_tokens)
+        if self.channels is not None:
+            calibrated = [self.channels for _ in range(cache.num_heads)]
+        else:
+            calibrated = [
+                select_heavy_channels(cache.k_float[h], self.channel_fraction)
+                for h in range(cache.num_heads)
+            ]
+        state.per_head["channels"] = calibrated
+        return state
+
+    def prediction_cost(self, state, num_queries: int, num_keys: int) -> float:
+        return self.channel_fraction
+
+    def head_row_mask(self, state, head, q_row, k_visible) -> np.ndarray:
+        visible = k_visible.shape[0]
+        channels = state.per_head["channels"][head]
+        budget = max(1, int(round(self.keep_fraction * state.budget_context(visible))))
+        est = q_row[channels] @ k_visible[:, channels].T
+        keep = np.zeros(visible, dtype=bool)
+        take = min(budget, visible)
+        if take > 0:
+            keep[np.argpartition(est, -take)[-take:]] = True
+        return keep
+
+
 def double_sparsity_attention(
     q: np.ndarray,
     k: np.ndarray,
@@ -36,27 +88,19 @@ def double_sparsity_attention(
     channel_fraction: float = 0.25,
     query_offset: Optional[int] = None,
     scale: Optional[float] = None,
+    channels: Optional[np.ndarray] = None,
 ) -> SparseAttentionResult:
-    """Sparse attention with channel-sparse score estimation + top-k tokens."""
+    """Sparse attention with channel-sparse score estimation + top-k tokens.
+
+    Thin wrapper over :class:`DoubleSparsityPolicy` with the channels
+    calibrated on the full ``k`` (the legacy offline-calibration
+    semantics); pass ``channels`` to pin an explicit subset.
+    """
     q = np.atleast_2d(np.asarray(q, dtype=np.float64))
     k = np.asarray(k, dtype=np.float64)
-    num_queries, num_keys = q.shape[0], k.shape[0]
-    offset = num_keys - num_queries if query_offset is None else query_offset
-    budget = max(1, int(round(keep_fraction * num_keys)))
-
-    channels = select_heavy_channels(k, channel_fraction)
-    est = q[:, channels] @ k[:, channels].T  # channel-subset score estimate
-    causal = causal_mask(num_queries, num_keys, offset)
-    est = np.where(causal, est, -np.inf)
-
-    keep = np.zeros((num_queries, num_keys), dtype=bool)
-    for i in range(num_queries):
-        visible = int(causal[i].sum())
-        take = min(budget, visible)
-        if take > 0:
-            top = np.argpartition(est[i], -take)[-take:]
-            keep[i, top] = True
-    keep &= causal
-
+    if channels is None:
+        channels = select_heavy_channels(k, channel_fraction)
+    policy = DoubleSparsityPolicy(keep_fraction, channel_fraction, channels=channels)
+    keep = policy.one_shot_mask(q, k, query_offset)
     prediction_cost = channel_fraction  # estimation touches that share of QK work
     return sparse_attention_from_mask(q, k, v, keep, prediction_cost, scale=scale)

@@ -8,18 +8,25 @@ irreversible, so a token that becomes important after eviction is lost.
 
 Included as an extra point for the Fig. 15 accuracy study: H2O sits between
 DoubleSparsity (re-selects every step) and StreamingLLM (static).
+
+The incremental :class:`H2OPolicy` serves the same eviction loop through
+the policy-agnostic engine; :func:`h2o_decode` is a thin single-head
+wrapper over the shared step core.  Decode steps are *self-inclusive*
+(a step attends its own just-appended token, matching the engine's
+decode semantics); the eviction bookkeeping is otherwise unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.attention.dense import attention_scores, softmax
+from repro.attention.policy import BaselineAttentionPolicy, register_policy
 
-__all__ = ["H2OState", "h2o_decode"]
+__all__ = ["H2OState", "h2o_decode", "H2OPolicy"]
 
 
 @dataclass
@@ -34,6 +41,118 @@ class H2OState:
         return int(self.alive.sum())
 
 
+def h2o_budget(budget_fraction: float, num_keys: int, recent_tokens: int) -> int:
+    """Token budget the eviction loop maintains (recency window floor)."""
+    return max(recent_tokens + 1, int(round(budget_fraction * num_keys)))
+
+
+def _h2o_step(
+    alive: np.ndarray,
+    accumulated: np.ndarray,
+    q_row: np.ndarray,
+    k_visible: np.ndarray,
+    budget: int,
+    recent_tokens: int,
+    scale: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """One self-inclusive H2O decode step over ``visible`` keys.
+
+    Marks the newest token alive, scores the query densely (the "oracle"
+    part — accumulation sees the unmasked distribution), then evicts the
+    lowest-accumulated tokens outside the recency window down to
+    ``budget``.  Returns ``(retained_row, logits, lost_mass)`` where
+    ``retained_row`` is the alive set the output must be computed over
+    (pre-eviction, including the new token) and ``logits`` the dense
+    scores already paid for — callers reuse them for the masked output.
+    """
+    visible = k_visible.shape[0]
+    alive[visible - 1] = True
+    logits = attention_scores(q_row, k_visible, scale)[0]
+    probs_full = softmax(logits[None, :])[0]
+    retained = alive[:visible].copy()
+    lost = float(probs_full[~retained].sum())
+
+    accumulated[:visible] += probs_full
+    alive_idx = np.flatnonzero(alive[:visible])
+    if alive_idx.size > budget:
+        protected = alive_idx >= visible - recent_tokens
+        evictable = alive_idx[~protected]
+        excess = alive_idx.size - budget
+        if excess > 0 and evictable.size:
+            order = evictable[np.argsort(accumulated[evictable])]
+            alive[order[:excess]] = False
+    return retained, logits, lost
+
+
+@register_policy
+class H2OPolicy(BaselineAttentionPolicy):
+    """Incremental heavy-hitter eviction served through the engine.
+
+    Per-request state (per-head alive sets + accumulated attention
+    mass) is *query-derived*, so it lives in ``cache.policy_state``
+    only: preemption releases the cache, the state dies with it, and
+    the restarted request replays its deterministic decode stream to
+    bit-identical retained sets.  The bounded eviction budget makes the
+    cache footprint sub-dense — the continuous scheduler charges
+    admission for ``budget`` tokens, so H2O packs more concurrent
+    requests into the same pool budget than dense-footprint PADE.
+    """
+
+    name = "h2o"
+    dense_footprint = False
+
+    def __init__(self, budget_fraction: float = 0.25, recent_tokens: int = 16) -> None:
+        self.budget_fraction = float(budget_fraction)
+        self.recent_tokens = int(recent_tokens)
+
+    def cache_footprint(self, prompt_tokens: int, decode_steps: int) -> int:
+        total = prompt_tokens + decode_steps
+        return min(total, h2o_budget(self.budget_fraction, total, self.recent_tokens))
+
+    def new_state(self, cache, total_tokens=None):
+        state = super().new_state(cache, total_tokens)
+        length = cache.length
+        state.per_head["alive"] = [
+            np.ones(length, dtype=bool) for _ in range(cache.num_heads)
+        ]
+        state.per_head["accumulated"] = [
+            np.zeros(length) for _ in range(cache.num_heads)
+        ]
+        state.per_head["lost"] = [[] for _ in range(cache.num_heads)]
+        return state
+
+    def prediction_cost(self, state, num_queries: int, num_keys: int) -> float:
+        # Decode accumulation scores every visible key densely; the
+        # prompt pass has no bookkeeping to pay for.
+        return 1.0 if num_queries == 1 else 0.0
+
+    def head_prefill_mask(self, state, head, q_rows, k, offset) -> np.ndarray:
+        # Every prompt token is alive at prefill; eviction (and score
+        # accumulation) is decode-only, exactly like the legacy loop.
+        return np.ones((q_rows.shape[0], k.shape[0]), dtype=bool)
+
+    def _grow(self, arr: np.ndarray, length: int) -> np.ndarray:
+        if arr.shape[0] >= length:
+            return arr
+        fresh = np.zeros(length, dtype=arr.dtype)
+        fresh[: arr.shape[0]] = arr
+        return fresh
+
+    def head_decode_mask(self, state, head, q_row, k) -> np.ndarray:
+        visible = k.shape[0]
+        per = state.per_head
+        per["alive"][head] = alive = self._grow(per["alive"][head], visible)
+        per["accumulated"][head] = acc = self._grow(per["accumulated"][head], visible)
+        budget = h2o_budget(
+            self.budget_fraction, state.budget_context(visible), self.recent_tokens
+        )
+        retained, _, lost = _h2o_step(
+            alive, acc, q_row, k, budget, self.recent_tokens
+        )
+        per["lost"][head].append(lost)
+        return retained
+
+
 def h2o_decode(
     q_steps: np.ndarray,
     k: np.ndarray,
@@ -44,11 +163,15 @@ def h2o_decode(
 ) -> tuple:
     """Run H2O eviction over a sequence of decode queries.
 
+    Thin single-head wrapper over the incremental step core shared with
+    :class:`H2OPolicy`.
+
     Parameters
     ----------
     q_steps:
         Decode queries, shape ``(T, H)`` — step ``t`` attends keys
-        ``[0, S0 + t)`` where ``S0 = S - T`` (the prompt length).
+        ``[0, S0 + t + 1)`` where ``S0 = S - T`` (the prompt length);
+        the step's own token is visible, as in engine decoding.
     k / v:
         Full K/V including the decoded positions, shape ``(S, H)``.
     budget_fraction:
@@ -59,12 +182,12 @@ def h2o_decode(
     Returns ``(outputs, lost_mass_per_step, state)``.
     """
     q_steps = np.atleast_2d(np.asarray(q_steps, dtype=np.float64))
+    k = np.asarray(k, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
     num_steps = q_steps.shape[0]
     num_keys = k.shape[0]
     prompt = num_keys - num_steps
-    if scale is None:
-        scale = 1.0 / np.sqrt(q_steps.shape[1])
-    budget = max(recent_tokens + 1, int(round(budget_fraction * num_keys)))
+    budget = h2o_budget(budget_fraction, num_keys, recent_tokens)
 
     state = H2OState(alive=np.zeros(num_keys, dtype=bool), accumulated=np.zeros(num_keys))
     state.alive[:prompt] = True
@@ -72,25 +195,13 @@ def h2o_decode(
     lost: List[float] = []
 
     for t in range(num_steps):
-        visible = prompt + t
-        state.alive[prompt + t - 1 if t > 0 else prompt - 1] = True  # newly decoded token
-        logits = attention_scores(q_steps[t : t + 1], k[:visible], scale)[0]
-        probs_full = softmax(logits[None, :])[0]
-
-        mask = state.alive[:visible]
-        masked = np.where(mask, logits, -np.inf)
+        visible = prompt + t + 1
+        retained, logits, lost_t = _h2o_step(
+            state.alive, state.accumulated, q_steps[t], k[:visible],
+            budget, recent_tokens, scale,
+        )
+        masked = np.where(retained, logits, -np.inf)
         probs = softmax(masked[None, :])[0]
         outputs[t] = probs @ v[:visible]
-        lost.append(float(probs_full[~mask].sum()))
-
-        state.accumulated[:visible] += probs_full
-        # Evict down to budget, protecting the recency window.
-        alive_idx = np.flatnonzero(state.alive[:visible])
-        if alive_idx.size > budget:
-            protected = alive_idx >= visible - recent_tokens
-            evictable = alive_idx[~protected]
-            excess = alive_idx.size - budget
-            if excess > 0 and evictable.size:
-                order = evictable[np.argsort(state.accumulated[evictable])]
-                state.alive[order[:excess]] = False
+        lost.append(lost_t)
     return outputs, lost, state

@@ -14,60 +14,165 @@ chosen pattern.  The reproduction keeps the essential structure:
 
 Accuracy sits between StreamingLLM (no adaptivity) and fully dynamic methods
 (restricted pattern diversity), matching the ordering in Fig. 15.
+
+The incremental :class:`MInferencePolicy` selects the pattern once per
+head when the request's prompt queries arrive and then *extends* the
+chosen pattern row by row during decoding (stripes/blocks frozen at
+selection, sinks/slash tracking the new positions) — the staleness this
+introduces is exactly the restricted adaptivity the paper criticizes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
 from repro.attention.dense import attention_scores, softmax
 from repro.attention.masks import causal_mask, sink_recent_mask
+from repro.attention.policy import BaselineAttentionPolicy, register_policy
 
-__all__ = ["minference_attention", "build_pattern_menu"]
+__all__ = ["minference_attention", "build_pattern_menu", "MInferencePolicy"]
+
+#: Block width of the block-sparse pattern (fixed, as in the original).
+_BLOCK = 16
 
 
-def _vertical_slash_mask(
-    est_weights: np.ndarray,
-    num_queries: int,
-    num_keys: int,
-    budget: int,
-    offset: int,
-) -> np.ndarray:
-    """Stripe (vertical) + diagonal (slash) pattern from estimated weights."""
+def _pattern_params(
+    est_weights: np.ndarray, num_keys: int, budget: int
+) -> Dict[str, dict]:
+    """Budget split + estimated-mass choices of each candidate pattern."""
     col_mass = est_weights.sum(axis=0)
     num_cols = max(1, budget // 2)
     cols = np.argsort(col_mass)[::-1][:num_cols]
-    keep = np.zeros((num_queries, num_keys), dtype=bool)
-    keep[:, cols] = True
-    # Slash component: diagonals near self-attention.
-    width = max(1, budget - num_cols)
-    rows = np.arange(num_queries)[:, None] + offset
-    cols_idx = np.arange(num_keys)[None, :]
-    keep |= (cols_idx <= rows) & (cols_idx > rows - width)
-    return keep
+    block_mass = np.add.reduceat(col_mass, np.arange(0, num_keys, _BLOCK))
+    num_blocks = max(1, budget // _BLOCK)
+    top_blocks = np.argsort(block_mass)[::-1][:num_blocks]
+    return {
+        "a_shape": {"sink": max(1, budget // 4), "window": max(1, 3 * budget // 4)},
+        "vertical_slash": {"cols": cols, "width": max(1, budget - num_cols)},
+        "block_sparse": {"blocks": top_blocks},
+    }
+
+
+def _pattern_mask(
+    name: str, params: dict, num_queries: int, num_keys: int, offset: int
+) -> np.ndarray:
+    """Materialize one pattern's keep mask for queries at ``offset``."""
+    if name == "a_shape":
+        return sink_recent_mask(
+            num_queries, num_keys, params["sink"], params["window"], offset
+        )
+    if name == "vertical_slash":
+        keep = np.zeros((num_queries, num_keys), dtype=bool)
+        cols = params["cols"]
+        keep[:, cols[cols < num_keys]] = True
+        rows = np.arange(num_queries)[:, None] + offset
+        cols_idx = np.arange(num_keys)[None, :]
+        keep |= (cols_idx <= rows) & (cols_idx > rows - params["width"])
+        return keep
+    if name == "block_sparse":
+        keep = np.zeros((num_queries, num_keys), dtype=bool)
+        for b in params["blocks"]:
+            keep[:, b * _BLOCK : (b + 1) * _BLOCK] = True
+        return keep
+    raise ValueError(f"unknown pattern {name!r}")
 
 
 def build_pattern_menu(
     est_weights: np.ndarray, num_queries: int, num_keys: int, budget: int, offset: int
 ) -> Dict[str, np.ndarray]:
     """The three candidate masks MInference chooses among."""
-    a_shape = sink_recent_mask(
-        num_queries, num_keys, max(1, budget // 4), max(1, 3 * budget // 4), offset
-    )
-    vslash = _vertical_slash_mask(est_weights, num_queries, num_keys, budget, offset)
-    block = np.zeros((num_queries, num_keys), dtype=bool)
-    block_size = 16
-    num_blocks = max(1, budget // block_size)
-    block_mass = np.add.reduceat(
-        est_weights.sum(axis=0), np.arange(0, num_keys, block_size)
-    )
-    top_blocks = np.argsort(block_mass)[::-1][:num_blocks]
-    for b in top_blocks:
-        block[:, b * block_size : (b + 1) * block_size] = True
-    return {"a_shape": a_shape, "vertical_slash": vslash, "block_sparse": block}
+    params = _pattern_params(est_weights, num_keys, budget)
+    return {
+        name: _pattern_mask(name, p, num_queries, num_keys, offset)
+        for name, p in params.items()
+    }
+
+
+def _choose_pattern(
+    q_block: np.ndarray,
+    k: np.ndarray,
+    offset: int,
+    budget: int,
+    probe_queries: int,
+    scale: Optional[float] = None,
+) -> Tuple[str, dict]:
+    """Estimate from the trailing probe queries and pick the best pattern."""
+    num_queries, num_keys = q_block.shape[0], k.shape[0]
+    probe = min(probe_queries, num_queries)
+    probe_logits = attention_scores(q_block[-probe:], k, scale)
+    probe_causal = causal_mask(probe, num_keys, offset + num_queries - probe)
+    probe_logits = np.where(probe_causal, probe_logits, -np.inf)
+    est_weights = softmax(probe_logits, axis=-1)
+
+    params = _pattern_params(est_weights, num_keys, budget)
+    best_name, best_mass = None, -1.0
+    for name, p in params.items():
+        mask = _pattern_mask(name, p, num_queries, num_keys, offset)
+        probe_mask = mask[-probe:] & probe_causal
+        mass = float(est_weights[probe_mask].sum())
+        if mass > best_mass:
+            best_name, best_mass = name, mass
+    return best_name, params[best_name]
+
+
+@register_policy
+class MInferencePolicy(BaselineAttentionPolicy):
+    """Incremental pattern-menu selection (MInference served statefully).
+
+    Per head, the pattern is chosen when the prompt queries arrive
+    (paying the probe-estimate prediction cost once) and stored in the
+    request's policy state; decode steps extend the stored pattern to
+    each new position for free.  A request whose prefill carries no
+    prompt queries selects lazily at its first decode step, probing
+    with that single query.
+    """
+
+    name = "minference"
+
+    def __init__(self, keep_fraction: float = 0.25, probe_queries: int = 16) -> None:
+        self.keep_fraction = float(keep_fraction)
+        self.probe_queries = int(probe_queries)
+
+    def new_state(self, cache, total_tokens=None):
+        state = super().new_state(cache, total_tokens)
+        state.per_head["patterns"] = {}  # head -> (name, params)
+        state.per_head["pending_prediction"] = 0.0
+        return state
+
+    def prediction_cost(self, state, num_queries: int, num_keys: int) -> float:
+        cost = state.per_head["pending_prediction"]
+        state.per_head["pending_prediction"] = 0.0
+        return cost
+
+    def _budget(self, state, visible: int) -> int:
+        return max(1, int(round(self.keep_fraction * state.budget_context(visible))))
+
+    def head_prefill_mask(self, state, head, q_rows, k, offset) -> np.ndarray:
+        num_queries, num_keys = q_rows.shape[0], k.shape[0]
+        budget = self._budget(state, num_keys)
+        name, params = _choose_pattern(
+            q_rows, k, offset, budget, self.probe_queries
+        )
+        state.per_head["patterns"][head] = (name, params)
+        probe = min(self.probe_queries, num_queries)
+        state.per_head["pending_prediction"] = probe / max(1, num_queries)
+        return _pattern_mask(name, params, num_queries, num_keys, offset)
+
+    def head_decode_mask(self, state, head, q_row, k) -> np.ndarray:
+        visible = k.shape[0]
+        if head not in state.per_head["patterns"]:
+            budget = self._budget(state, visible)
+            name, params = _choose_pattern(
+                q_row[None, :], k, visible - 1, budget, self.probe_queries
+            )
+            state.per_head["patterns"][head] = (name, params)
+            # One probe query over one query: a full dense scoring pass.
+            state.per_head["pending_prediction"] = 1.0
+        name, params = state.per_head["patterns"][head]
+        return _pattern_mask(name, params, 1, visible, visible - 1)[0]
 
 
 def minference_attention(
@@ -79,28 +184,22 @@ def minference_attention(
     query_offset: Optional[int] = None,
     scale: Optional[float] = None,
 ) -> SparseAttentionResult:
-    """Sparse attention with runtime pattern selection (MInference-style)."""
+    """Sparse attention with runtime pattern selection (MInference-style).
+
+    Thin wrapper over the selection core shared with
+    :class:`MInferencePolicy`: probe-estimate once over the full query
+    block, materialize the winning pattern, mask causally.
+    """
     q = np.atleast_2d(np.asarray(q, dtype=np.float64))
     k = np.asarray(k, dtype=np.float64)
     num_queries, num_keys = q.shape[0], k.shape[0]
     offset = num_keys - num_queries if query_offset is None else query_offset
     budget = max(1, int(round(keep_fraction * num_keys)))
 
+    name, params = _choose_pattern(q, k, offset, budget, probe_queries, scale)
+    keep = _pattern_mask(name, params, num_queries, num_keys, offset)
+    keep &= causal_mask(num_queries, num_keys, offset)
+
     probe = min(probe_queries, num_queries)
-    probe_logits = attention_scores(q[-probe:], k, scale)
-    probe_causal = causal_mask(probe, num_keys, offset + num_queries - probe)
-    probe_logits = np.where(probe_causal, probe_logits, -np.inf)
-    est_weights = softmax(probe_logits, axis=-1)
-
-    causal = causal_mask(num_queries, num_keys, offset)
-    menu = build_pattern_menu(est_weights, num_queries, num_keys, budget, offset)
-    best_name, best_mass = None, -1.0
-    for name, mask in menu.items():
-        probe_mask = mask[-probe:] & probe_causal
-        mass = float(est_weights[probe_mask].sum())
-        if mass > best_mass:
-            best_name, best_mass = name, mass
-    keep = menu[best_name] & causal
-
     prediction_cost = probe / max(1, num_queries)
     return sparse_attention_from_mask(q, k, v, keep, prediction_cost, scale=scale)

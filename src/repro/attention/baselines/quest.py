@@ -19,9 +19,9 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
-from repro.attention.masks import causal_mask
+from repro.attention.policy import BaselineAttentionPolicy, register_policy
 
-__all__ = ["PageSummaries", "build_page_summaries", "quest_attention"]
+__all__ = ["PageSummaries", "build_page_summaries", "quest_attention", "QuestPolicy"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +59,84 @@ def page_score_upper_bound(q_row: np.ndarray, summaries: PageSummaries) -> np.nd
     return summaries.k_max @ pos + summaries.k_min @ neg
 
 
+@register_policy
+class QuestPolicy(BaselineAttentionPolicy):
+    """Incremental page-granular selection with per-block summaries.
+
+    Pages snap to the paged pool's block size when the cache is a
+    :class:`~repro.engine.cache.PagedBitPlaneKVCache`, and each full
+    block's min/max summary is stored in ``pool.block_meta`` keyed by
+    the *pool block* — a pure function of the block's frozen rows, so
+    prefix-shared blocks reuse one summary, a copy-on-write fork
+    invalidates it, and a freed (preempted) block drops it.  The
+    growing partial tail page is summarized on the fly each step.
+
+    Selection per query ranks only the causally *visible* pages (a page
+    that does not exist yet cannot be fetched) and keeps the top
+    ``round(keep_fraction * visible_pages)`` of them — bound slack at
+    page granularity still forces whole-page fetches for single heavy
+    hitters, the comparison point against PADE's bit-level bounds.
+    """
+
+    name = "quest"
+
+    def __init__(self, keep_fraction: float = 0.25, page_size: int = 16) -> None:
+        self.keep_fraction = float(keep_fraction)
+        self.page_size = int(page_size)
+
+    def new_state(self, cache, total_tokens=None):
+        state = super().new_state(cache, total_tokens)
+        pool = getattr(cache, "pool", None)
+        state.per_head["page_size"] = pool.block_size if pool is not None else self.page_size
+        state.per_head["cache"] = cache
+        state.per_head["summaries"] = {}  # (head, page) -> (k_min, k_max), dense caches
+        return state
+
+    def prediction_cost(self, state, num_queries: int, num_keys: int) -> float:
+        pages = -(-num_keys // state.per_head["page_size"])
+        return 2.0 * pages / max(1, num_keys)
+
+    def _full_page_summary(self, state, head: int, page: int, k_visible: np.ndarray):
+        """Min/max of a *full* page, shared through pool block meta when paged."""
+        ps = state.per_head["page_size"]
+        cache = state.per_head["cache"]
+        pool = getattr(cache, "pool", None)
+        if pool is not None:
+            block = cache.block_table[page]
+            meta = pool.block_meta.setdefault(block, {})
+            if "quest" not in meta:
+                rows = pool.rows_of(block)
+                chunk = pool._k[:, rows, :]  # (H, ps, D)
+                meta["quest"] = (chunk.min(axis=1), chunk.max(axis=1))
+            k_min, k_max = meta["quest"]
+            return k_min[head], k_max[head]
+        cached = state.per_head["summaries"]
+        if (head, page) not in cached:
+            chunk = k_visible[page * ps : (page + 1) * ps]
+            cached[(head, page)] = (chunk.min(axis=0), chunk.max(axis=0))
+        return cached[(head, page)]
+
+    def head_row_mask(self, state, head, q_row, k_visible) -> np.ndarray:
+        ps = state.per_head["page_size"]
+        visible = k_visible.shape[0]
+        full_pages = visible // ps
+        vis_pages = -(-visible // ps)
+        pos = np.where(q_row > 0, q_row, 0.0)
+        neg = np.where(q_row < 0, q_row, 0.0)
+        bounds = np.empty(vis_pages)
+        for p in range(full_pages):
+            k_min, k_max = self._full_page_summary(state, head, p, k_visible)
+            bounds[p] = k_max @ pos + k_min @ neg
+        if vis_pages > full_pages:  # growing partial tail page
+            tail = k_visible[full_pages * ps :]
+            bounds[full_pages] = tail.max(axis=0) @ pos + tail.min(axis=0) @ neg
+        page_budget = max(1, int(round(self.keep_fraction * vis_pages)))
+        keep = np.zeros(visible, dtype=bool)
+        for p in np.argsort(bounds)[::-1][:page_budget]:
+            keep[p * ps : (p + 1) * ps] = True
+        return keep
+
+
 def quest_attention(
     q: np.ndarray,
     k: np.ndarray,
@@ -68,25 +146,23 @@ def quest_attention(
     query_offset: Optional[int] = None,
     scale: Optional[float] = None,
 ) -> SparseAttentionResult:
-    """Sparse attention fetching only the top-bounded pages per query."""
+    """Sparse attention fetching only the top-bounded pages per query.
+
+    Thin wrapper over :class:`QuestPolicy`: every query row ranks the
+    pages of its causally visible prefix (partial tail page summarized
+    over the visible rows only) — the same selection the serving engine
+    runs step by step.
+
+    Prediction cost: the summary dot products (2 channels per page vs S
+    keys) — cheap, the page slack is the real price.
+    """
     q = np.atleast_2d(np.asarray(q, dtype=np.float64))
     k = np.asarray(k, dtype=np.float64)
-    num_queries, num_keys = q.shape[0], k.shape[0]
-    offset = num_keys - num_queries if query_offset is None else query_offset
-    summaries = build_page_summaries(k, page_size)
-    page_budget = max(1, int(round(keep_fraction * summaries.num_pages)))
-
-    keep = np.zeros((num_queries, num_keys), dtype=bool)
-    for i in range(num_queries):
-        bounds = page_score_upper_bound(q[i], summaries)
-        top_pages = np.argsort(bounds)[::-1][:page_budget]
-        for p in top_pages:
-            keep[i, p * page_size : (p + 1) * page_size] = True
-    keep &= causal_mask(num_queries, num_keys, offset)
-
-    # Prediction cost: the summary dot products (2 channels per page vs S
-    # keys) — cheap, the page slack is the real price.
-    prediction_cost = 2.0 * summaries.num_pages / max(1, num_keys)
+    num_keys = k.shape[0]
+    policy = QuestPolicy(keep_fraction, page_size)
+    keep = policy.one_shot_mask(q, k, query_offset)
+    num_pages = -(-num_keys // page_size)
+    prediction_cost = 2.0 * num_pages / max(1, num_keys)
     return sparse_attention_from_mask(q, k, v, keep, prediction_cost, scale=scale)
 
 

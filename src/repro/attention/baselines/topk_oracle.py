@@ -16,8 +16,9 @@ import numpy as np
 from repro.attention.baselines.base import SparseAttentionResult, sparse_attention_from_mask
 from repro.attention.dense import attention_scores
 from repro.attention.masks import causal_mask
+from repro.attention.policy import BaselineAttentionPolicy, register_policy
 
-__all__ = ["topk_oracle_attention", "topk_mask"]
+__all__ = ["topk_oracle_attention", "topk_mask", "TopKOraclePolicy"]
 
 
 def topk_mask(
@@ -37,6 +38,35 @@ def topk_mask(
     return keep
 
 
+@register_policy
+class TopKOraclePolicy(BaselineAttentionPolicy):
+    """Incremental exact top-k selection (the accuracy upper bound).
+
+    Every decode step scores the query against all resident keys and
+    keeps the true top ``round(keep_fraction * total)`` — prediction
+    cost is a full dense pass (1.0), which is why the oracle is an
+    accuracy reference, not an efficiency point.
+    """
+
+    name = "topk-oracle"
+
+    def __init__(self, keep_fraction: float = 0.25) -> None:
+        self.keep_fraction = float(keep_fraction)
+
+    def prediction_cost(self, state, num_queries: int, num_keys: int) -> float:
+        return 1.0
+
+    def head_row_mask(self, state, head, q_row, k_visible) -> np.ndarray:
+        visible = k_visible.shape[0]
+        budget = max(1, int(round(self.keep_fraction * state.budget_context(visible))))
+        logits = attention_scores(q_row, k_visible)[0]
+        keep = np.zeros(visible, dtype=bool)
+        take = min(budget, visible)
+        if take > 0:
+            keep[np.argpartition(logits, -take)[-take:]] = True
+        return keep
+
+
 def topk_oracle_attention(
     q: np.ndarray,
     k: np.ndarray,
@@ -45,13 +75,12 @@ def topk_oracle_attention(
     query_offset: Optional[int] = None,
     scale: Optional[float] = None,
 ) -> SparseAttentionResult:
-    """Attention over the true top-k keys per query."""
+    """Attention over the true top-k keys per query.
+
+    Thin wrapper over :class:`TopKOraclePolicy`: each query row runs the
+    same incremental top-k selection over its causally visible prefix.
+    """
     q = np.atleast_2d(np.asarray(q, dtype=np.float64))
-    k = np.asarray(k, dtype=np.float64)
-    num_queries, num_keys = q.shape[0], k.shape[0]
-    offset = num_keys - num_queries if query_offset is None else query_offset
-    budget = max(1, int(round(keep_fraction * num_keys)))
-    logits = attention_scores(q, k, scale)
-    causal = causal_mask(num_queries, num_keys, offset)
-    keep = topk_mask(logits, budget, causal)
+    policy = TopKOraclePolicy(keep_fraction)
+    keep = policy.one_shot_mask(q, k, query_offset)
     return sparse_attention_from_mask(q, k, v, keep, prediction_cost=1.0, scale=scale)

@@ -17,11 +17,14 @@ results are identical, only wall-clock differs).  Without the flag the
 The ``serve`` experiment additionally honors ``--rate`` (mean Poisson
 arrivals per decode round), ``--budget`` (global KV token budget of the
 paged plane pool), ``--policy`` (``fcfs`` or ``shortest-prompt``
-admission ordering), ``--prefix-sharing`` (hash-based copy-on-write
-prompt-prefix sharing on a shared-system-prompt workload),
-``--round-tokens`` (tokens one decode round can process — activates the
-prefill cost model), and ``--chunk`` (chunked prefill: per-request,
-per-round prompt chunk size; requires ``--round-tokens``).
+admission ordering), ``--attention`` (the attention policy served
+through the engine — PADE or any registered sparse baseline; choices
+come from :data:`repro.attention.policy.POLICY_REGISTRY`),
+``--prefix-sharing`` (hash-based copy-on-write prompt-prefix sharing on
+a shared-system-prompt workload), ``--round-tokens`` (tokens one decode
+round can process — activates the prefill cost model), and ``--chunk``
+(chunked prefill: per-request, per-round prompt chunk size; requires
+``--round-tokens``).
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ import sys
 import time
 from typing import Dict
 
+from repro.attention.policy import available_policies
 from repro.core.backend import available_backends, set_default_backend
 from repro.eval import harness as H
 
@@ -129,6 +133,11 @@ def main(argv=None) -> int:
         help="admission ordering of the continuous scheduler (serve only)",
     )
     serve_group.add_argument(
+        "--attention", choices=available_policies(), default="pade",
+        help="attention policy served through the engine: PADE or any "
+        "registered sparse-attention baseline (serve only)",
+    )
+    serve_group.add_argument(
         "--prefix-sharing", action="store_true",
         help="content-hash copy-on-write prefix sharing over a "
         "shared-system-prompt workload (serve only)",
@@ -164,6 +173,7 @@ def main(argv=None) -> int:
                 "rate": args.rate,
                 "budget": args.budget,
                 "policy": args.policy,
+                "attention": args.attention,
                 "prefix_sharing": args.prefix_sharing,
                 "chunk": args.chunk,
                 "round_tokens": args.round_tokens,

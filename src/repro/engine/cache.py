@@ -160,10 +160,12 @@ class BitPlaneKVCache:
         self._capacity = 0
         self._planes: Optional[np.ndarray] = None  # (bits, H, cap, D) uint8
         self._k_int: Optional[np.ndarray] = None  # (H, cap, D) int64
+        self._k: Optional[np.ndarray] = None  # (H, cap, D) float64 raw keys
         self._values: Optional[np.ndarray] = None  # (H, cap, Dv) float64
         self._scales: Optional[np.ndarray] = None  # (H,) frozen at prefill
         self.rows_decomposed = 0
         self.appends = 0
+        self.policy_state = None  # per-request AttentionPolicy state
 
     # ------------------------------------------------------------------
     @property
@@ -199,6 +201,18 @@ class BitPlaneKVCache:
             raise RuntimeError("cache is empty; call prefill() first")
         return self._k_int[:, : self._length, :]
 
+    @property
+    def k_float(self) -> np.ndarray:
+        """View of the raw (pre-quantization) keys, shape ``(H, length, D)``.
+
+        The software baseline policies score against the exact float keys
+        the caller handed over — quantization is a PADE implementation
+        detail, not part of their selection semantics.
+        """
+        if self._k is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return self._k[:, : self._length, :]
+
     # ------------------------------------------------------------------
     def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
         """Quantize, decompose and store the prompt keys/values.
@@ -216,6 +230,7 @@ class BitPlaneKVCache:
         self._reserve(max(seq_len, 1))
         self._planes[:, :, :seq_len, :] = bp.planes
         self._k_int[:, :seq_len, :] = k_int
+        self._k[:, :seq_len, :] = k
         self._values[:, :seq_len, :] = v
         self._length = seq_len
         self.rows_decomposed += self.num_heads * seq_len
@@ -234,6 +249,7 @@ class BitPlaneKVCache:
         pos = self._length
         self._planes[:, :, pos, :] = bp.planes
         self._k_int[:, pos, :] = k_int
+        self._k[:, pos, :] = k_step
         self._values[:, pos, :] = v_step
         self._length = pos + 1
         self.rows_decomposed += self.num_heads
@@ -246,13 +262,16 @@ class BitPlaneKVCache:
         new_cap = max(needed, max(1, self._capacity) * 2)
         planes = np.zeros((self.bits, self.num_heads, new_cap, self.head_dim), dtype=np.uint8)
         k_int = np.zeros((self.num_heads, new_cap, self.head_dim), dtype=np.int64)
+        k = np.zeros((self.num_heads, new_cap, self.head_dim), dtype=np.float64)
         values = np.zeros((self.num_heads, new_cap, self.v_dim), dtype=np.float64)
         if self._length:
             planes[:, :, : self._length, :] = self._planes[:, :, : self._length, :]
             k_int[:, : self._length, :] = self._k_int[:, : self._length, :]
+            k[:, : self._length, :] = self._k[:, : self._length, :]
             values[:, : self._length, :] = self._values[:, : self._length, :]
         self._planes = planes
         self._k_int = k_int
+        self._k = k
         self._values = values
         self._capacity = new_cap
 
@@ -315,6 +334,7 @@ class PlaneBlockPool:
         rows = self.num_blocks * block_size
         self._planes = np.zeros((bits, num_heads, rows, head_dim), dtype=np.uint8)
         self._k_int = np.zeros((num_heads, rows, head_dim), dtype=np.int64)
+        self._k = np.zeros((num_heads, rows, head_dim), dtype=np.float64)
         self._values = np.zeros((num_heads, rows, v_dim), dtype=np.float64)
         # LIFO free list seeded so the first allocations come out 0, 1, 2...
         self._free: List[int] = list(range(self.num_blocks - 1, -1, -1))
@@ -322,6 +342,10 @@ class PlaneBlockPool:
         self._refcounts: Dict[int, int] = {}
         self._prefix_index: Dict[bytes, int] = {}  # content key -> block
         self._block_key: Dict[int, bytes] = {}  # block -> content key
+        # Content-derived per-block policy state (e.g. Quest page summaries):
+        # entries are pure functions of the block's frozen rows, so sharers
+        # may reuse them; invalidated when the block frees or is forked.
+        self.block_meta: Dict[int, Dict[str, object]] = {}
         self.peak_used_blocks = 0  # high-water mark of concurrently live blocks
         self.allocations = 0  # cumulative allocate() grants
         self.prefix_shares = 0  # cumulative share() grants
@@ -357,9 +381,9 @@ class PlaneBlockPool:
 
     @property
     def bytes_per_block(self) -> int:
-        """Backing-store bytes one block occupies (planes + k_int + values)."""
+        """Backing-store bytes one block occupies (planes + k_int + k + values)."""
         h, d, dv = self.num_heads, self.head_dim, self.v_dim
-        per_row = self.bits * h * d + h * d * 8 + h * dv * 8
+        per_row = self.bits * h * d + h * d * 8 + h * d * 8 + h * dv * 8
         return self.block_size * per_row
 
     # ------------------------------------------------------------------
@@ -419,6 +443,7 @@ class PlaneBlockPool:
         self._refcounts[block] -= 1
         if self._refcounts[block] == 0:
             self._unregister(block)
+            self.block_meta.pop(block, None)
             del self._refcounts[block]
             self._allocated.remove(block)
             self._free.append(block)
@@ -465,12 +490,14 @@ class PlaneBlockPool:
             raise ValueError(f"block {block} is not allocated")
         if self._refcounts[block] == 1:
             self._unregister(block)
+            self.block_meta.pop(block, None)  # content is about to diverge
             return block
         fresh = self.allocate()
         src = self.rows_of(block)[:rows_used]
         dst = self.rows_of(fresh)[:rows_used]
         self._planes[:, :, dst, :] = self._planes[:, :, src, :]
         self._k_int[:, dst, :] = self._k_int[:, src, :]
+        self._k[:, dst, :] = self._k[:, src, :]
         self._values[:, dst, :] = self._values[:, src, :]
         self._decref(block)
         self.forks += 1
@@ -528,7 +555,9 @@ class PagedBitPlaneKVCache:
         self._block_keys: List[bytes] = []  # chain keys of full prompt blocks
         self._next_register = 0  # first full prompt block not yet registered
         self._pending_k_int: Optional[np.ndarray] = None  # (H, S, D) during prefill
+        self._pending_k: Optional[np.ndarray] = None  # (H, S, D) raw, during prefill
         self._pending_v: Optional[np.ndarray] = None  # (H, S, Dv) during prefill
+        self.policy_state = None  # per-request AttentionPolicy state
 
     # ------------------------------------------------------------------
     @property
@@ -598,14 +627,26 @@ class PagedBitPlaneKVCache:
             raise RuntimeError("cache is empty; call prefill() first")
         return self.pool._k_int[:, self._row_index(), :]
 
+    @property
+    def k_float(self) -> np.ndarray:
+        """Gathered raw (pre-quantization) keys, shape ``(H, length, D)``."""
+        if self._scales is None:
+            raise RuntimeError("cache is empty; call prefill() first")
+        return self.pool._k[:, self._row_index(), :]
+
     # ------------------------------------------------------------------
-    def _chain_keys(self, k_int: np.ndarray, v: np.ndarray, scales: np.ndarray) -> List[bytes]:
+    def _chain_keys(
+        self, k_int: np.ndarray, k: np.ndarray, v: np.ndarray, scales: np.ndarray
+    ) -> List[bytes]:
         """Chained content keys of every *full* prompt block.
 
         The root digest covers the cache config and the frozen per-head
         scales, so two prompts only chain together when their quantized
         rows are byte-identical; each block key then folds in the block's
-        ``k_int`` and value rows on top of its parent's key.
+        ``k_int``, raw ``k`` and value rows on top of its parent's key.
+        (Raw K participates because the baseline attention policies score
+        against the float keys — a hit must be byte-identical for *every*
+        consumer, not just the plane-reading PADE kernels.)
         """
         bs = self.pool.block_size
         root = hashlib.sha256()
@@ -618,6 +659,7 @@ class PagedBitPlaneKVCache:
         for b in range(k_int.shape[1] // bs):
             h = hashlib.sha256(parent)
             h.update(np.ascontiguousarray(k_int[:, b * bs : (b + 1) * bs, :]).tobytes())
+            h.update(np.ascontiguousarray(k[:, b * bs : (b + 1) * bs, :]).tobytes())
             h.update(np.ascontiguousarray(v[:, b * bs : (b + 1) * bs, :]).tobytes())
             parent = h.digest()
             keys.append(parent)
@@ -638,7 +680,7 @@ class PagedBitPlaneKVCache:
         hits: List[int] = []
         keys: List[bytes] = []
         if self.prefix_sharing:
-            keys = self._chain_keys(k_int, v, scales)
+            keys = self._chain_keys(k_int, k, v, scales)
             for key in keys:
                 block = self.pool.lookup_prefix(key)
                 if block is None:
@@ -651,6 +693,7 @@ class PagedBitPlaneKVCache:
         self._block_keys = keys
         self._next_register = len(hits)
         self._pending_k_int = k_int
+        self._pending_k = k
         self._pending_v = v
         self.prefix_hit_blocks += len(hits)
         self.prefix_miss_blocks += len(keys) - len(hits)
@@ -708,6 +751,7 @@ class PagedBitPlaneKVCache:
         rows = self._rows_for(start, end)
         self.pool._planes[:, :, rows, :] = bp.planes
         self.pool._k_int[:, rows, :] = k_int
+        self.pool._k[:, rows, :] = self._pending_k[:, start:end, :]
         self.pool._values[:, rows, :] = self._pending_v[:, start:end, :]
         self._length = end
         self.rows_decomposed += self.num_heads * take
@@ -726,6 +770,7 @@ class PagedBitPlaneKVCache:
                 f"prefill incomplete: {self._length}/{self._prefill_target} tokens resident"
             )
         self._pending_k_int = None
+        self._pending_k = None
         self._pending_v = None
 
     def prefill(self, k: np.ndarray, v: np.ndarray) -> None:
@@ -786,6 +831,7 @@ class PagedBitPlaneKVCache:
         row = self._blocks[pos // bs] * bs + pos % bs
         self.pool._planes[:, :, row, :] = bp.planes
         self.pool._k_int[:, row, :] = k_int
+        self.pool._k[:, row, :] = k_step
         self.pool._values[:, row, :] = v_step
         self._length = pos + 1
         self.rows_decomposed += self.num_heads
@@ -828,4 +874,6 @@ class PagedBitPlaneKVCache:
         self._block_keys = []
         self._next_register = 0
         self._pending_k_int = None
+        self._pending_k = None
         self._pending_v = None
+        self.policy_state = None

@@ -20,7 +20,13 @@ rebuilt per call), the engine is the layer a serving stack talks to:
   concurrent requests in lockstep; :meth:`PadeEngine.serve` runs the
   continuous-batching path — arrival-aware admission every round over a
   paged block pool with a global token budget and preemption under
-  pressure (see :mod:`repro.engine.scheduler`).
+  pressure (see :mod:`repro.engine.scheduler`);
+* **pluggable attention policy**: ``PadeEngine(policy=...)`` serves any
+  registered :class:`~repro.attention.policy.AttentionPolicy` — the PADE
+  bit-plane filter (default) or the converted software baselines (Quest,
+  H2O, StreamingLLM, MInference, double sparsity, top-k oracle) — through
+  the same caches and schedulers, so serving metrics are apples-to-apples
+  across methods.
 
 The engine's retained sets are backend-invariant: running the same
 workload under ``"reference"`` and ``"fast"`` produces byte-identical
@@ -35,6 +41,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.attention.policy import AttentionPolicy, resolve_policy
 from repro.core.backend import KernelBackend, get_backend
 from repro.core.bui_gf import guard_in_int_units
 from repro.core.config import PadeConfig
@@ -59,6 +66,9 @@ class EngineStats:
     candidate_keys: int = 0
     rows_decomposed: int = 0  # quantize+decompose work actually performed
     rows_reused: int = 0  # cache hits a per-call pipeline would re-decompose
+    policy_calls: int = 0  # attention calls routed through the policy
+    policy_prediction_cost: float = 0.0  # summed per-call predictor overhead
+    policy_execution_cost: float = 0.0  # summed per-call retained fractions
 
     @property
     def sparsity(self) -> float:
@@ -72,6 +82,21 @@ class EngineStats:
         total = self.rows_decomposed + self.rows_reused
         return self.rows_reused / total if total else 0.0
 
+    @property
+    def mean_prediction_cost(self) -> float:
+        """Mean per-call predictor overhead (fraction of a dense pass)."""
+        return self.policy_prediction_cost / self.policy_calls if self.policy_calls else 0.0
+
+    @property
+    def mean_execution_cost(self) -> float:
+        """Mean per-call retained fraction (sparse execution cost)."""
+        return self.policy_execution_cost / self.policy_calls if self.policy_calls else 0.0
+
+    @property
+    def mean_sparsity_level(self) -> float:
+        """Paper Fig. 15 currency: (prediction + execution) / dense cost."""
+        return self.mean_prediction_cost + self.mean_execution_cost
+
 
 @dataclass(frozen=True)
 class EngineAttentionResult:
@@ -79,8 +104,12 @@ class EngineAttentionResult:
 
     ``output`` has shape ``(H, P, Dv)``, ``retained`` and ``scores``
     shape ``(H, P, S)``; ``logit_scales`` / ``guards`` are the per-head
-    integer-unit parameters the filter actually used; ``candidate_keys``
-    counts the (head, query, key) pairs the masks made eligible.
+    integer-unit parameters the filter actually used (ones/zeros for the
+    software baseline policies, whose scores are plain float logits);
+    ``candidate_keys`` counts the (head, query, key) pairs the masks made
+    eligible.  ``prediction_cost`` / ``execution_cost`` are the paper's
+    Fig. 15 cost split for this call — predictor overhead and retained
+    fraction, each as a fraction of a dense pass.
     """
 
     output: np.ndarray
@@ -89,6 +118,8 @@ class EngineAttentionResult:
     logit_scales: np.ndarray
     guards: np.ndarray
     candidate_keys: int
+    prediction_cost: float = 0.0
+    execution_cost: float = 0.0
 
     @property
     def sparsity(self) -> float:
@@ -114,6 +145,12 @@ class PadeEngine:
     max_active:
         Decode-round batch width of the scheduler — how many requests may
         be in flight at once (see :meth:`run`).
+    policy:
+        Attention policy served by this engine: a registry name
+        (``"pade"``, ``"quest"``, ``"h2o"``, ``"streaming-llm"``,
+        ``"topk-oracle"``, ``"double-sparsity"``, ``"minference"``), an
+        :class:`~repro.attention.policy.AttentionPolicy` instance, or
+        ``None`` for the default PADE bit-plane filter.
     """
 
     def __init__(
@@ -121,11 +158,13 @@ class PadeEngine:
         config: Optional[PadeConfig] = None,
         backend: Optional[Union[str, KernelBackend]] = None,
         max_active: int = 8,
+        policy: Union[None, str, AttentionPolicy] = None,
     ) -> None:
         self.config = config or PadeConfig.standard()
         self.kernel: KernelBackend = get_backend(
             backend if backend is not None else self.config.backend
         )
+        self.policy: AttentionPolicy = resolve_policy(policy)
         self.stats = EngineStats()
         if max_active < 1:
             raise ValueError("max_active must be >= 1")
@@ -229,6 +268,12 @@ class PadeEngine:
             logit_scales=logit_scales,
             guards=guards,
             candidate_keys=candidates,
+            # PADE has no separate predictor: the bound evaluation is the
+            # execution's first bit planes, so the whole cost is execution.
+            prediction_cost=0.0,
+            execution_cost=(
+                float(res.retained.sum()) / candidates if candidates else 0.0
+            ),
         )
 
     def prefill(
@@ -237,19 +282,26 @@ class PadeEngine:
         k: np.ndarray,
         v: np.ndarray,
         q: Optional[np.ndarray] = None,
+        total_tokens: Optional[int] = None,
     ) -> Optional[EngineAttentionResult]:
         """Populate a cache from prompt K/V and optionally attend ``q``.
 
         This is the only place the bulk decomposition cost is paid; every
-        later :meth:`decode_step` reuses the stored planes.
+        later :meth:`decode_step` reuses the stored planes.  The attend —
+        and all later decode steps on this cache — route through the
+        engine's :class:`~repro.attention.policy.AttentionPolicy`, whose
+        per-request state is created here (``total_tokens``, the final
+        context length when known, anchors budget-style policies exactly
+        like the full sequence anchors their one-shot forms).
         """
         before = cache.rows_decomposed
         cache.prefill(k, v)
         self.stats.prefill_tokens += cache.length
         self.stats.rows_decomposed += cache.rows_decomposed - before
+        cache.policy_state = self.policy.new_state(cache, total_tokens=total_tokens)
         if q is None:
             return None
-        return self.attend(cache, q)
+        return self.policy.prefill(self, cache, np.asarray(q, dtype=np.float64))
 
     def prefill_begin(self, cache, k: np.ndarray, v: np.ndarray) -> int:
         """Start a chunked prefill: calibrate scales, attach prefix hits.
@@ -270,13 +322,19 @@ class PadeEngine:
         self.stats.rows_decomposed += cache.rows_decomposed - before
         return written
 
-    def prefill_finish(self, cache, q: Optional[np.ndarray] = None):
+    def prefill_finish(
+        self,
+        cache,
+        q: Optional[np.ndarray] = None,
+        total_tokens: Optional[int] = None,
+    ):
         """Seal a chunked prefill and optionally attend the prompt queries."""
         cache.finish_prefill()
         self.stats.prefill_tokens += cache.length
+        cache.policy_state = self.policy.new_state(cache, total_tokens=total_tokens)
         if q is None:
             return None
-        return self.attend(cache, q)
+        return self.policy.prefill(self, cache, np.asarray(q, dtype=np.float64))
 
     def decode_step(
         self,
@@ -290,13 +348,15 @@ class PadeEngine:
         ``q`` / ``k_step`` have shape ``(H, D)`` and ``v_step`` ``(H, Dv)``
         — one token per head.  Only the appended token is decomposed; the
         other ``H × (S-1)`` rows come straight from the plane cache (the
-        reuse a per-call pipeline forfeits).
+        reuse a per-call pipeline forfeits).  Selection and attend route
+        through the engine's policy (the default :class:`PadePolicy` is
+        byte-identical to calling :meth:`attend` directly).
         """
         cache.append(k_step, v_step)
         self.stats.decode_steps += 1
         self.stats.rows_decomposed += cache.num_heads
         self.stats.rows_reused += cache.num_heads * (cache.length - 1)
-        return self.attend(cache, np.asarray(q, dtype=np.float64)[:, None, :])
+        return self.policy.decode_step(self, cache, np.asarray(q, dtype=np.float64))
 
     # ------------------------------------------------------------------
     # Request-level scheduling (delegates to the schedulers)

@@ -175,7 +175,13 @@ class EngineScheduler:
             num_heads, _, head_dim = np.asarray(request.k).shape
             v_dim = np.asarray(request.v).shape[2]
             cache = self.engine.new_cache(num_heads, head_dim, v_dim)
-            res = self.engine.prefill(cache, request.k, request.v, q=request.q_prompt)
+            res = self.engine.prefill(
+                cache,
+                request.k,
+                request.v,
+                q=request.q_prompt,
+                total_tokens=request.total_tokens,
+            )
             state = _RequestState(request=request, cache=cache)
             if res is not None:
                 state.prefill_output = res.output
@@ -352,6 +358,13 @@ class ContinuousScheduler:
         self.chunk_tokens = int(chunk_tokens)
         self.round_token_budget = int(round_token_budget)
         self.pool: Optional[PlaneBlockPool] = None
+        # Bounded-footprint policies (H2O's eviction budget, StreamingLLM's
+        # sink+window) switch admission to charged-footprint accounting:
+        # each request is charged its policy's peak resident tokens against
+        # the token budget instead of its dense context.  See run().
+        policy = getattr(engine, "policy", None)
+        self._charged = policy is not None and not policy.dense_footprint
+        self._pool_token_budget = token_budget
         self.time = 0.0
         self.pending: List[Tuple[int, EngineRequest]] = []  # (submit order, request)
         self.active: List[_RequestState] = []
@@ -402,7 +415,7 @@ class ContinuousScheduler:
                 v_dim,
                 bits=self.engine.config.bits,
                 block_size=self.block_size,
-                token_budget=self.token_budget,
+                token_budget=self._pool_token_budget,
             )
         elif (self.pool.num_heads, self.pool.head_dim, self.pool.v_dim) != (
             num_heads,
@@ -416,13 +429,27 @@ class ContinuousScheduler:
             )
         return self.pool
 
+    def _charge_tokens(self, req: EngineRequest) -> int:
+        """Tokens this request is charged against the budget (policy view)."""
+        policy = getattr(self.engine, "policy", None)
+        if policy is None:
+            return req.total_tokens
+        return min(
+            req.total_tokens,
+            policy.cache_footprint(req.prompt_tokens, req.decode_steps),
+        )
+
+    def _charge_blocks(self, req: EngineRequest) -> int:
+        return max(1, -(-self._charge_tokens(req) // self.block_size))
+
     def _check_footprints(self) -> None:
         num_blocks = self.token_budget // self.block_size
         for _, req in self.pending:
-            needed = max(1, -(-req.total_tokens // self.block_size))
+            charge = self._charge_tokens(req)
+            needed = max(1, -(-charge // self.block_size))
             if needed > num_blocks:
                 raise ValueError(
-                    f"request {req.request_id!r} needs {req.total_tokens} tokens "
+                    f"request {req.request_id!r} needs {charge} tokens "
                     f"({needed} blocks); the budget holds only {num_blocks} blocks "
                     f"of {self.block_size} — it could never be served"
                 )
@@ -438,13 +465,26 @@ class ContinuousScheduler:
             entry = min(arrived, key=self._policy_key)
             request = entry[1]
             pool = self._ensure_pool(request)
-            blocks_needed = max(1, -(-request.prompt_tokens // pool.block_size))
-            # One headroom block per unfinished active request keeps this
-            # admission from forcing a preemption in the very next round.
-            # (Worst case: prefix hits only lower the real demand.)
-            headroom = sum(1 for s in self.active if not s.done)
-            if pool.free_block_count < blocks_needed + headroom:
-                return
+            if self._charged:
+                # Charged-footprint admission: the request reserves its
+                # policy's peak resident tokens for its whole lifetime, so
+                # no headroom is needed — a bounded policy never grows past
+                # its charge, which is exactly why it packs more concurrent
+                # requests into the same budget than a dense one.
+                budget_blocks = self.token_budget // self.block_size
+                used = sum(
+                    self._charge_blocks(s.request) for s in self.active if not s.done
+                )
+                if budget_blocks - used < self._charge_blocks(request):
+                    return
+            else:
+                blocks_needed = max(1, -(-request.prompt_tokens // pool.block_size))
+                # One headroom block per unfinished active request keeps this
+                # admission from forcing a preemption in the very next round.
+                # (Worst case: prefix hits only lower the real demand.)
+                headroom = sum(1 for s in self.active if not s.done)
+                if pool.free_block_count < blocks_needed + headroom:
+                    return
             self.pending.remove(entry)
             cache = PagedBitPlaneKVCache(pool, prefix_sharing=self.prefix_sharing)
             state = _RequestState(request=request, cache=cache, admit_index=self._admit_seq)
@@ -461,7 +501,13 @@ class ContinuousScheduler:
                 if not state.prefilling:  # full prefix hit: nothing left to pay
                     self._finish_prefill(state)
             else:
-                res = self.engine.prefill(cache, request.k, request.v, q=request.q_prompt)
+                res = self.engine.prefill(
+                    cache,
+                    request.k,
+                    request.v,
+                    q=request.q_prompt,
+                    total_tokens=request.total_tokens,
+                )
                 if res is not None:
                     state.prefill_output = res.output
                 self.active.append(state)
@@ -478,7 +524,9 @@ class ContinuousScheduler:
     def _finish_prefill(self, state: _RequestState) -> None:
         """Seal a budgeted prefill: prompt-query attend + timing marks."""
         request = state.request
-        res = self.engine.prefill_finish(state.cache, q=request.q_prompt)
+        res = self.engine.prefill_finish(
+            state.cache, q=request.q_prompt, total_tokens=request.total_tokens
+        )
         if res is not None:
             state.prefill_output = res.output
         # Counted at completion so late-binding hits (blocks attached
@@ -641,6 +689,19 @@ class ContinuousScheduler:
         self.events = []
         self.occupancy = []
         self._check_footprints()
+        if self._charged:
+            # The simulation keeps every key resident so retained sets stay
+            # exactly reproducible (H2O's accumulated scores read the full
+            # distribution), while *admission* is charged the policy's
+            # bounded footprint — so the physical backing store is sized to
+            # the worst case and the token budget lives on as the
+            # accounting ceiling, the capacity a bounded-cache deployment
+            # would actually provision.
+            bs = self.block_size
+            physical = sum(
+                max(1, -(-req.total_tokens // bs)) for _, req in self.pending
+            ) * bs
+            self._pool_token_budget = max(self.token_budget, physical)
         results: Dict[str, RequestResult] = {}
         while self.pending or self.active:
             if not self.active and self.pending:
@@ -665,7 +726,12 @@ class ContinuousScheduler:
             if self._budgeted:
                 self._prefill_round(decode_tokens)
             self.time += 1.0
-            used = self.pool.used_tokens if self.pool is not None else 0
+            if self._charged:
+                # Charged accounting: what the budget ceiling actually sees.
+                used = sum(self._charge_blocks(s.request) for s in self.active)
+                used *= self.block_size
+            else:
+                used = self.pool.used_tokens if self.pool is not None else 0
             self.occupancy.append((self.time, used, len(self.active)))
             self._collect(results)
         return results

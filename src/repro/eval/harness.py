@@ -27,11 +27,7 @@ from repro.accelerators import (
     SpAttenModel,
 )
 from repro.accelerators.bitwave import simulate_bitwave_lanes
-from repro.attention.baselines import (
-    double_sparsity_attention,
-    minference_attention,
-    streaming_llm_attention,
-)
+from repro.attention.baselines import get_baseline
 from repro.attention.dense import attention_scores, softmax
 from repro.attention.masks import causal_mask
 from repro.core.backend import get_backend, resolve_backend_name
@@ -393,11 +389,8 @@ def fig15_accuracy_vs_sparsity(
         return float(np.where(keep_mask, 0.0, probs).sum(axis=-1).mean()) / dense_out_mass
 
     out: Dict[str, List[float]] = {}
-    for name, fn in (
-        ("streaming_llm", streaming_llm_attention),
-        ("minference", minference_attention),
-        ("double_sparsity", double_sparsity_attention),
-    ):
+    for name in ("streaming_llm", "minference", "double_sparsity"):
+        fn = get_baseline(name)
         accs = []
         for level in levels:
             # Solve the key budget so prediction + execution == level
@@ -990,6 +983,7 @@ def serving_profile(
     prefix_sharing: bool = False,
     chunk: int = 0,
     round_tokens: int = 0,
+    attention: str = "pade",
 ) -> Dict[str, float]:
     """Continuous-batching serving profile over the paged bit-plane pool.
 
@@ -999,15 +993,18 @@ def serving_profile(
     queueing-delay percentiles, throughput, preemptions, pool occupancy,
     and (with ``prefix_sharing``) prefix-cache hit rate / blocks saved.
     ``round_tokens`` activates the prefill cost model and ``chunk`` the
-    chunked-prefill split.  Deterministic for a given seed — safe for
-    ``--json`` smoke runs; the CLI exposes
-    ``--rate/--budget/--policy/--prefix-sharing/--chunk/--round-tokens``.
+    chunked-prefill split.  ``attention`` selects the attention policy
+    from :data:`repro.attention.policy.POLICY_REGISTRY` (PADE or any
+    converted baseline), so the same profile sweeps every method.
+    Deterministic for a given seed — safe for ``--json`` smoke runs; the
+    CLI exposes ``--rate/--budget/--policy/--prefix-sharing/--chunk/
+    --round-tokens/--attention``.
     """
     from repro.engine import PadeEngine
     from repro.eval.serving_metrics import summarize_serving
     from repro.eval.workloads import build_prefix_workload, build_serving_workload
 
-    engine = PadeEngine(PadeConfig.standard())
+    engine = PadeEngine(PadeConfig.standard(), policy=attention)
     if prefix_sharing:
         # A shared-system-prompt stream: half the prompt is the common
         # prefix, so the hit rate and blocks-saved figures are non-trivial.
@@ -1038,6 +1035,7 @@ def serving_profile(
     )
     return {
         "backend": resolve_backend_name(),
+        "attention_policy": engine.policy.name,
         "policy": policy,
         "rate": rate,
         "token_budget": float(budget),

@@ -137,10 +137,13 @@ def summarize_serving(
     makespan), preemption count, and — when ``token_budget`` is given —
     mean/peak pool occupancy as a fraction of the budget.  Passing the
     ``ContinuousScheduler`` itself adds the prefix-cache figures
-    (hit rate, blocks/bytes saved, peak live blocks) and the chunked-
+    (hit rate, blocks/bytes saved, peak live blocks), the chunked-
     prefill stall counters (``chunk_stall_rounds`` — rounds a prefill got
     zero budget; ``decode_blocked_rounds`` — rounds an unchunked prefill
-    stalled decode).
+    stalled decode), and the per-policy attention columns read off the
+    engine: achieved sparsity over candidate pairs plus the paper's
+    Fig. 15 cost split (mean prediction/execution cost per attention
+    call and their sum, the sparsity level).
     """
     timings = [timing_from_result(r) for r in results]
     if not timings:
@@ -183,4 +186,11 @@ def summarize_serving(
         )
         if pool is not None:
             report["peak_used_blocks"] = float(pool.peak_used_blocks)
+        engine = getattr(scheduler, "engine", None)
+        stats = getattr(engine, "stats", None)
+        if stats is not None:
+            report["policy_sparsity"] = float(stats.sparsity)
+            report["policy_prediction_cost"] = float(stats.mean_prediction_cost)
+            report["policy_execution_cost"] = float(stats.mean_execution_cost)
+            report["policy_sparsity_level"] = float(stats.mean_sparsity_level)
     return report

@@ -326,3 +326,87 @@ class TestRefcountLifecycle:
         b.release()
         assert pool.ref_count(shared) == 0
         assert pool.used_block_count == 0
+
+
+class TestPolicyInteractions:
+    """Prefix sharing × attention policies (ISSUE 4).
+
+    Sharing must stay invisible to every policy: a request served from
+    shared blocks retains identical token sets to one that wrote
+    everything itself, and content-derived per-block policy state
+    (Quest's page summaries in ``pool.block_meta``) is reused by
+    sharers but never outlives or escapes its block.
+    """
+
+    def _digests(self, results):
+        return {rid: results[rid].retained_bytes() for rid in results}
+
+    @pytest.mark.parametrize("policy", ["quest", "streaming-llm", "h2o"])
+    def test_sharing_invisible_to_policies(self, policy):
+        from repro.eval.workloads import build_prefix_workload
+
+        def serve(sharing):
+            workload = build_prefix_workload(4, 2, 16, 8, 6, 16, seed=5)
+            engine = PadeEngine(policy=policy)
+            results = engine.serve(
+                workload, max_active=4, token_budget=1024, block_size=16,
+                prefix_sharing=sharing,
+            )
+            return results, engine.last_serve
+
+        on, on_sched = serve(True)
+        off, _ = serve(False)
+        assert on_sched.prefix_hit_blocks > 0, "workload was expected to share"
+        assert self._digests(on) == self._digests(off)
+        for rid in off:
+            np.testing.assert_array_equal(
+                on[rid].decode_outputs, off[rid].decode_outputs
+            )
+
+    def test_quest_block_meta_shared_and_freed(self, rng):
+        """Two sharers compute one summary per shared block; freeing the
+        last reference drops the meta with the block."""
+        from repro.attention.policy import get_policy
+
+        engine = PadeEngine(policy=get_policy("quest", keep_fraction=0.5))
+        pool = _pool(num_heads=2, head_dim=8, block_size=4, token_budget=256)
+        k, v = _kv(rng, 2, 8, 8, 8)
+        q = rng.normal(size=(2, 1, 8))
+
+        donor = PagedBitPlaneKVCache(pool, prefix_sharing=True)
+        engine.prefill(donor, k, v, q=q, total_tokens=8)
+        assert set(pool.block_meta) <= set(donor.block_table)
+        meta_ids = {id(pool.block_meta[b]["quest"]) for b in pool.block_meta}
+
+        sharer = PagedBitPlaneKVCache(pool, prefix_sharing=True)
+        engine.prefill(sharer, k, v, q=q, total_tokens=8)
+        # The sharer attached the donor's blocks and reused their summaries.
+        assert sharer.prefix_hit_blocks == 2
+        assert {id(pool.block_meta[b]["quest"]) for b in pool.block_meta} == meta_ids
+
+        donor.release()
+        sharer.release()
+        assert pool.block_meta == {}
+
+    def test_fork_invalidates_block_meta(self, rng):
+        """A copy-on-write fork must not leave stale summaries behind on
+        either side of the divergence."""
+        engine = PadeEngine(policy="quest")
+        pool = _pool(num_heads=1, head_dim=4, block_size=4, token_budget=256)
+        k, v = _kv(rng, 1, 4, 4, 4)
+        a = PagedBitPlaneKVCache(pool)
+        engine.prefill(a, k, v, total_tokens=6)
+        b = a.fork()
+        # Drive one decode on the fork: the shared tail is full, so the
+        # append allocates a new block; the original's meta stays valid.
+        engine.decode_step(b, rng.normal(size=(1, 4)), rng.normal(size=(1, 4)),
+                           rng.normal(size=(1, 4)))
+        shared = a.block_table[0]
+        # Now mutate the shared full block via fork_block directly (the
+        # partial-tail COW path) and check its meta is dropped.
+        pool.block_meta.setdefault(shared, {})["quest"] = "stale"
+        fresh = pool.fork_block(shared, rows_used=4)
+        assert "quest" not in pool.block_meta.get(fresh, {})
+        a._blocks[0] = fresh  # keep the table consistent for release
+        a.release()
+        b.release()
