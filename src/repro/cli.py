@@ -16,8 +16,11 @@ results are identical, only wall-clock differs).  Without the flag the
 
 The ``serve`` experiment additionally honors ``--rate`` (mean Poisson
 arrivals per decode round), ``--budget`` (global KV token budget of the
-paged plane pool), ``--policy`` (``fcfs`` or ``shortest-prompt``
-admission ordering), ``--attention`` (the attention policy served
+paged plane pool), ``--sched-policy``/``--policy`` (scheduling policy:
+``fcfs`` / ``shortest-prompt`` / ``priority`` / ``edf`` / ``fair``),
+``--scenario`` (a named scenario workload — ``bursty`` / ``diurnal`` /
+``heavy_tail`` / ``multi_tenant``), ``--tenants`` (tenant count of the
+multi-tenant mix), ``--attention`` (the attention policy served
 through the engine — PADE or any registered sparse baseline; choices
 come from :data:`repro.attention.policy.POLICY_REGISTRY`),
 ``--prefix-sharing`` (hash-based copy-on-write prompt-prefix sharing on
@@ -37,7 +40,9 @@ from typing import Dict
 
 from repro.attention.policy import available_policies
 from repro.core.backend import available_backends, set_default_backend
+from repro.engine import SCHEDULING_POLICIES
 from repro.eval import harness as H
+from repro.eval.workloads import SCENARIO_KINDS
 
 #: experiment id -> (callable, one-line description)
 EXPERIMENTS: Dict[str, tuple] = {
@@ -129,8 +134,18 @@ def main(argv=None) -> int:
         help="global KV token budget of the paged plane pool (serve only)",
     )
     serve_group.add_argument(
-        "--policy", choices=("fcfs", "shortest-prompt"), default="fcfs",
-        help="admission ordering of the continuous scheduler (serve only)",
+        "--policy", "--sched-policy", choices=SCHEDULING_POLICIES, default="fcfs",
+        help="scheduling policy of the continuous scheduler: admission "
+        "ordering + preemption victim selection (serve only)",
+    )
+    serve_group.add_argument(
+        "--scenario", choices=SCENARIO_KINDS, default=None,
+        help="serve a named scenario workload instead of the plain "
+        "Poisson stream (serve only)",
+    )
+    serve_group.add_argument(
+        "--tenants", type=int, default=3,
+        help="tenant count of the multi_tenant scenario mix (serve only)",
     )
     serve_group.add_argument(
         "--attention", choices=available_policies(), default="pade",
@@ -177,6 +192,8 @@ def main(argv=None) -> int:
                 "prefix_sharing": args.prefix_sharing,
                 "chunk": args.chunk,
                 "round_tokens": args.round_tokens,
+                "scenario": args.scenario,
+                "tenants": args.tenants,
             }
             if name == "serve"
             else {}

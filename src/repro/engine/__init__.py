@@ -14,7 +14,9 @@
   (one einsum covers all heads), and aggregate serving statistics.
 * :mod:`repro.engine.scheduler` — :class:`EngineScheduler` (lockstep FIFO
   baseline) and :class:`ContinuousScheduler` (arrival-aware iteration-level
-  batching with ``fcfs`` / ``shortest-prompt`` admission and
+  batching with pluggable :class:`SchedulingPolicy` admission — ``fcfs`` /
+  ``shortest-prompt`` / ``priority`` / ``edf`` / ``fair`` — SLO-aware
+  preemption victim selection, deadline/cancellation aborts, and
   budget-pressure preemption).
 
 Quickstart (synthetic single-layer decode)::
@@ -46,11 +48,19 @@ from repro.engine.cache import (
 )
 from repro.engine.engine import EngineAttentionResult, EngineStats, PadeEngine
 from repro.engine.scheduler import (
+    SCHEDULER_POLICY_REGISTRY,
     SCHEDULING_POLICIES,
     ContinuousScheduler,
+    EdfPolicy,
     EngineRequest,
     EngineScheduler,
+    FairPolicy,
+    FcfsPolicy,
+    PriorityPolicy,
     RequestResult,
+    SchedulingPolicy,
+    ShortestPromptPolicy,
+    resolve_scheduling_policy,
 )
 
 __all__ = [
@@ -65,5 +75,13 @@ __all__ = [
     "EngineScheduler",
     "ContinuousScheduler",
     "RequestResult",
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "ShortestPromptPolicy",
+    "PriorityPolicy",
+    "EdfPolicy",
+    "FairPolicy",
+    "SCHEDULER_POLICY_REGISTRY",
     "SCHEDULING_POLICIES",
+    "resolve_scheduling_policy",
 ]

@@ -385,26 +385,33 @@ class PadeEngine:
         max_active: Optional[int] = None,
         token_budget: int = 4096,
         block_size: int = 16,
-        policy: str = "fcfs",
+        policy="fcfs",
         admission: str = "continuous",
         prefix_sharing: bool = False,
         chunk_tokens: int = 0,
         round_token_budget: int = 0,
+        tenant_weights=None,
     ):
         """Serve ``requests`` with continuous batching over a paged pool.
 
         Arrival-aware admission at every decode-round boundary, KV rows in
         fixed-size blocks under ``token_budget``, preemption under memory
         pressure — see :class:`repro.engine.scheduler.ContinuousScheduler`
-        for the policy knobs.  ``prefix_sharing`` turns on hash-based
-        copy-on-write prompt-prefix sharing across requests;
+        for the policy knobs.  ``policy`` picks the scheduling policy
+        (``fcfs`` / ``shortest-prompt`` / ``priority`` / ``edf`` /
+        ``fair``, or a :class:`~repro.engine.scheduler.SchedulingPolicy`
+        instance) and ``tenant_weights`` the fair-share weights the
+        ``fair`` policy divides service by.  ``prefix_sharing`` turns on
+        hash-based copy-on-write prompt-prefix sharing across requests;
         ``round_token_budget`` activates the prefill cost model (a prompt
         occupies rounds in proportion to its length) and ``chunk_tokens``
         splits those prompts into chunks interleaved with decode rounds.
         Returns ``{request_id: RequestResult}`` with per-request timing
-        (arrival/admit/first-token/finish) populated; the scheduler of
-        the last call stays inspectable via :attr:`last_serve` (trace,
-        timed events, pool occupancy timeline, prefix-cache counters).
+        (arrival/admit/first-token/finish) populated — aborted requests
+        (deadline missed, queueing bound exceeded, cancelled) report
+        ``status="aborted"``; the scheduler of the last call stays
+        inspectable via :attr:`last_serve` (trace, timed events, pool
+        occupancy timeline, prefix-cache counters, tenant service).
         """
         from repro.engine.scheduler import ContinuousScheduler
 
@@ -418,6 +425,7 @@ class PadeEngine:
             prefix_sharing=prefix_sharing,
             chunk_tokens=chunk_tokens,
             round_token_budget=round_token_budget,
+            tenant_weights=tenant_weights,
         )
         for request in requests:
             scheduler.submit(request)

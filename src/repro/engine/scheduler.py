@@ -10,11 +10,24 @@ of decode steps.  Two schedulers batch them:
 * :class:`ContinuousScheduler` — iteration-level (continuous) batching
   over a shared :class:`~repro.engine.cache.PlaneBlockPool`: requests
   carry arrival times, admission happens at *every* decode-round boundary
-  under a pluggable policy (``fcfs`` / ``shortest-prompt``), KV rows live
+  under a pluggable :class:`SchedulingPolicy` (``fcfs`` /
+  ``shortest-prompt`` / ``priority`` / ``edf`` / ``fair``), KV rows live
   in fixed-size blocks under a global token budget, and budget pressure
-  preempts the youngest request (its blocks are freed; it re-prefills
+  preempts a policy-chosen victim (its blocks are freed; it re-prefills
   from scratch on re-admission, so its retained sets are identical to an
   uncontended run).
+
+Multi-tenant SLO serving rides on three request attributes: ``tenant``
+(the traffic source, the unit of fairness accounting), ``priority``
+(the service class — higher is more urgent), and ``deadline_ms`` /
+``max_queue_ms`` (completion / queueing SLOs on the scheduler clock; the
+"ms" suffix marks them as wall-clock quantities once rounds are
+calibrated to a hardware round latency, exactly like every other timing
+in :mod:`repro.eval.serving_metrics`).  A request whose deadline passes,
+whose queueing bound expires, or that is cancelled via
+:meth:`ContinuousScheduler.cancel` is *aborted*: its pool blocks and
+prefix references are released immediately and its
+:class:`RequestResult` reports ``status="aborted"`` with the reason.
 
 Since the offline substrate has no real model producing Q/K/V on the fly,
 a request carries its decode-step tensors up front (synthesized or
@@ -36,9 +49,18 @@ from repro.engine.cache import PagedBitPlaneKVCache, PlaneBlockPool, PoolExhaust
 __all__ = [
     "EngineRequest",
     "RequestResult",
+    "deadline_was_missed",
     "EngineScheduler",
     "ContinuousScheduler",
+    "SchedulingPolicy",
+    "FcfsPolicy",
+    "ShortestPromptPolicy",
+    "PriorityPolicy",
+    "EdfPolicy",
+    "FairPolicy",
+    "SCHEDULER_POLICY_REGISTRY",
     "SCHEDULING_POLICIES",
+    "resolve_scheduling_policy",
 ]
 
 
@@ -53,6 +75,14 @@ class EngineRequest:
     count ``T`` (``None`` for prefill-only requests).  ``arrival_time``
     is in decode-round units; the lockstep scheduler ignores it, the
     continuous scheduler never admits a request before it.
+
+    The SLO attributes are all optional and ignored by the lockstep
+    scheduler: ``tenant`` names the traffic source (fairness accounting
+    unit), ``priority`` the service class (higher = more urgent, used by
+    the ``priority`` policy and by preemption victim selection),
+    ``deadline_ms`` a completion SLO relative to arrival, and
+    ``max_queue_ms`` a bound on time spent waiting for admission — both
+    on the scheduler clock (decode rounds until calibrated).
     """
 
     request_id: str
@@ -63,6 +93,10 @@ class EngineRequest:
     decode_k: Optional[np.ndarray] = None
     decode_v: Optional[np.ndarray] = None
     arrival_time: float = 0.0
+    tenant: str = "default"
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+    max_queue_ms: Optional[float] = None
 
     @property
     def decode_steps(self) -> int:
@@ -86,6 +120,42 @@ class EngineRequest:
             raise ValueError("decode streams must share the same step count")
         if self.arrival_time < 0:
             raise ValueError("arrival_time must be >= 0")
+        if self.priority < 0:
+            raise ValueError("priority must be >= 0")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 when set")
+        if self.max_queue_ms is not None and self.max_queue_ms < 0:
+            raise ValueError("max_queue_ms must be >= 0 when set")
+
+    @property
+    def deadline_at(self) -> Optional[float]:
+        """Absolute completion deadline on the scheduler clock (or None)."""
+        if self.deadline_ms is None:
+            return None
+        return self.arrival_time + self.deadline_ms
+
+
+def deadline_was_missed(
+    deadline_ms: Optional[float],
+    status: str,
+    abort_reason: Optional[str],
+    arrival_time: float,
+    finish_time: float,
+) -> bool:
+    """The one SLO-miss predicate, shared by :class:`RequestResult` and
+    :class:`repro.eval.serving_metrics.RequestTiming`.
+
+    A completion SLO was set and not met: the request was aborted by the
+    *scheduler* (deadline or queue-timeout — the user never got the full
+    answer in time), or it finished later than ``arrival + deadline_ms``.
+    A voluntary client cancellation is not a scheduling failure and does
+    not count as a miss.
+    """
+    if deadline_ms is None:
+        return False
+    if status == "aborted":
+        return abort_reason != "cancelled"
+    return (finish_time - arrival_time) > deadline_ms
 
 
 @dataclass
@@ -97,6 +167,13 @@ class RequestResult:
     decode-round units on the same clock as ``EngineRequest.arrival_time``.
     ``first_token_time`` is when the first decode token (or, for
     prefill-only requests, the prefill output) became available.
+
+    ``status`` is ``"ok"`` for a served request and ``"aborted"`` for one
+    the scheduler gave up on (``abort_reason`` one of ``"deadline"``,
+    ``"queue-timeout"``, ``"cancelled"``); an aborted request keeps
+    whatever outputs it produced before the abort, and its pool blocks
+    were released the moment it was aborted.  ``admit_time`` is ``None``
+    for a request that was never admitted (aborted while queued).
     """
 
     request_id: str
@@ -105,15 +182,33 @@ class RequestResult:
     retained_history: List[np.ndarray] = field(default_factory=list)  # per step (H, S_t)
     final_length: int = 0
     arrival_time: float = 0.0
-    admit_time: float = 0.0
+    admit_time: Optional[float] = None
     first_token_time: Optional[float] = None
     finish_time: float = 0.0
     prompt_tokens: int = 0
     preemptions: int = 0
+    tenant: str = "default"
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+    status: str = "ok"
+    abort_reason: Optional[str] = None
 
     @property
     def steps(self) -> int:
         return len(self.retained_history)
+
+    @property
+    def aborted(self) -> bool:
+        return self.status == "aborted"
+
+    @property
+    def deadline_missed(self) -> bool:
+        """True when a completion SLO was set and not met (see
+        :func:`deadline_was_missed`)."""
+        return deadline_was_missed(
+            self.deadline_ms, self.status, self.abort_reason,
+            self.arrival_time, self.finish_time,
+        )
 
     def retained_bytes(self) -> bytes:
         """Canonical byte encoding of every step's retained-token set.
@@ -133,6 +228,7 @@ class _RequestState:
     outputs: List[np.ndarray] = field(default_factory=list)
     retained_history: List[np.ndarray] = field(default_factory=list)
     next_step: int = 0
+    service_charged: float = 0.0  # tenant-service tokens billed this attempt
 
     @property
     def prefilling(self) -> bool:
@@ -149,6 +245,7 @@ class _RequestState:
         self.outputs = []
         self.retained_history = []
         self.next_step = 0
+        self.service_charged = 0.0
 
 
 class EngineScheduler:
@@ -241,8 +338,174 @@ class EngineScheduler:
         return results
 
 
+class SchedulingPolicy:
+    """Pluggable admission ordering + preemption victim selection.
+
+    The continuous scheduler consults its policy at two decision points:
+
+    * :meth:`admission_key` — queued-but-arrived requests are admitted in
+      ascending key order, recomputed at every round boundary (keys may
+      depend on the clock, e.g. aging, or on scheduler state, e.g.
+      per-tenant service).  Ties must always break on the submission
+      ``order`` so replays are deterministic.
+    * :meth:`select_victim` — under pool pressure, which active request
+      loses its blocks.  The base rule is the PR-2 invariant (youngest
+      admission first: it has made the least progress, so restarting it
+      wastes the least work); SLO-aware policies use
+      :meth:`priority_victim` instead — evict the lowest priority class
+      first, inside a class prefer a request whose deadline survives a
+      restart over one the eviction would doom, then youngest.  A
+      deadline-endangered request is therefore never chosen while a
+      lower class (or a safe peer) is available.
+    """
+
+    name: str = "base"
+
+    def admission_key(self, scheduler: "ContinuousScheduler", entry):
+        order, req = entry
+        return (req.arrival_time, order)
+
+    def select_victim(self, scheduler: "ContinuousScheduler", candidates):
+        return max(candidates, key=lambda s: s.admit_index)
+
+    # -- shared helpers -------------------------------------------------
+    @staticmethod
+    def deadline_endangered(scheduler: "ContinuousScheduler", state) -> bool:
+        """Would restarting ``state`` now plausibly miss its deadline?
+
+        A preempted request restarts from scratch, so it needs at least
+        its full decode run plus a re-prefill before its absolute
+        deadline.  The re-prefill cost follows the scheduler's timing
+        model: one round under legacy instant prefill, ``ceil(prompt /
+        per-round tokens)`` rounds under the round-token budget (the
+        chunk size when chunking, the whole round budget otherwise).
+        Still an optimistic bound — queueing delay after the restart is
+        unknowable here — so "endangered" errs toward sparing the
+        request.  No deadline = never endangered.
+        """
+        deadline = state.request.deadline_at
+        if deadline is None:
+            return False
+        if scheduler.round_token_budget:
+            per_round = scheduler.chunk_tokens or scheduler.round_token_budget
+            reprefill = -(-state.request.prompt_tokens // per_round)
+        else:
+            reprefill = 1
+        # Restart-from-scratch: every decode step is redone, regardless of
+        # how far this attempt got.
+        remaining = state.request.decode_steps + reprefill
+        return (deadline - scheduler.time) <= remaining
+
+    def priority_victim(self, scheduler: "ContinuousScheduler", candidates):
+        def key(state):
+            endangered = self.deadline_endangered(scheduler, state)
+            return (state.request.priority, 1 if endangered else 0, -state.admit_index)
+
+        return min(candidates, key=key)
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """Arrival order, submission order on ties (the PR-2 baseline)."""
+
+    name = "fcfs"
+
+
+class ShortestPromptPolicy(SchedulingPolicy):
+    """Shortest prompt first (cheap admission), arrival on ties."""
+
+    name = "shortest-prompt"
+
+    def admission_key(self, scheduler, entry):
+        order, req = entry
+        return (req.prompt_tokens, req.arrival_time, order)
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Strict priority classes with linear aging against starvation.
+
+    A request's effective priority is ``priority + waited / aging_rounds``
+    — every ``aging_rounds`` rounds spent queued promote it by one class,
+    so a steady stream of high-class traffic cannot starve a low-class
+    request forever.  ``aging_rounds=0`` disables aging (pure strict
+    classes).  Preemption is priority-aware (:meth:`priority_victim`).
+    """
+
+    name = "priority"
+
+    def __init__(self, aging_rounds: float = 32.0) -> None:
+        if aging_rounds < 0:
+            raise ValueError("aging_rounds must be >= 0")
+        self.aging_rounds = float(aging_rounds)
+
+    def admission_key(self, scheduler, entry):
+        order, req = entry
+        waited = max(0.0, scheduler.time - req.arrival_time)
+        aged = req.priority + (waited / self.aging_rounds if self.aging_rounds else 0.0)
+        return (-aged, req.arrival_time, order)
+
+    def select_victim(self, scheduler, candidates):
+        return self.priority_victim(scheduler, candidates)
+
+
+class EdfPolicy(SchedulingPolicy):
+    """Earliest absolute deadline first; deadline-free requests queue
+    FCFS behind every deadlined one.  Preemption is priority-aware."""
+
+    name = "edf"
+
+    def admission_key(self, scheduler, entry):
+        order, req = entry
+        deadline = req.deadline_at
+        return (np.inf if deadline is None else deadline, req.arrival_time, order)
+
+    def select_victim(self, scheduler, candidates):
+        return self.priority_victim(scheduler, candidates)
+
+
+class FairPolicy(SchedulingPolicy):
+    """Per-tenant weighted fair queueing over delivered tokens.
+
+    The scheduler accounts every token it serves (prompt tokens written
+    at prefill, one per decode step) to the request's tenant; admission
+    always picks the arrived request of the tenant with the least
+    *normalized* service ``served_tokens / weight`` (weights from
+    ``ContinuousScheduler(tenant_weights=...)``, default 1.0 — a tenant
+    with weight 2 is entitled to twice the tokens).  An adversarial
+    tenant flooding the queue therefore cannot starve the others: its
+    own service balloons and every other tenant wins admission first.
+    Preemption is priority-aware.
+    """
+
+    name = "fair"
+
+    def admission_key(self, scheduler, entry):
+        order, req = entry
+        return (scheduler.normalized_service(req.tenant), req.arrival_time, order)
+
+    def select_victim(self, scheduler, candidates):
+        return self.priority_victim(scheduler, candidates)
+
+
+#: name -> policy class; instantiate (or pass an instance) to customize.
+SCHEDULER_POLICY_REGISTRY = {
+    "fcfs": FcfsPolicy,
+    "shortest-prompt": ShortestPromptPolicy,
+    "priority": PriorityPolicy,
+    "edf": EdfPolicy,
+    "fair": FairPolicy,
+}
+
 #: Admission orderings the continuous scheduler understands.
-SCHEDULING_POLICIES = ("fcfs", "shortest-prompt")
+SCHEDULING_POLICIES = tuple(SCHEDULER_POLICY_REGISTRY)
+
+
+def resolve_scheduling_policy(policy) -> SchedulingPolicy:
+    """Turn a registry name or :class:`SchedulingPolicy` into an instance."""
+    if isinstance(policy, SchedulingPolicy):
+        return policy
+    if policy in SCHEDULER_POLICY_REGISTRY:
+        return SCHEDULER_POLICY_REGISTRY[policy]()
+    raise ValueError(f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
 
 
 @dataclass
@@ -261,6 +524,12 @@ class _Timing:
     admit_time: Optional[float] = None
     first_token_time: Optional[float] = None
     preemptions: int = 0
+    # When the current wait for admission started: arrival at first, the
+    # preemption instant after a restart — the clock max_queue_ms runs on.
+    enqueued_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.enqueued_at = self.arrival_time
 
 
 class ContinuousScheduler:
@@ -269,20 +538,31 @@ class ContinuousScheduler:
     Every loop iteration is one decode round (one clock unit):
 
     1. **admission** — queued requests whose ``arrival_time`` has passed
-       are considered in policy order (``fcfs``: arrival then submission;
-       ``shortest-prompt``: prompt length first).  A request is admitted
+       are considered in policy order (see :class:`SchedulingPolicy`:
+       ``fcfs`` arrival order, ``shortest-prompt`` prompt length,
+       ``priority`` strict classes with aging, ``edf`` earliest deadline,
+       ``fair`` least-served tenant).  Before admission, requests whose
+       SLO already expired (completion deadline passed, or
+       ``max_queue_ms`` exceeded while queued) and cancelled requests
+       are *aborted* — reported immediately, blocks freed, never
+       admitted.  A request is admitted
        while a slot is free (< ``max_active``) and the pool can hold its
        prompt *plus* one headroom block per unfinished active request (so
        admitting it cannot immediately preempt the running batch).
        Admission prefills into a :class:`PagedBitPlaneKVCache` drawn from
        the shared pool.
     2. **decode round** — every active request advances one step.  If an
-       append needs a block and the pool is exhausted, the *youngest*
-       active request (latest admission) is preempted: its blocks are
-       released and it rejoins the queue to re-prefill from scratch later.
-       Restart-from-scratch keeps retained sets bit-identical to an
-       uncontended run — the cache contents depend only on the request's
-       own tensors, never on who shared the pool.
+       append needs a block and the pool is exhausted, the policy picks a
+       preemption victim (base policies: the *youngest* admission;
+       SLO-aware policies: lowest priority class first, never a
+       deadline-endangered request while a safer choice exists): its
+       blocks are released and it rejoins the queue to re-prefill from
+       scratch later.  Restart-from-scratch keeps retained sets
+       bit-identical to an uncontended run — the cache contents depend
+       only on the request's own tensors, never on who shared the pool.
+       Active requests whose deadline passes mid-flight are aborted at
+       the next round boundary, freeing their blocks (and any partially
+       attached prefix references) immediately.
     3. **completion** — finished requests release their blocks and report
        timing (arrival/admit/first-token/finish) alongside their outputs.
 
@@ -302,7 +582,12 @@ class ContinuousScheduler:
     block_size:
         Tokens per pool block.
     policy:
-        Admission ordering, one of :data:`SCHEDULING_POLICIES`.
+        Admission ordering + victim selection: a name from
+        :data:`SCHEDULING_POLICIES` or a :class:`SchedulingPolicy`
+        instance (e.g. ``PriorityPolicy(aging_rounds=16)``).
+    tenant_weights:
+        Per-tenant fair-share weights for the ``fair`` policy (default
+        1.0 each); ignored by the other policies.
     admission:
         ``"continuous"`` admits at every round boundary; ``"drain"`` only
         when the active set is empty — the static-batching baseline the
@@ -332,14 +617,14 @@ class ContinuousScheduler:
         max_active: int = 8,
         token_budget: int = 4096,
         block_size: int = 16,
-        policy: str = "fcfs",
+        policy="fcfs",
         admission: str = "continuous",
         prefix_sharing: bool = False,
         chunk_tokens: int = 0,
         round_token_budget: int = 0,
+        tenant_weights: Optional[Dict[str, float]] = None,
     ) -> None:
-        if policy not in SCHEDULING_POLICIES:
-            raise ValueError(f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
+        self.policy_obj = resolve_scheduling_policy(policy)
         if admission not in ("continuous", "drain"):
             raise ValueError(f"admission must be 'continuous' or 'drain', got {admission!r}")
         if max_active < 1:
@@ -352,18 +637,19 @@ class ContinuousScheduler:
         self.max_active = max_active
         self.token_budget = token_budget
         self.block_size = block_size
-        self.policy = policy
+        self.policy = self.policy_obj.name
         self.admission = admission
         self.prefix_sharing = bool(prefix_sharing)
         self.chunk_tokens = int(chunk_tokens)
         self.round_token_budget = int(round_token_budget)
+        self.tenant_weights: Dict[str, float] = dict(tenant_weights or {})
         self.pool: Optional[PlaneBlockPool] = None
-        # Bounded-footprint policies (H2O's eviction budget, StreamingLLM's
-        # sink+window) switch admission to charged-footprint accounting:
-        # each request is charged its policy's peak resident tokens against
-        # the token budget instead of its dense context.  See run().
-        policy = getattr(engine, "policy", None)
-        self._charged = policy is not None and not policy.dense_footprint
+        # Bounded-footprint attention policies (H2O's eviction budget,
+        # StreamingLLM's sink+window) switch admission to charged-footprint
+        # accounting: each request is charged its policy's peak resident
+        # tokens against the token budget instead of its dense context.
+        attn_policy = getattr(engine, "policy", None)
+        self._charged = attn_policy is not None and not attn_policy.dense_footprint
         self._pool_token_budget = token_budget
         self.time = 0.0
         self.pending: List[Tuple[int, EngineRequest]] = []  # (submit order, request)
@@ -375,6 +661,8 @@ class ContinuousScheduler:
         self.prefix_miss_blocks = 0  # shareable prompt blocks written fresh
         self.chunk_stall_rounds = 0  # rounds where a prefill got zero budget
         self.decode_blocked_rounds = 0  # rounds an exclusive prefill stalled decode
+        self.tenant_service: Dict[str, float] = {}  # tenant -> tokens served
+        self._cancelled: set = set()  # request ids to abort at the next boundary
         self._timings: Dict[str, _Timing] = {}
         self._submit_seq = 0
         self._admit_seq = 0
@@ -394,16 +682,46 @@ class ContinuousScheduler:
         self._submit_seq += 1
         self._timings.setdefault(request.request_id, _Timing(arrival_time=request.arrival_time))
 
+    def cancel(self, request_id: str) -> None:
+        """Mark a request for abort at the next round boundary.
+
+        Safe at any point of the request's life: queued requests are
+        dropped before admission, active ones release their blocks (and
+        any partially attached prefix references) without finishing.
+        Unknown ids are remembered too, so a cancel racing a submit wins.
+        A cancel landing after the request already finished its work is
+        too late — the result stands.  Pending cancellations are
+        consumed by the run they take effect in (and cleared when a run
+        ends), so an id reused by a later batch starts clean.
+        """
+        self._cancelled.add(request_id)
+
+    # ------------------------------------------------------------------
+    def normalized_service(self, tenant: str) -> float:
+        """Tokens served to ``tenant`` divided by its fair-share weight."""
+        weight = self.tenant_weights.get(tenant, 1.0)
+        if weight <= 0:
+            raise ValueError(f"tenant weight for {tenant!r} must be > 0")
+        return self.tenant_service.get(tenant, 0.0) / weight
+
+    def _charge_service(self, state: _RequestState, tokens: float) -> None:
+        """Bill ``tokens`` of service to the request's tenant.
+
+        The per-attempt total is remembered on the state so a preemption
+        can roll it back (:meth:`_preempt_one`) — fair queueing accounts
+        *delivered* tokens, and a preempted attempt delivers nothing.
+        """
+        if tokens:
+            tenant = state.request.tenant
+            self.tenant_service[tenant] = (
+                self.tenant_service.get(tenant, 0.0) + float(tokens)
+            )
+            state.service_charged += float(tokens)
+
     # ------------------------------------------------------------------
     def _record(self, event: str, ids: Tuple[str, ...]) -> None:
         self.trace.append((event, ids))
         self.events.append((self.time, event, ids))
-
-    def _policy_key(self, entry: Tuple[int, EngineRequest]):
-        order, req = entry
-        if self.policy == "shortest-prompt":
-            return (req.prompt_tokens, req.arrival_time, order)
-        return (req.arrival_time, order)
 
     def _ensure_pool(self, request: EngineRequest) -> PlaneBlockPool:
         num_heads, _, head_dim = np.asarray(request.k).shape
@@ -462,7 +780,7 @@ class ContinuousScheduler:
             arrived = [e for e in self.pending if e[1].arrival_time <= self.time]
             if not arrived:
                 return
-            entry = min(arrived, key=self._policy_key)
+            entry = min(arrived, key=lambda e: self.policy_obj.admission_key(self, e))
             request = entry[1]
             pool = self._ensure_pool(request)
             if self._charged:
@@ -512,6 +830,13 @@ class ContinuousScheduler:
                     state.prefill_output = res.output
                 self.active.append(state)
                 self._account_prefix(cache)
+                # Bill only the prompt tokens actually *written* —
+                # prefix-hit blocks attached by reference cost the pool
+                # nothing, exactly as the chunked path accounts them.
+                written = request.prompt_tokens - (
+                    cache.prefix_hit_blocks * self.block_size
+                )
+                self._charge_service(state, max(0, written))
                 if request.decode_steps == 0 and timing.first_token_time is None:
                     # Prefill-only: the prompt output is the first (and last) token.
                     timing.first_token_time = self.time + 1.0
@@ -537,17 +862,27 @@ class ContinuousScheduler:
             timing.first_token_time = self.time + 1.0
         self._record("prefill", (request.request_id,))
 
-    def _preempt_youngest(self) -> None:
+    def _preempt_one(self) -> None:
         # Never evict a finished-but-uncollected request: its blocks are
         # freed by _collect at the end of this round anyway, and a
         # preemption would discard fully computed outputs just to redo
         # them.  The raiser itself is never done, so candidates exist.
         candidates = [s for s in self.active if not s.done]
-        victim = max(candidates, key=lambda s: s.admit_index)
+        victim = self.policy_obj.select_victim(self, candidates)
         self.active.remove(victim)
         victim.cache.release()
+        # Un-bill the discarded attempt: fair queueing accounts delivered
+        # tokens, and everything this attempt produced is thrown away
+        # (the replay will be billed when it actually delivers).
+        if victim.service_charged:
+            tenant = victim.request.tenant
+            self.tenant_service[tenant] = max(
+                0.0, self.tenant_service.get(tenant, 0.0) - victim.service_charged
+            )
         victim.reset()
-        self._timings[victim.request.request_id].preemptions += 1
+        timing = self._timings[victim.request.request_id]
+        timing.preemptions += 1
+        timing.enqueued_at = self.time  # max_queue_ms clock restarts here
         self.pending.append((self._submit_seq, victim.request))
         self._submit_seq += 1
         self._record("preempt", (victim.request.request_id,))
@@ -578,15 +913,19 @@ class ContinuousScheduler:
                         f"token budget {self.token_budget} cannot hold request "
                         f"{req.request_id!r} alone; raise --budget or shrink the request"
                     )
-                # The youngest active request is always the list tail, so it
-                # has not decoded yet this round — preempting it discards no
-                # work.  Retry slot i (if the victim was this request, i now
-                # falls off the end and the round is over).
-                self._preempt_youngest()
+                # Policy-chosen victim: may sit anywhere in the active
+                # list (SLO-aware policies evict the lowest class, not
+                # necessarily the tail), so re-locate the raiser and retry
+                # it; if the raiser itself was evicted, the element now at
+                # slot i is the next one due.
+                self._preempt_one()
+                if state in self.active:
+                    i = self.active.index(state)
                 continue
             state.outputs.append(res.output[:, 0, :])
             state.retained_history.append(res.retained[:, 0, :])
             state.next_step = t + 1
+            self._charge_service(state, 1.0)
             if t == 0:
                 timing = self._timings[req.request_id]
                 if timing.first_token_time is None:
@@ -617,9 +956,10 @@ class ContinuousScheduler:
                         f"{state.request.request_id!r} alone; raise --budget or "
                         f"shrink the request"
                     ) from None
-                self._preempt_youngest()
+                self._preempt_one()
                 if state not in self.active:
                     return 0
+        self._charge_service(state, written)
         if not state.prefilling:
             self._finish_prefill(state)
         return written
@@ -650,6 +990,109 @@ class ContinuousScheduler:
             take = min(self.chunk_tokens, budget_left)
             budget_left -= self._extend_with_preemption(state, take)
 
+    def _build_result(
+        self,
+        req: EngineRequest,
+        state: Optional[_RequestState],
+        status: str = "ok",
+        abort_reason: Optional[str] = None,
+    ) -> RequestResult:
+        """Assemble a :class:`RequestResult` from whatever was produced.
+
+        ``state`` is ``None`` for requests aborted while still queued —
+        they report empty outputs; an aborted active request keeps the
+        tokens it streamed before the abort.
+        """
+        outputs = state.outputs if state is not None else []
+        if outputs:
+            decode_outputs = np.stack(outputs, axis=1)  # (H, T, Dv)
+        else:
+            num_heads = np.asarray(req.k).shape[0]
+            v_dim = np.asarray(req.v).shape[2]
+            decode_outputs = np.zeros((num_heads, 0, v_dim))
+        timing = self._timings[req.request_id]
+        return RequestResult(
+            request_id=req.request_id,
+            prefill_output=state.prefill_output if state is not None else None,
+            decode_outputs=decode_outputs,
+            retained_history=state.retained_history if state is not None else [],
+            final_length=state.cache.length if state is not None else 0,
+            arrival_time=timing.arrival_time,
+            admit_time=timing.admit_time,
+            first_token_time=timing.first_token_time,
+            # Clamped for pre-arrival cancellations: a request aborted
+            # before it ever arrived ends, at the earliest, on arrival.
+            finish_time=max(self.time, timing.arrival_time),
+            prompt_tokens=req.prompt_tokens,
+            preemptions=timing.preemptions,
+            tenant=req.tenant,
+            priority=req.priority,
+            deadline_ms=req.deadline_ms,
+            status=status,
+            abort_reason=abort_reason,
+        )
+
+    def _abort_reason(self, req: EngineRequest, queued: bool) -> Optional[str]:
+        """Why ``req`` must be aborted right now (None = keep serving).
+
+        Checked at round boundaries.  The deadline test is ``>=`` because
+        anything still unfinished at the boundary can only produce output
+        at ``time + 1`` or later — strictly past the deadline.
+        ``max_queue_ms`` bounds time spent *waiting for admission*: its
+        clock starts at arrival and restarts when a preemption re-queues
+        the request, so an admitted-then-preempted request is not
+        penalized for the rounds it already ran.
+        """
+        if req.request_id in self._cancelled:
+            return "cancelled"
+        deadline = req.deadline_at
+        if deadline is not None and self.time >= deadline:
+            return "deadline"
+        if queued and req.max_queue_ms is not None:
+            waited = self.time - self._timings[req.request_id].enqueued_at
+            if waited > req.max_queue_ms:
+                return "queue-timeout"
+        return None
+
+    def _expire(self, results: Dict[str, RequestResult]) -> None:
+        """Abort cancelled / SLO-expired requests, queued or active.
+
+        Runs before admission every round: an aborted request frees its
+        pool blocks — including staging buffers and partially attached
+        prefix references of an in-flight chunked prefill — immediately,
+        so the capacity goes to requests that can still meet their SLOs.
+        Requests that already finished their work are left for
+        ``_collect`` (their tokens are computed; discarding them helps
+        nobody).
+        """
+        kept_pending = []
+        for entry in self.pending:
+            _, req = entry
+            reason = self._abort_reason(req, queued=True)
+            if reason is None:
+                kept_pending.append(entry)
+                continue
+            results[req.request_id] = self._build_result(
+                req, None, status="aborted", abort_reason=reason
+            )
+            self._cancelled.discard(req.request_id)
+            self._record("abort", (req.request_id,))
+        self.pending = kept_pending
+        still_active = []
+        for state in self.active:
+            reason = None if state.done else self._abort_reason(state.request, queued=False)
+            if reason is None:
+                still_active.append(state)
+                continue
+            req = state.request
+            results[req.request_id] = self._build_result(
+                req, state, status="aborted", abort_reason=reason
+            )
+            state.cache.release()
+            self._cancelled.discard(req.request_id)
+            self._record("abort", (req.request_id,))
+        self.active = still_active
+
     def _collect(self, results: Dict[str, RequestResult]) -> None:
         still_active = []
         for state in self.active:
@@ -657,27 +1100,9 @@ class ContinuousScheduler:
                 still_active.append(state)
                 continue
             req = state.request
-            if state.outputs:
-                decode_outputs = np.stack(state.outputs, axis=1)  # (H, T, Dv)
-            else:
-                num_heads = np.asarray(req.k).shape[0]
-                v_dim = np.asarray(req.v).shape[2]
-                decode_outputs = np.zeros((num_heads, 0, v_dim))
-            timing = self._timings[req.request_id]
-            results[req.request_id] = RequestResult(
-                request_id=req.request_id,
-                prefill_output=state.prefill_output,
-                decode_outputs=decode_outputs,
-                retained_history=state.retained_history,
-                final_length=state.cache.length,
-                arrival_time=timing.arrival_time,
-                admit_time=timing.admit_time if timing.admit_time is not None else 0.0,
-                first_token_time=timing.first_token_time,
-                finish_time=self.time,
-                prompt_tokens=req.prompt_tokens,
-                preemptions=timing.preemptions,
-            )
+            results[req.request_id] = self._build_result(req, state)
             state.cache.release()
+            self._cancelled.discard(req.request_id)  # finished first: too late
             self._record("finish", (req.request_id,))
         self.active = still_active
 
@@ -688,6 +1113,7 @@ class ContinuousScheduler:
         self.trace = []
         self.events = []
         self.occupancy = []
+        self.tenant_service = {}
         self._check_footprints()
         if self._charged:
             # The simulation keeps every key resident so retained sets stay
@@ -709,6 +1135,7 @@ class ContinuousScheduler:
                 next_arrival = min(r.arrival_time for _, r in self.pending)
                 if next_arrival > self.time:
                     self.time = float(next_arrival)
+            self._expire(results)
             self._admit()
             decode_tokens = 0
             exclusive = (
@@ -734,4 +1161,7 @@ class ContinuousScheduler:
                 used = self.pool.used_tokens if self.pool is not None else 0
             self.occupancy.append((self.time, used, len(self.active)))
             self._collect(results)
+        # Unconsumed cancellations (ids this run never saw) die with it:
+        # a later batch reusing an id must not inherit a stale cancel.
+        self._cancelled.clear()
         return results

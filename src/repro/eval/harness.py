@@ -984,6 +984,8 @@ def serving_profile(
     chunk: int = 0,
     round_tokens: int = 0,
     attention: str = "pade",
+    scenario: Optional[str] = None,
+    tenants: int = 3,
 ) -> Dict[str, float]:
     """Continuous-batching serving profile over the paged bit-plane pool.
 
@@ -991,21 +993,51 @@ def serving_profile(
     workload (``rate`` requests per decode round) under a global KV
     ``budget`` (tokens) and reports the serving currency — TTFT / TPOT /
     queueing-delay percentiles, throughput, preemptions, pool occupancy,
+    abort/deadline-miss counts, Jain tenant fairness, per-class tails,
     and (with ``prefix_sharing``) prefix-cache hit rate / blocks saved.
-    ``round_tokens`` activates the prefill cost model and ``chunk`` the
-    chunked-prefill split.  ``attention`` selects the attention policy
-    from :data:`repro.attention.policy.POLICY_REGISTRY` (PADE or any
+    ``policy`` picks the scheduling policy (any of
+    :data:`repro.engine.SCHEDULING_POLICIES`); ``scenario`` swaps the
+    plain Poisson stream for a named scenario workload
+    (:func:`repro.eval.workloads.build_scenario_workload`: ``bursty`` /
+    ``diurnal`` / ``heavy_tail`` / ``multi_tenant``), with ``tenants``
+    tenants in the multi-tenant mix.  ``round_tokens`` activates the
+    prefill cost model and ``chunk`` the chunked-prefill split.
+    ``attention`` selects the attention policy from
+    :data:`repro.attention.policy.POLICY_REGISTRY` (PADE or any
     converted baseline), so the same profile sweeps every method.
     Deterministic for a given seed — safe for ``--json`` smoke runs; the
-    CLI exposes ``--rate/--budget/--policy/--prefix-sharing/--chunk/
-    --round-tokens/--attention``.
+    CLI exposes ``--rate/--budget/--sched-policy/--scenario/--tenants/
+    --prefix-sharing/--chunk/--round-tokens/--attention``.
     """
     from repro.engine import PadeEngine
     from repro.eval.serving_metrics import summarize_serving
-    from repro.eval.workloads import build_prefix_workload, build_serving_workload
+    from repro.eval.workloads import (
+        build_prefix_workload,
+        build_scenario_workload,
+        build_serving_workload,
+    )
 
     engine = PadeEngine(PadeConfig.standard(), policy=attention)
-    if prefix_sharing:
+    tenant_weights = None
+    if scenario is not None:
+        if prefix_sharing:
+            raise ValueError("prefix_sharing uses its own workload; drop --scenario")
+        specs = None
+        if scenario == "multi_tenant":
+            from repro.eval.workloads import default_tenant_specs
+
+            # Requests carry no weights, so the fair policy's per-tenant
+            # weights are collected off the specs and handed to serve().
+            specs = default_tenant_specs(
+                tenants, rate, context_len=context, decode_steps=steps
+            )
+            tenant_weights = {s.name: s.weight for s in specs}
+        workload = build_scenario_workload(
+            scenario, requests, num_heads, head_dim,
+            context_len=context, decode_steps=steps, rate=rate,
+            tenants=tenants, tenant_specs=specs, seed=seed,
+        )
+    elif prefix_sharing:
         # A shared-system-prompt stream: half the prompt is the common
         # prefix, so the hit rate and blocks-saved figures are non-trivial.
         workload = build_prefix_workload(
@@ -1025,6 +1057,7 @@ def serving_profile(
         prefix_sharing=prefix_sharing,
         chunk_tokens=chunk,
         round_token_budget=round_tokens,
+        tenant_weights=tenant_weights,
     )
     scheduler = engine.last_serve
     report = summarize_serving(
@@ -1037,6 +1070,10 @@ def serving_profile(
         "backend": resolve_backend_name(),
         "attention_policy": engine.policy.name,
         "policy": policy,
+        "scenario": scenario or "",
+        # summarize_serving emits "tenants" (distinct tenants observed in
+        # results); this echoes the configured knob under its own key.
+        "tenants_configured": float(tenants),
         "rate": rate,
         "token_budget": float(budget),
         "block_size": float(block_size),

@@ -25,6 +25,7 @@ __all__ = [
     "RequestTiming",
     "timing_from_result",
     "latency_percentiles",
+    "jain_fairness_index",
     "prefix_cache_stats",
     "summarize_serving",
 ]
@@ -44,16 +45,44 @@ class RequestTiming:
 
     request_id: str
     arrival_time: float
-    admit_time: float
+    admit_time: Optional[float]  # None = never admitted (queued abort)
     first_token_time: Optional[float]
     finish_time: float
     prompt_tokens: int
     decode_tokens: int
     preemptions: int = 0
+    final_length: int = 0  # KV tokens resident at finish/abort
+    tenant: str = "default"
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+    status: str = "ok"
+    abort_reason: Optional[str] = None
+
+    @property
+    def aborted(self) -> bool:
+        return self.status == "aborted"
+
+    @property
+    def deadline_missed(self) -> bool:
+        """A completion SLO was set and not met — scheduler-caused abort
+        or late finish; voluntary cancellations don't count (shared
+        predicate: :func:`repro.engine.scheduler.deadline_was_missed`)."""
+        from repro.engine.scheduler import deadline_was_missed
+
+        return deadline_was_missed(
+            self.deadline_ms, self.status, self.abort_reason,
+            self.arrival_time, self.finish_time,
+        )
 
     @property
     def queueing_delay(self) -> float:
-        """Rounds spent waiting for admission (slot + memory headroom)."""
+        """Rounds spent waiting for admission (slot + memory headroom).
+
+        A request aborted while still queued waited its whole life:
+        ``finish - arrival``.
+        """
+        if self.admit_time is None:
+            return self.finish_time - self.arrival_time
         return self.admit_time - self.arrival_time
 
     @property
@@ -81,7 +110,32 @@ def timing_from_result(result) -> RequestTiming:
         prompt_tokens=result.prompt_tokens,
         decode_tokens=result.decode_outputs.shape[1],
         preemptions=result.preemptions,
+        final_length=getattr(result, "final_length", 0),
+        tenant=getattr(result, "tenant", "default"),
+        priority=getattr(result, "priority", 0),
+        deadline_ms=getattr(result, "deadline_ms", None),
+        status=getattr(result, "status", "ok"),
+        abort_reason=getattr(result, "abort_reason", None),
     )
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-tenant allocations.
+
+    ``(Σx)² / (n · Σx²)`` — 1.0 when every tenant gets the same share,
+    ``1/n`` when one tenant takes everything.  Degenerate inputs (empty,
+    or all-zero allocations) report 1.0: nothing was served, so nothing
+    was served *unfairly*.
+    """
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 1.0
+    if (arr < 0).any():
+        raise ValueError("allocations must be >= 0")
+    square_sum = float((arr * arr).sum())
+    if square_sum == 0.0:
+        return 1.0
+    return float(arr.sum()) ** 2 / (arr.size * square_sum)
 
 
 def latency_percentiles(values: Sequence[float], prefix: str) -> Dict[str, float]:
@@ -133,9 +187,20 @@ def summarize_serving(
     ``results`` is any iterable of ``RequestResult``; ``occupancy`` is the
     scheduler's ``(time, used_tokens, active_requests)`` timeline.  The
     report covers latency (TTFT / TPOT / queueing delay, each with
-    mean/p50/p95/p99), throughput (generated tokens per round over the
-    makespan), preemption count, and — when ``token_budget`` is given —
-    mean/peak pool occupancy as a fraction of the budget.  Passing the
+    mean/p50/p95/p99, measured over *completed* requests), throughput
+    (generated tokens per round over the makespan), preemption count,
+    and — when ``token_budget`` is given — mean/peak pool occupancy as a
+    fraction of the budget.
+
+    The multi-tenant SLO block is always present: completed/aborted
+    counts (aborts split by reason), the deadline-miss rate over
+    deadlined requests (aborts *and* late finishes count as misses),
+    Jain's fairness index over per-tenant generated tokens
+    (``jain_fairness_index``, with ``tenant_tokens_{name}`` detail) and
+    over resident KV service (``jain_service_index`` — the quantity the
+    ``fair`` policy equalizes), and — whenever more than one priority
+    class appears — per-class TTFT/TPOT percentiles keyed
+    ``..._ttft_class{p}`` / ``..._tpot_class{p}``.  Passing the
     ``ContinuousScheduler`` itself adds the prefix-cache figures
     (hit rate, blocks/bytes saved, peak live blocks), the chunked-
     prefill stall counters (``chunk_stall_rounds`` — rounds a prefill got
@@ -148,10 +213,62 @@ def summarize_serving(
     timings = [timing_from_result(r) for r in results]
     if not timings:
         raise ValueError("no results to summarize")
+    completed = [t for t in timings if not t.aborted]
+    aborted = [t for t in timings if t.aborted]
     report: Dict[str, float] = {"requests": float(len(timings))}
-    report.update(latency_percentiles([t.ttft for t in timings], "ttft"))
-    report.update(latency_percentiles([t.tpot for t in timings if t.decode_tokens > 1], "tpot"))
-    report.update(latency_percentiles([t.queueing_delay for t in timings], "queueing_delay"))
+    report["completed_requests"] = float(len(completed))
+    report["aborted_requests"] = float(len(aborted))
+    for reason in ("deadline", "queue-timeout", "cancelled"):
+        key = f"aborted_{reason.replace('-', '_')}"
+        report[key] = float(sum(1 for t in aborted if t.abort_reason == reason))
+    deadlined = [t for t in timings if t.deadline_ms is not None]
+    misses = sum(1 for t in deadlined if t.deadline_missed)
+    report["deadline_requests"] = float(len(deadlined))
+    report["deadline_misses"] = float(misses)
+    report["deadline_miss_rate"] = misses / len(deadlined) if deadlined else 0.0
+
+    report.update(latency_percentiles([t.ttft for t in completed], "ttft"))
+    report.update(
+        latency_percentiles([t.tpot for t in completed if t.decode_tokens > 1], "tpot")
+    )
+    report.update(latency_percentiles([t.queueing_delay for t in completed], "queueing_delay"))
+
+    # Per-class latency tails: only when the workload actually has classes
+    # (single-class reports stay exactly the pre-SLO shape).
+    classes = sorted({t.priority for t in timings})
+    if len(classes) > 1:
+        for prio in classes:
+            in_class = [t for t in completed if t.priority == prio]
+            report.update(
+                latency_percentiles([t.ttft for t in in_class], f"ttft_class{prio}")
+            )
+            report.update(
+                latency_percentiles(
+                    [t.tpot for t in in_class if t.decode_tokens > 1], f"tpot_class{prio}"
+                )
+            )
+
+    # Per-tenant fairness, two views.  ``jain_fairness_index`` is over
+    # *delivered decode tokens* (what each tenant's users actually
+    # received; aborted requests count their partial streams).
+    # ``jain_service_index`` is over resident KV service (prompt written
+    # + decode, via ``final_length``) — the quantity the ``fair`` policy
+    # equalizes, so with skewed prompt/output shapes the two can
+    # legitimately diverge.
+    tenant_tokens: Dict[str, float] = {}
+    tenant_service: Dict[str, float] = {}
+    for t in timings:
+        tenant_tokens[t.tenant] = tenant_tokens.get(t.tenant, 0.0) + t.decode_tokens
+        service = t.final_length
+        if not service and not t.aborted:
+            service = t.prompt_tokens + t.decode_tokens
+        tenant_service[t.tenant] = tenant_service.get(t.tenant, 0.0) + service
+    report["tenants"] = float(len(tenant_tokens))
+    report["jain_fairness_index"] = jain_fairness_index(list(tenant_tokens.values()))
+    report["jain_service_index"] = jain_fairness_index(list(tenant_service.values()))
+    if len(tenant_tokens) > 1:
+        for tenant in sorted(tenant_tokens):
+            report[f"tenant_tokens_{tenant}"] = tenant_tokens[tenant]
 
     first_arrival = min(t.arrival_time for t in timings)
     last_finish = max(t.finish_time for t in timings)

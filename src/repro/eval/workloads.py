@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,9 +30,15 @@ __all__ = [
     "build_attention_workload",
     "build_engine_request",
     "poisson_arrival_times",
+    "bursty_arrival_times",
+    "diurnal_arrival_times",
     "trace_arrival_times",
     "build_serving_workload",
     "build_prefix_workload",
+    "SCENARIO_KINDS",
+    "TenantSpec",
+    "default_tenant_specs",
+    "build_scenario_workload",
 ]
 
 
@@ -187,6 +193,10 @@ def build_engine_request(
     seed: int = 0,
     prompt_queries: int = 1,
     arrival_time: float = 0.0,
+    tenant: str = "default",
+    priority: int = 0,
+    deadline_ms: Optional[float] = None,
+    max_queue_ms: Optional[float] = None,
 ):
     """Synthesize a multi-head decode request for the serving engine.
 
@@ -224,6 +234,10 @@ def build_engine_request(
         decode_k=np.stack(dk) if decode_steps else None,
         decode_v=np.stack(dv) if decode_steps else None,
         arrival_time=arrival_time,
+        tenant=tenant,
+        priority=priority,
+        deadline_ms=deadline_ms,
+        max_queue_ms=max_queue_ms,
     )
 
 
@@ -398,3 +412,285 @@ def build_prefix_workload(
             )
         )
     return requests
+
+
+# ---------------------------------------------------------------------------
+# Scenario workload suite (ISSUE 5): diverse, seed-deterministic traffic
+# ---------------------------------------------------------------------------
+
+def bursty_arrival_times(
+    num_requests: int,
+    rate: float,
+    burst_factor: float = 8.0,
+    switch_prob: float = 0.15,
+    seed: int = 0,
+) -> np.ndarray:
+    """Markov-modulated Poisson arrivals: calm/burst states, geometric dwell.
+
+    A two-state MMPP — the standard bursty-traffic model: a *calm* state
+    arriving at ``rate`` and a *burst* state arriving at
+    ``rate * burst_factor``, switching state after each arrival with
+    probability ``switch_prob`` (geometric dwell times, mean
+    ``1/switch_prob`` arrivals per episode).  The result keeps the calm
+    state's spacing most of the time but clumps arrivals into tight
+    bursts — the squeeze the admission policy has to absorb.  Returns
+    ``num_requests`` non-decreasing floats; deterministic per seed.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if rate <= 0 or burst_factor <= 0:
+        raise ValueError("rate and burst_factor must be > 0")
+    if not 0.0 <= switch_prob <= 1.0:
+        raise ValueError("switch_prob must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    times = np.empty(num_requests)
+    t = 0.0
+    bursting = False
+    for i in range(num_requests):
+        state_rate = rate * burst_factor if bursting else rate
+        t += rng.exponential(scale=1.0 / state_rate)
+        times[i] = t
+        if rng.random() < switch_prob:
+            bursting = not bursting
+    return times
+
+
+def diurnal_arrival_times(
+    num_requests: int,
+    rate: float,
+    period: float = 200.0,
+    amplitude: float = 0.9,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sinusoidal-rate (diurnal) Poisson arrivals via Lewis thinning.
+
+    The instantaneous rate is ``rate * (1 + amplitude * sin(2πt/period))``
+    — the day/night swing of production traffic compressed onto the
+    decode-round clock.  Candidates are generated at the peak rate and
+    accepted with probability ``rate(t)/rate_peak`` (Lewis & Shedler
+    thinning), which is exact for inhomogeneous Poisson processes.
+    Returns ``num_requests`` non-decreasing floats; deterministic per seed.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if rate <= 0 or period <= 0:
+        raise ValueError("rate and period must be > 0")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    peak = rate * (1.0 + amplitude)
+    times = np.empty(num_requests)
+    t = 0.0
+    filled = 0
+    while filled < num_requests:
+        t += rng.exponential(scale=1.0 / peak)
+        current = rate * (1.0 + amplitude * np.sin(2.0 * np.pi * t / period))
+        if rng.random() * peak < current:
+            times[filled] = t
+            filled += 1
+    return times
+
+
+def _pareto_lengths(
+    rng: np.random.Generator, n: int, shape: float, minimum: int, maximum: int
+) -> np.ndarray:
+    """Pareto(Lomax+min) integer lengths clipped to ``[minimum, maximum]``.
+
+    ``shape`` is the Pareto tail index: smaller = heavier tail.  The
+    median stays near ``minimum`` while the tail reaches ``maximum`` —
+    the long-context stragglers that dominate pool pressure.
+    """
+    raw = minimum * (1.0 + rng.pareto(shape, size=n))
+    return np.clip(np.round(raw), minimum, maximum).astype(int)
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape + SLO mix in a multi-tenant scenario."""
+
+    name: str
+    rate: float  # mean arrivals per round of this tenant's Poisson stream
+    share: float = 1.0  # fraction of num_requests routed to this tenant
+    priority: int = 0  # service class (higher = more urgent)
+    context_len: int = 48
+    decode_steps: int = 8
+    deadline_ms: Optional[float] = None
+    max_queue_ms: Optional[float] = None
+    # Fair-share weight.  Requests carry no weights, so the caller must
+    # collect these into ContinuousScheduler(tenant_weights={name: weight})
+    # — serving_profile does this for its default multi_tenant specs.
+    weight: float = 1.0
+
+
+def default_tenant_specs(
+    tenants: int,
+    rate: float = 0.4,
+    context_len: int = 48,
+    decode_steps: int = 8,
+) -> Tuple[TenantSpec, ...]:
+    """An even split of ``rate`` over ``tenants`` tenants with a class mix.
+
+    Tenant ``t0`` is the premium class (highest priority, a deadline SLO
+    sized well above its uncontended service time), the rest step down
+    one class each until 0 (further tenants stay best-effort class 0) —
+    a miniature of the interactive/batch split a production engine
+    serves.  All tenants share the given prompt/output shape.
+    """
+    if tenants < 1:
+        raise ValueError("tenants must be >= 1")
+    specs = []
+    for i in range(tenants):
+        prio = max(0, tenants - 1 - i)
+        specs.append(
+            TenantSpec(
+                name=f"t{i}",
+                rate=rate / tenants,
+                share=1.0 / tenants,
+                priority=prio,
+                context_len=context_len,
+                decode_steps=decode_steps,
+                deadline_ms=200.0 if prio == tenants - 1 and tenants > 1 else None,
+            )
+        )
+    return tuple(specs)
+
+
+#: Scenario kinds build_scenario_workload understands.
+SCENARIO_KINDS = ("bursty", "diurnal", "heavy_tail", "multi_tenant")
+
+
+def build_scenario_workload(
+    kind: str,
+    num_requests: int,
+    num_heads: int,
+    head_dim: int,
+    context_len: int = 48,
+    decode_steps: int = 8,
+    rate: float = 0.4,
+    tenants: int = 3,
+    tenant_specs: Optional[Sequence[TenantSpec]] = None,
+    burst_factor: float = 8.0,
+    switch_prob: float = 0.15,
+    period: float = 200.0,
+    amplitude: float = 0.9,
+    tail_shape: float = 1.5,
+    max_context_len: Optional[int] = None,
+    max_decode_steps: Optional[int] = None,
+    profile: str = "nlp",
+    seed: int = 0,
+):
+    """Synthesize one of the named serving scenarios (seed-deterministic).
+
+    The four kinds cover the traffic axes a multi-tenant scheduler is
+    judged on:
+
+    * ``bursty`` — Markov-modulated Poisson arrivals
+      (:func:`bursty_arrival_times`): tight arrival clumps at
+      ``burst_factor`` times the calm rate stress admission and
+      preemption.
+    * ``diurnal`` — sinusoidal-rate arrivals
+      (:func:`diurnal_arrival_times`): slow load swings of ``amplitude``
+      around ``rate`` over ``period`` rounds.
+    * ``heavy_tail`` — Poisson arrivals with Pareto(``tail_shape``)
+      prompt and output lengths between the base values and
+      ``max_context_len`` / ``max_decode_steps`` (default 8x base): a few
+      stragglers own most of the pool.
+    * ``multi_tenant`` — per-tenant Poisson streams merged by arrival
+      time, each tenant with its own rate, share, priority class,
+      deadline/queueing SLO and prompt shape (``tenant_specs``, default
+      :func:`default_tenant_specs` over ``tenants`` tenants); request ids
+      carry the tenant name (``t0-req3``).
+
+    Every kind is a pure function of its arguments: the same ``seed``
+    reproduces the same arrival times, lengths, tenants and tensors —
+    the substrate of the end-to-end determinism golden test.
+    """
+    if kind not in SCENARIO_KINDS:
+        raise ValueError(f"unknown scenario {kind!r}; choose from {SCENARIO_KINDS}")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+
+    if kind == "multi_tenant":
+        specs = tuple(
+            tenant_specs
+            if tenant_specs is not None
+            else default_tenant_specs(
+                tenants, rate, context_len=context_len, decode_steps=decode_steps
+            )
+        )
+        if not specs:
+            raise ValueError("multi_tenant needs at least one TenantSpec")
+        total_share = sum(max(0.0, s.share) for s in specs)
+        if total_share <= 0:
+            raise ValueError("tenant shares must sum to > 0")
+        # Deterministic request split: largest-remainder over shares.
+        counts = [int(num_requests * s.share / total_share) for s in specs]
+        remainders = [
+            (num_requests * s.share / total_share) - c for s, c in zip(specs, counts)
+        ]
+        for i in sorted(
+            range(len(specs)), key=lambda j: (-remainders[j], j)
+        )[: num_requests - sum(counts)]:
+            counts[i] += 1
+        requests = []
+        for t_idx, (spec, count) in enumerate(zip(specs, counts)):
+            if count == 0:
+                continue
+            times = poisson_arrival_times(count, spec.rate, seed=seed + 977 * (t_idx + 1))
+            for j in range(count):
+                requests.append(
+                    build_engine_request(
+                        f"{spec.name}-req{j}",
+                        num_heads,
+                        spec.context_len,
+                        spec.decode_steps,
+                        head_dim,
+                        profile=profile,
+                        seed=seed + 101 * (len(requests) + 1) + 9173 * (t_idx + 1),
+                        arrival_time=float(times[j]),
+                        tenant=spec.name,
+                        priority=spec.priority,
+                        deadline_ms=spec.deadline_ms,
+                        max_queue_ms=spec.max_queue_ms,
+                    )
+                )
+        requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+        return requests
+
+    if kind == "bursty":
+        times = bursty_arrival_times(
+            num_requests, rate, burst_factor=burst_factor,
+            switch_prob=switch_prob, seed=seed,
+        )
+    elif kind == "diurnal":
+        times = diurnal_arrival_times(
+            num_requests, rate, period=period, amplitude=amplitude, seed=seed
+        )
+    else:  # heavy_tail
+        times = poisson_arrival_times(num_requests, rate, seed=seed)
+
+    rng = np.random.default_rng(seed + 1)
+    if kind == "heavy_tail":
+        ctx_cap = max_context_len if max_context_len is not None else 8 * context_len
+        out_cap = max_decode_steps if max_decode_steps is not None else 8 * decode_steps
+        contexts = _pareto_lengths(rng, num_requests, tail_shape, context_len, ctx_cap)
+        outputs = _pareto_lengths(rng, num_requests, tail_shape, decode_steps, out_cap)
+    else:
+        # Mild uniform jitter, same spread as build_serving_workload.
+        low = max(1, int(round(context_len * 0.75)))
+        high = max(low, int(round(context_len * 1.25)))
+        contexts = rng.integers(low, high + 1, size=num_requests)
+        outputs = np.full(num_requests, decode_steps, dtype=int)
+    return [
+        build_engine_request(
+            f"req{i}",
+            num_heads,
+            int(contexts[i]),
+            int(outputs[i]),
+            head_dim,
+            profile=profile,
+            seed=seed + 101 * (i + 1),
+            arrival_time=float(times[i]),
+        )
+        for i in range(num_requests)
+    ]

@@ -1,6 +1,20 @@
-"""Shared fixtures and hypothesis profiles for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite.
+
+Two profiles, selected via the ``HYPOTHESIS_PROFILE`` environment
+variable (default ``repro``):
+
+* ``repro`` — local development: 40 examples, no deadline.
+* ``ci`` — shared-runner CI: fewer examples and explicitly no per-test
+  deadline, so property tests cannot flake on slow or noisy runners.
+
+Property tests must NOT re-declare per-test ``@settings`` (deadlines,
+example counts) — tune the profiles here instead, so one knob governs
+the whole suite.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -12,7 +26,14 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("repro")
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,  # no flaky example schedules on shared runners
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 
 @pytest.fixture

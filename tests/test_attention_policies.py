@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.attention.baselines import (
@@ -83,7 +83,6 @@ budgets = st.sampled_from([0.1, 0.2, 0.3, 0.5])
 
 class TestIncrementalOneShotParity:
     @given(shape=shapes, keep=budgets, sinks=st.integers(min_value=1, max_value=6))
-    @settings(max_examples=25)
     def test_streaming_llm(self, shape, keep, sinks):
         prompt_len, steps, seed = shape
         k, v, q = _problem(seed, prompt_len, steps)
@@ -96,7 +95,6 @@ class TestIncrementalOneShotParity:
         assert all(pred == 0.0 for pred, _ in costs)  # no predictor
 
     @given(shape=shapes, keep=budgets)
-    @settings(max_examples=25)
     def test_topk_oracle(self, shape, keep):
         prompt_len, steps, seed = shape
         k, v, q = _problem(seed, prompt_len, steps)
@@ -108,7 +106,6 @@ class TestIncrementalOneShotParity:
         assert all(pred == 1.0 for pred, _ in costs)  # full dense scoring
 
     @given(shape=shapes, keep=budgets, page=st.sampled_from([4, 8, 16]))
-    @settings(max_examples=25)
     def test_quest(self, shape, keep, page):
         prompt_len, steps, seed = shape
         k, v, q = _problem(seed, prompt_len, steps)
@@ -120,7 +117,6 @@ class TestIncrementalOneShotParity:
         _assert_step_parity(masks, outs, legacy, prompt_len)
 
     @given(shape=shapes, keep=budgets, cf=st.sampled_from([0.125, 0.25, 0.5]))
-    @settings(max_examples=25)
     def test_double_sparsity(self, shape, keep, cf):
         # Calibration pinned to the full sequence on both sides so the
         # channel subsets agree (serving calibrates on the prompt).
@@ -139,7 +135,6 @@ class TestIncrementalOneShotParity:
 
     @given(shape=shapes, bf=st.sampled_from([0.2, 0.4, 0.8]),
            recent=st.integers(min_value=2, max_value=8))
-    @settings(max_examples=25)
     def test_h2o(self, shape, bf, recent):
         prompt_len, steps, seed = shape
         k, v, q = _problem(seed, prompt_len, steps)
@@ -168,7 +163,6 @@ class TestIncrementalOneShotParity:
         )
 
     @given(shape=shapes, keep=budgets)
-    @settings(max_examples=25)
     def test_minference_prefill_block(self, shape, keep):
         """The one-shot wrapper and the policy's prefill share one pattern
         choice; the incremental decode rows extend exactly that pattern."""

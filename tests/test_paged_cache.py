@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import PadeConfig
@@ -82,7 +82,6 @@ class TestDensePagedParity:
         block_size=st.integers(1, 9),
         seed=st.integers(0, 2**16),
     )
-    @settings(max_examples=15)
     def test_attend_identical_through_engine(
         self, backend, prefill_len, appends, block_size, seed
     ):
@@ -272,3 +271,97 @@ class TestVectorizedQuantizationRegression:
         )
         assert cache.scales.tobytes() == frozen.tobytes()
         assert cache.k_int.tobytes() == looped_all.tobytes()
+
+
+class TestPoolLifecycleEdges:
+    """ISSUE-5 hardening: lifecycle corners of the ref-counted pool."""
+
+    def _prefilled_pair(self, rng, block_size=4, tokens=6, budget=8):
+        """A cache + its fork sharing a pool with zero free blocks."""
+        pool = PlaneBlockPool(2, 4, 4, block_size=block_size, token_budget=budget)
+        cache = PagedBitPlaneKVCache(pool)
+        k, v = _kv(rng, 2, tokens, 4, 4)
+        cache.prefill(k, v)
+        return pool, cache, cache.fork()
+
+    def test_fork_at_pool_capacity_then_cow_exhaustion(self, rng):
+        """Forking a full pool is free (pure sharing); the first divergent
+        append needs a COW block, fails loudly, and mutates nothing."""
+        pool, cache, clone = self._prefilled_pair(rng)
+        assert pool.free_block_count == 0  # capacity: both blocks live
+        assert clone.block_table == cache.block_table
+        before = (clone.length, clone.block_table, pool.forks)
+        with pytest.raises(PoolExhausted):
+            clone.append(np.zeros((2, 4)), np.zeros((2, 4)))
+        assert (clone.length, clone.block_table, pool.forks) == before
+        assert cache.k_int.tobytes() == clone.k_int.tobytes()
+        # Freeing the sibling turns the tail exclusive: the retry succeeds
+        # in place, still without a single block to spare.
+        cache.release()
+        clone.append(np.zeros((2, 4)), np.zeros((2, 4)))
+        assert clone.length == 7
+        assert pool.free_block_count == 0
+
+    def test_cow_skipped_when_refcount_drops_to_one(self, rng):
+        """A tail whose last sharer just left is written in place — no
+        fresh allocation, no copy, refcount stays 1."""
+        pool, cache, clone = self._prefilled_pair(rng, budget=16)
+        tail = cache.block_table[-1]
+        assert pool.ref_count(tail) == 2
+        clone.release()
+        assert pool.ref_count(tail) == 1
+        used_before, forks_before = pool.used_block_count, pool.forks
+        cache.append(np.ones((2, 4)), np.ones((2, 4)))
+        assert cache.block_table[-1] == tail  # same physical block
+        assert pool.used_block_count == used_before
+        assert pool.forks == forks_before
+
+    def test_double_free_detection(self, rng):
+        pool = PlaneBlockPool(2, 4, 4, block_size=4, token_budget=16)
+        block = pool.allocate()
+        pool.release([block])
+        with pytest.raises(ValueError, match="not allocated"):
+            pool.release([block])
+        # Cache-level: a second release() is a harmless no-op (the block
+        # list is already empty), not a hidden double free.
+        cache = PagedBitPlaneKVCache(pool)
+        k, v = _kv(rng, 2, 6, 4, 4)
+        cache.prefill(k, v)
+        cache.release()
+        used = pool.used_block_count
+        cache.release()
+        assert pool.used_block_count == used == 0
+
+    def test_abort_mid_prefill_releases_partial_prefix_refs(self, rng):
+        """Releasing an unfinished chunked prefill drops the attached
+        donor references and the freshly written blocks, leaving the
+        donor's registrations intact for the next sharer."""
+        pool = PlaneBlockPool(2, 4, 4, block_size=4, token_budget=64)
+        donor = PagedBitPlaneKVCache(pool, prefix_sharing=True)
+        k, v = _kv(rng, 2, 8, 4, 4)
+        donor.prefill(k, v)
+        assert pool.used_block_count == 2 and donor.prefix_miss_blocks == 2
+
+        # Sharer: same 8-token prefix + a private suffix clipped to the
+        # prefix's per-head max-abs so the frozen scales (and therefore
+        # the chain keys) match the donor's.
+        suffix_k, suffix_v = _kv(rng, 2, 4, 4, 4)
+        caps = np.abs(k).reshape(2, -1).max(axis=1)
+        suffix_k = np.clip(suffix_k, -caps[:, None, None], caps[:, None, None])
+        k2 = np.concatenate([k, suffix_k], axis=1)
+        v2 = np.concatenate([v, suffix_v], axis=1)
+        sharer = PagedBitPlaneKVCache(pool, prefix_sharing=True)
+        sharer.begin_prefill(k2, v2)
+        assert sharer.prefix_hit_blocks == 2  # donor blocks attached by ref
+        assert all(pool.ref_count(b) == 2 for b in donor.block_table)
+        sharer.extend_prefill(2)  # one fresh partial block
+        assert pool.used_block_count == 3 and sharer.prefill_remaining == 2
+
+        sharer.release()  # the abort path: mid-prefill, partial refs live
+        assert pool.used_block_count == 2
+        assert all(pool.ref_count(b) == 1 for b in donor.block_table)
+        assert all(pool.is_registered(b) for b in donor.block_table)
+        # The index still serves future sharers.
+        fresh = PagedBitPlaneKVCache(pool, prefix_sharing=True)
+        fresh.prefill(k2, v2)
+        assert fresh.prefix_hit_blocks == 2

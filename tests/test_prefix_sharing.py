@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import PadeConfig
@@ -263,7 +263,6 @@ class TestRefcountLifecycle:
         block_size=st.integers(2, 5),
         seed=st.integers(0, 2**16),
     )
-    @settings(max_examples=40, deadline=None)
     def test_interleaved_admit_fork_free_never_double_frees(self, ops, block_size, seed):
         """ISSUE 3 satellite: any interleaving of admit (shared prompts),
         fork, append and free keeps the pool conserved — used + free ==
