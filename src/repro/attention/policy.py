@@ -147,6 +147,14 @@ class AttentionPolicy:
     #: dense-footprint policies and switches to charged-footprint
     #: accounting for bounded ones.
     dense_footprint: bool = True
+    #: True when the policy implements :meth:`decode_step_batch` and the
+    #: scheduler may fuse one decode round across the whole active set.
+    #: A batched step must be *result-identical* to calling
+    #: :meth:`decode_step` per request in active-set order — outputs,
+    #: retained sets, and per-request stats byte for byte (DESIGN.md
+    #: §13).  Policies that keep it ``False`` always serve through the
+    #: per-request loop, even when the scheduler runs in batched mode.
+    supports_batched_decode: bool = False
 
     # ------------------------------------------------------------------
     def cache_footprint(self, prompt_tokens: int, decode_steps: int) -> int:
@@ -161,6 +169,15 @@ class AttentionPolicy:
         raise NotImplementedError
 
     def decode_step(self, engine, cache, q: np.ndarray):
+        raise NotImplementedError
+
+    def decode_step_batch(self, engine, caches, qs):
+        """One fused decode step over several requests (optional hook).
+
+        Only consulted when :attr:`supports_batched_decode` is ``True``;
+        must return one result per request, in order, identical to a
+        :meth:`decode_step` loop.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -186,6 +203,7 @@ class PadePolicy(AttentionPolicy):
     """
 
     name = "pade"
+    supports_batched_decode = True
 
     def prefill(self, engine, cache, q: np.ndarray):
         res = engine.attend(cache, q)
@@ -196,6 +214,17 @@ class PadePolicy(AttentionPolicy):
         res = engine.attend(cache, np.asarray(q, dtype=np.float64)[:, None, :])
         self._record(engine, res)
         return res
+
+    def decode_step_batch(self, engine, caches, qs):
+        """Fused decode round: one cross-request filter call via
+        :meth:`PadeEngine.attend_batch`, recorded per request exactly as
+        the per-request loop would."""
+        results = engine.attend_batch(
+            caches, [np.asarray(q, dtype=np.float64)[:, None, :] for q in qs]
+        )
+        for res in results:
+            self._record(engine, res)
+        return results
 
 
 register_policy(PadePolicy)

@@ -25,9 +25,12 @@ through the engine — PADE or any registered sparse baseline; choices
 come from :data:`repro.attention.policy.POLICY_REGISTRY`),
 ``--prefix-sharing`` (hash-based copy-on-write prompt-prefix sharing on
 a shared-system-prompt workload), ``--round-tokens`` (tokens one decode
-round can process — activates the prefill cost model), and ``--chunk``
+round can process — activates the prefill cost model), ``--chunk``
 (chunked prefill: per-request, per-round prompt chunk size; requires
-``--round-tokens``).
+``--round-tokens``), and ``--batched-decode`` /
+``--no-batched-decode`` (fuse each decode round's filter across the
+whole active set — on by default; results are byte-identical either
+way, only speed differs).
 """
 
 from __future__ import annotations
@@ -167,6 +170,12 @@ def main(argv=None) -> int:
         help="tokens one decode round can process — activates the prefill "
         "cost model; 0 = legacy instant prefill (serve only)",
     )
+    serve_group.add_argument(
+        "--batched-decode", action=argparse.BooleanOptionalAction, default=True,
+        help="fuse each decode round's filter across the whole active set "
+        "(byte-identical results; --no-batched-decode forces the "
+        "per-request loop) (serve only)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
@@ -194,6 +203,7 @@ def main(argv=None) -> int:
                 "round_tokens": args.round_tokens,
                 "scenario": args.scenario,
                 "tenants": args.tenants,
+                "batched": args.batched_decode,
             }
             if name == "serve"
             else {}

@@ -25,6 +25,7 @@ from repro.core.ista import ISTAResult, ista_attention, head_tail_order
 from repro.core.mx import MXBUILookupTable, build_mx_bui_lut
 from repro.core.pade_attention import PadeAttentionResult, pade_attention
 from repro.core.bsf_fast import bsf_filter_fast, bsf_filter_fast_heads
+from repro.core.bsf_fast_batch import bsf_filter_fast_batch
 from repro.core.backend import (
     FastBackend,
     KernelBackend,
@@ -61,6 +62,7 @@ __all__ = [
     "pade_attention",
     "bsf_filter_fast",
     "bsf_filter_fast_heads",
+    "bsf_filter_fast_batch",
     "KernelBackend",
     "ReferenceBackend",
     "FastBackend",

@@ -23,12 +23,13 @@ selection only affects speed; third-party backends register via
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Protocol, Tuple, Union, runtime_checkable
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple, Union, runtime_checkable
 
 import numpy as np
 
 from repro.core.bsf import BSFResult, BSFRowResult, bsf_filter, bsf_filter_row
 from repro.core.bsf_fast import bsf_filter_fast, bsf_filter_fast_heads
+from repro.core.bsf_fast_batch import bsf_filter_fast_batch
 from repro.core.bui import BUILookupTable
 from repro.core.bui_gf import GuardedFilter
 from repro.quant.bitplane import BitPlanes
@@ -62,6 +63,13 @@ class KernelBackend(Protocol):
     (the engine's multi-head decode rounds).  All backends must return
     bit-identical :class:`BSFResult` fields for the same inputs — only the
     loop structure may differ.
+
+    ``filter_heads_batch`` — the cross-request fused round the continuous
+    scheduler dispatches at every decode round — is *optional*: the engine
+    probes for it with ``getattr`` and falls back to a per-request
+    ``filter_heads`` loop when a third-party backend predates it.  Both
+    shipped backends implement it (the reference one as the per-request
+    loop itself, so the fallback and the method agree by construction).
     """
 
     name: str
@@ -94,6 +102,15 @@ class KernelBackend(Protocol):
         allowed: Optional[np.ndarray] = None,
         protect: Optional[np.ndarray] = None,
     ) -> BSFResult: ...
+
+    def filter_heads_batch(
+        self,
+        q_ints: Sequence[np.ndarray],
+        key_planes: Sequence[BitPlanes],
+        guards: Sequence[np.ndarray],
+        alloweds: Optional[Sequence[Optional[np.ndarray]]] = None,
+        protects: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[BSFResult]: ...
 
 
 class ReferenceBackend:
@@ -170,6 +187,27 @@ class ReferenceBackend:
             naive_bit_ops=naive,
         )
 
+    def filter_heads_batch(
+        self,
+        q_ints: Sequence[np.ndarray],
+        key_planes: Sequence[BitPlanes],
+        guards: Sequence[np.ndarray],
+        alloweds: Optional[Sequence[Optional[np.ndarray]]] = None,
+        protects: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[BSFResult]:
+        """Per-request loop over :meth:`filter_heads` (the semantic ground
+        truth the fused fast kernel must match bit for bit)."""
+        num = len(key_planes)
+        if alloweds is None:
+            alloweds = [None] * num
+        if protects is None:
+            protects = [None] * num
+        return [
+            self.filter_heads(q_ints[i], key_planes[i], guards[i],
+                              allowed=alloweds[i], protect=protects[i])
+            for i in range(num)
+        ]
+
 
 class FastBackend(ReferenceBackend):
     """The round-vectorized kernels (one matmul per bit round).
@@ -202,6 +240,18 @@ class FastBackend(ReferenceBackend):
     ) -> BSFResult:
         return bsf_filter_fast_heads(
             q_int, key_planes, guards, allowed=allowed, protect=protect
+        )
+
+    def filter_heads_batch(
+        self,
+        q_ints: Sequence[np.ndarray],
+        key_planes: Sequence[BitPlanes],
+        guards: Sequence[np.ndarray],
+        alloweds: Optional[Sequence[Optional[np.ndarray]]] = None,
+        protects: Optional[Sequence[Optional[np.ndarray]]] = None,
+    ) -> List[BSFResult]:
+        return bsf_filter_fast_batch(
+            q_ints, key_planes, guards, alloweds=alloweds, protects=protects
         )
 
 

@@ -47,7 +47,7 @@ from repro.core.bui_gf import guard_in_int_units
 from repro.core.config import PadeConfig
 from repro.core.pade_attention import causal_allowed, protection_mask
 from repro.engine.cache import BitPlaneKVCache
-from repro.quant.integer import quantize_symmetric
+from repro.quant.integer import int_range, quantize_symmetric
 
 __all__ = ["EngineStats", "EngineAttentionResult", "PadeEngine"]
 
@@ -69,6 +69,9 @@ class EngineStats:
     policy_calls: int = 0  # attention calls routed through the policy
     policy_prediction_cost: float = 0.0  # summed per-call predictor overhead
     policy_execution_cost: float = 0.0  # summed per-call retained fractions
+    batched_rounds: int = 0  # fused cross-request filter dispatches
+    fused_rows: int = 0  # valid (head, query, key) cells in fused lattices
+    fused_padded_rows: int = 0  # padded lattice cells those dispatches spanned
 
     @property
     def sparsity(self) -> float:
@@ -96,6 +99,17 @@ class EngineStats:
     def mean_sparsity_level(self) -> float:
         """Paper Fig. 15 currency: (prediction + execution) / dense cost."""
         return self.mean_prediction_cost + self.mean_execution_cost
+
+    @property
+    def batch_efficiency(self) -> float:
+        """Fraction of the fused decode lattice holding real keys.
+
+        1.0 means every padded ``(request, head, query, key)`` cell the
+        fused dispatches allocated was a live key — i.e. the active set
+        was perfectly rectangular; lower values quantify the padding
+        overhead ragged sequence lengths impose on the batched round.
+        """
+        return self.fused_rows / self.fused_padded_rows if self.fused_padded_rows else 0.0
 
 
 @dataclass(frozen=True)
@@ -210,6 +224,191 @@ class PadeEngine:
         block inside the sequence for causal/recency masks; it defaults to
         ``length - P`` (the trailing block, i.e. the prefill/decode case).
         """
+        q_int, logit_scales, guards, allowed, protect = self._attend_params(
+            cache, q, query_offset
+        )
+        res = self.kernel.filter_heads(
+            q_int, cache.planes, guards, allowed=allowed, protect=protect
+        )
+        return self._finish_attend(cache, res, logit_scales, guards, allowed)
+
+    def attend_batch(
+        self,
+        caches,
+        qs,
+    ) -> List[EngineAttentionResult]:
+        """Attend one query block per request in a single fused filter call.
+
+        The batched analogue of :meth:`attend` for a decode round: per
+        request the quantization, guards and causal/protection masks are
+        prepared exactly as :meth:`attend` prepares them, the bit planes
+        are gathered from each request's cache (paged caches gather via
+        their block tables here), then **one**
+        ``KernelBackend.filter_heads_batch`` call covers the whole ragged
+        active set and the outputs/retained sets/stats are scattered back
+        per request.  Result-identical to calling :meth:`attend` per
+        request in order — including every per-request ``EngineStats``
+        counter — by DESIGN.md §13; the only extra accounting is the
+        ``batched_rounds`` / ``fused_rows`` occupancy counters on the
+        fused path.  Backends that predate ``filter_heads_batch`` fall
+        back to a per-request ``filter_heads`` loop transparently.
+        """
+        if len(caches) != len(qs):
+            raise ValueError("attend_batch needs one query block per cache")
+        if not caches:
+            return []
+        params = self._attend_params_batch(caches, qs)
+        q_ints = [p[0] for p in params]
+        guards_list = [p[2] for p in params]
+        alloweds = [p[3] for p in params]
+        protects = [p[4] for p in params]
+        key_planes = [cache.planes for cache in caches]
+
+        fused = getattr(self.kernel, "filter_heads_batch", None)
+        if fused is not None:
+            results = fused(
+                q_ints, key_planes, guards_list, alloweds=alloweds, protects=protects
+            )
+            seq_lens = [cache.length for cache in caches]
+            cells_per_key = q_ints[0].shape[0] * q_ints[0].shape[1]
+            self.stats.batched_rounds += 1
+            self.stats.fused_rows += cells_per_key * sum(seq_lens)
+            self.stats.fused_padded_rows += cells_per_key * len(caches) * max(seq_lens)
+        else:
+            results = [
+                self.kernel.filter_heads(
+                    q_ints[i], key_planes[i], guards_list[i],
+                    allowed=alloweds[i], protect=protects[i],
+                )
+                for i in range(len(caches))
+            ]
+        return self._finish_attend_batch(caches, results, params)
+
+    def _attend_params_batch(self, caches, qs):
+        """Filter inputs for a whole decode round, one tuple per request.
+
+        Bit-identical to calling :meth:`_attend_params` per request: the
+        quantization and guard arithmetic below is the same sequence of
+        IEEE-754 double operations, merely broadcast over the (request,
+        head) axes — ``max |q|`` folds, the ``max_abs / qmax`` divisions,
+        ``rint``/``clip`` and the ``alpha * radius / scale`` guards are
+        all elementwise, so batching cannot change a single bit.
+        Heterogeneous query shapes (not a decode round) fall back to the
+        per-request helper.
+        """
+        cfg = self.config
+        qs_np = [np.asarray(q, dtype=np.float64) for q in qs]
+        if len({q.shape for q in qs_np}) != 1:
+            return [self._attend_params(cache, q) for cache, q in zip(caches, qs_np)]
+        q_all = np.stack(qs_np)  # (R, Hh, P, D)
+        _, num_heads, num_queries, head_dim = q_all.shape
+        for cache in caches:
+            if num_heads != cache.num_heads or head_dim != cache.head_dim:
+                raise ValueError(
+                    f"expected queries ({cache.num_heads}, P, {cache.head_dim}), "
+                    f"got {q_all.shape[1:]}"
+                )
+        qmin, qmax = int_range(cfg.bits)
+        max_abs = np.abs(q_all).max(axis=(2, 3))  # (R, Hh)
+        q_scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+        q_int = np.clip(
+            np.rint(q_all / q_scales[:, :, None, None]), qmin, qmax
+        ).astype(np.int64)
+        logit_scales = q_scales * np.stack([cache.scales for cache in caches])
+        if cfg.scale_logits:
+            logit_scales = logit_scales / np.sqrt(head_dim)
+        if np.isinf(cfg.radius):
+            guards = np.full_like(logit_scales, np.inf)
+        else:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                guards = np.where(
+                    logit_scales <= 0, np.inf, (cfg.alpha * cfg.radius) / logit_scales
+                )
+        params = []
+        for i, cache in enumerate(caches):
+            seq_len = cache.length
+            offset = seq_len - num_queries
+            allowed = causal_allowed(num_queries, seq_len, offset) if cfg.causal else None
+            protect = protection_mask(
+                num_queries, seq_len, cfg.sink_tokens, cfg.recent_tokens, offset
+            )
+            params.append((q_int[i], logit_scales[i], guards[i], allowed, protect))
+        return params
+
+    def _finish_attend_batch(self, caches, results, params):
+        """Fold a round of filter results through softmax/V, batched.
+
+        The request-independent elementwise stages (logit scaling, the
+        masked ``-inf`` fill, row max, ``exp``, the guarded divide) run
+        on one padded ``(R, Hh, P, S_max)`` lattice; the softmax
+        *denominators* and the probability·V einsums stay per-request on
+        the real ``S_i`` slices so every pairwise summation tree is the
+        one :meth:`_finish_attend` would build — outputs match the
+        per-request path byte for byte, not just numerically.
+        """
+        seq_lens = [cache.length for cache in caches]
+        s_max = max(seq_lens)
+        num_requests = len(caches)
+        num_heads, num_queries = results[0].retained.shape[:2]
+        retained_pad = np.zeros((num_requests, num_heads, num_queries, s_max), dtype=bool)
+        scores_pad = np.zeros((num_requests, num_heads, num_queries, s_max))
+        for i, res in enumerate(results):
+            retained_pad[i, :, :, : seq_lens[i]] = res.retained
+            scores_pad[i, :, :, : seq_lens[i]] = res.scores
+        scale_mat = np.stack([p[1] for p in params])  # (R, Hh)
+        logits = scores_pad * scale_mat[:, :, None, None]
+        logits = np.where(retained_pad, logits, -np.inf)
+        row_max = logits.max(axis=3, keepdims=True)
+        row_max = np.where(np.isfinite(row_max), row_max, 0.0)
+        probs = np.exp(logits - row_max)
+        denom = np.empty((num_requests, num_heads, num_queries, 1))
+        for i, s in enumerate(seq_lens):
+            denom[i] = probs[i, :, :, :s].sum(axis=2, keepdims=True)
+        probs = np.divide(probs, denom, out=np.zeros_like(probs), where=denom > 0)
+        retained_counts = retained_pad.sum(axis=(1, 2, 3))
+
+        out = []
+        for i, (cache, res) in enumerate(zip(caches, results)):
+            _, logit_scales, guards, allowed, _ = params[i]
+            output = np.einsum(
+                "hps,hsd->hpd", probs[i, :, :, : seq_lens[i]], cache.values
+            )
+            candidates = (
+                int(np.broadcast_to(allowed, res.retained.shape).sum())
+                if allowed is not None
+                else res.retained.size
+            )
+            self.stats.filter_calls += 1
+            self.stats.bit_plane_loads += res.bit_plane_loads
+            self.stats.effective_bit_ops += res.effective_bit_ops
+            self.stats.naive_bit_ops += res.naive_bit_ops
+            self.stats.retained_keys += int(retained_counts[i])
+            self.stats.candidate_keys += candidates
+            out.append(
+                EngineAttentionResult(
+                    output=output,
+                    retained=res.retained,
+                    scores=res.scores,
+                    logit_scales=logit_scales,
+                    guards=guards,
+                    candidate_keys=candidates,
+                    prediction_cost=0.0,
+                    execution_cost=(
+                        float(retained_counts[i]) / candidates if candidates else 0.0
+                    ),
+                )
+            )
+        return out
+
+    def _attend_params(
+        self,
+        cache: BitPlaneKVCache,
+        q: np.ndarray,
+        query_offset: Optional[int] = None,
+    ):
+        """Per-request filter inputs: ``(q_int, logit_scales, guards,
+        allowed, protect)`` — shared verbatim by :meth:`attend` and
+        :meth:`attend_batch` so the two paths cannot drift."""
         cfg = self.config
         q = np.asarray(q, dtype=np.float64)
         if q.ndim != 3 or q.shape[0] != cache.num_heads or q.shape[2] != cache.head_dim:
@@ -234,11 +433,17 @@ class PadeEngine:
         protect = protection_mask(
             num_queries, seq_len, cfg.sink_tokens, cfg.recent_tokens, offset
         )
+        return q_int, logit_scales, guards, allowed, protect
 
-        res = self.kernel.filter_heads(
-            q_int, cache.planes, guards, allowed=allowed, protect=protect
-        )
-
+    def _finish_attend(
+        self,
+        cache: BitPlaneKVCache,
+        res,
+        logit_scales: np.ndarray,
+        guards: np.ndarray,
+        allowed,
+    ) -> EngineAttentionResult:
+        """Fold one filter result through softmax/V and the stats counters."""
         # Retained scores are exact integer Q·K products; fold them through
         # a masked softmax and the cached V rows.
         logits = res.scores.astype(np.float64) * logit_scales[:, None, None]
@@ -352,11 +557,65 @@ class PadeEngine:
         through the engine's policy (the default :class:`PadePolicy` is
         byte-identical to calling :meth:`attend` directly).
         """
+        self.decode_append(cache, k_step, v_step)
+        return self.decode_attend(cache, q)
+
+    def decode_append(
+        self, cache: BitPlaneKVCache, k_step: np.ndarray, v_step: np.ndarray
+    ) -> None:
+        """Extend the cache by one token and bill the decompose stats.
+
+        The append half of :meth:`decode_step`, split out so a batched
+        round can append every active request before filtering any of
+        them.  Paged caches raise
+        :class:`~repro.engine.cache.PoolExhausted` *before* mutating
+        anything, and this method touches the stats only after the append
+        succeeds, so a failed append leaves both cache and counters
+        untouched — the scheduler's preempt-and-retry relies on that.
+        """
         cache.append(k_step, v_step)
         self.stats.decode_steps += 1
         self.stats.rows_decomposed += cache.num_heads
         self.stats.rows_reused += cache.num_heads * (cache.length - 1)
+
+    def decode_attend(self, cache: BitPlaneKVCache, q: np.ndarray) -> EngineAttentionResult:
+        """Attend one already-appended decode query through the policy."""
         return self.policy.decode_step(self, cache, np.asarray(q, dtype=np.float64))
+
+    def decode_attend_batch(self, caches, qs) -> List[EngineAttentionResult]:
+        """Attend one decode query per request in a single fused round.
+
+        Routes through the policy's ``decode_step_batch`` when it
+        declares :attr:`supports_batched_decode` (PADE does), otherwise
+        falls back to a per-request :meth:`decode_attend` loop — either
+        way the results are identical to the loop, per request, in order.
+        """
+        if self.supports_batched_decode and len(caches) > 1:
+            return self.policy.decode_step_batch(self, caches, qs)
+        return [self.decode_attend(cache, q) for cache, q in zip(caches, qs)]
+
+    def decode_step_batch(self, steps) -> List[EngineAttentionResult]:
+        """One fused autoregressive step over several requests.
+
+        ``steps`` is a sequence of ``(cache, q, k_step, v_step)`` tuples
+        as :meth:`decode_step` takes them.  Every cache is appended first
+        (in order — pool allocation order is what the per-request loop
+        produces), then one :meth:`decode_attend_batch` covers the whole
+        set.  Filters never allocate pool blocks and caches are
+        request-private, so the append/filter reordering is
+        result-identical to interleaved per-request
+        :meth:`decode_step` calls (DESIGN.md §13).
+        """
+        for cache, _, k_step, v_step in steps:
+            self.decode_append(cache, k_step, v_step)
+        return self.decode_attend_batch(
+            [s[0] for s in steps], [s[1] for s in steps]
+        )
+
+    @property
+    def supports_batched_decode(self) -> bool:
+        """True when the active policy can serve fused decode rounds."""
+        return bool(getattr(self.policy, "supports_batched_decode", False))
 
     # ------------------------------------------------------------------
     # Request-level scheduling (delegates to the schedulers)
@@ -391,6 +650,7 @@ class PadeEngine:
         chunk_tokens: int = 0,
         round_token_budget: int = 0,
         tenant_weights=None,
+        batched_decode: bool = True,
     ):
         """Serve ``requests`` with continuous batching over a paged pool.
 
@@ -406,6 +666,9 @@ class PadeEngine:
         ``round_token_budget`` activates the prefill cost model (a prompt
         occupies rounds in proportion to its length) and ``chunk_tokens``
         splits those prompts into chunks interleaved with decode rounds.
+        ``batched_decode`` (default on) fuses each decode round's filter
+        across the whole active set when the policy supports it — results
+        are byte-identical to the per-request loop either way.
         Returns ``{request_id: RequestResult}`` with per-request timing
         (arrival/admit/first-token/finish) populated — aborted requests
         (deadline missed, queueing bound exceeded, cancelled) report
@@ -426,6 +689,7 @@ class PadeEngine:
             chunk_tokens=chunk_tokens,
             round_token_budget=round_token_budget,
             tenant_weights=tenant_weights,
+            batched_decode=batched_decode,
         )
         for request in requests:
             scheduler.submit(request)

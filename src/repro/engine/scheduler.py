@@ -219,6 +219,19 @@ class RequestResult:
         return b"".join(np.packbits(r.astype(np.uint8)).tobytes() for r in self.retained_history)
 
 
+def _stack_decode_outputs(req: EngineRequest, outputs: List[np.ndarray]) -> np.ndarray:
+    """Stack per-step decode outputs into ``(H, T, Dv)`` (``T`` may be 0).
+
+    Shared by both schedulers' result assembly so the empty-decode shape
+    convention cannot drift between them again.
+    """
+    if outputs:
+        return np.stack(outputs, axis=1)
+    num_heads = np.asarray(req.k).shape[0]
+    v_dim = np.asarray(req.v).shape[2]
+    return np.zeros((num_heads, 0, v_dim))
+
+
 @dataclass
 class _RequestState:
     request: EngineRequest
@@ -285,22 +298,37 @@ class EngineScheduler:
             self.active.append(state)
             self.trace.append(("prefill", (request.request_id,)))
 
-    def _decode_round(self) -> None:
-        round_ids = []
-        for state in self.active:
-            if state.done:
-                continue
-            t = state.next_step
-            req = state.request
-            res = self.engine.decode_step(
-                state.cache, req.decode_q[:, t, :], req.decode_k[:, t, :], req.decode_v[:, t, :]
+    def _decode_round(self) -> int:
+        """One lockstep round: every unfinished request advances one step.
+
+        Returns the number of requests that advanced (the same signature
+        as :meth:`ContinuousScheduler._decode_round`).  The whole round
+        goes through :meth:`~repro.engine.engine.PadeEngine.decode_step_batch`,
+        so a batch-capable policy serves it as one fused filter call; the
+        engine falls back to the per-request loop otherwise, with
+        byte-identical results either way.
+        """
+        todo = [s for s in self.active if not s.done]
+        if not todo:
+            return 0
+        steps = [
+            (
+                s.cache,
+                s.request.decode_q[:, s.next_step, :],
+                s.request.decode_k[:, s.next_step, :],
+                s.request.decode_v[:, s.next_step, :],
             )
+            for s in todo
+        ]
+        results = self.engine.decode_step_batch(steps)
+        round_ids = []
+        for state, res in zip(todo, results):
             state.outputs.append(res.output[:, 0, :])
             state.retained_history.append(res.retained[:, 0, :])
-            state.next_step = t + 1
-            round_ids.append(req.request_id)
-        if round_ids:
-            self.trace.append(("decode_round", tuple(round_ids)))
+            state.next_step += 1
+            round_ids.append(state.request.request_id)
+        self.trace.append(("decode_round", tuple(round_ids)))
+        return len(round_ids)
 
     def _collect(self, results: Dict[str, RequestResult]) -> None:
         still_active = []
@@ -309,12 +337,7 @@ class EngineScheduler:
                 still_active.append(state)
                 continue
             req = state.request
-            if state.outputs:
-                decode_outputs = np.stack(state.outputs, axis=1)  # (H, T, Dv)
-            else:
-                num_heads = np.asarray(req.k).shape[0]
-                v_dim = np.asarray(req.v).shape[2]
-                decode_outputs = np.zeros((num_heads, 0, v_dim))
+            decode_outputs = _stack_decode_outputs(req, state.outputs)
             results[req.request_id] = RequestResult(
                 request_id=req.request_id,
                 prefill_output=state.prefill_output,
@@ -609,6 +632,14 @@ class ContinuousScheduler:
     chunk_tokens:
         Per-request, per-round prefill chunk size (requires
         ``round_token_budget``); 0 keeps prefills unchunked.
+    batched_decode:
+        Fuse each decode round's filter across the whole active set
+        (default on).  Only engaged when the engine's attention policy
+        declares ``supports_batched_decode`` (PADE does; the software
+        baselines fall back to the per-request loop).  Results — outputs,
+        retained sets, timings, traces, preemption decisions — are
+        byte-identical to the per-request loop either way (DESIGN.md
+        §13), so this is purely a throughput knob.
     """
 
     def __init__(
@@ -623,6 +654,7 @@ class ContinuousScheduler:
         chunk_tokens: int = 0,
         round_token_budget: int = 0,
         tenant_weights: Optional[Dict[str, float]] = None,
+        batched_decode: bool = True,
     ) -> None:
         self.policy_obj = resolve_scheduling_policy(policy)
         if admission not in ("continuous", "drain"):
@@ -642,6 +674,7 @@ class ContinuousScheduler:
         self.prefix_sharing = bool(prefix_sharing)
         self.chunk_tokens = int(chunk_tokens)
         self.round_token_budget = int(round_token_budget)
+        self.batched_decode = bool(batched_decode)
         self.tenant_weights: Dict[str, float] = dict(tenant_weights or {})
         self.pool: Optional[PlaneBlockPool] = None
         # Bounded-footprint attention policies (H2O's eviction budget,
@@ -888,7 +921,33 @@ class ContinuousScheduler:
         self._record("preempt", (victim.request.request_id,))
 
     def _decode_round(self) -> int:
-        round_ids = []
+        """One decode round over the active set; returns steps advanced.
+
+        With ``batched_decode`` on (and a batch-capable attention policy)
+        the round runs append-all-then-filter-once: each request's new
+        K/V token is appended in active-set order, the appended-but-
+        unfiltered requests accumulate in ``pending``, and one fused
+        :meth:`~repro.engine.engine.PadeEngine.decode_attend_batch`
+        flushes them together.  The reordering is result-identical to the
+        interleaved per-request loop because filters never allocate pool
+        blocks and caches are request-private (DESIGN.md §13) — so every
+        append sees the exact pool state the loop would give it, and
+        :class:`PoolExhausted` fires at the same token either way.
+
+        When an append does exhaust the pool, the pending work is flushed
+        *before* the preemption: the victim selection must see the same
+        done-flags the per-request loop would (a request that just
+        finished its last step is never evicted), and the already-decoded
+        requests' first-token marks and service charges must land exactly
+        as if they had been filtered one at a time.  With batching off,
+        ``pending`` is flushed after every append — byte for byte the
+        legacy interleaved loop.
+        """
+        round_ids: List[str] = []
+        pending: List[_RequestState] = []
+        batching = self.batched_decode and getattr(
+            self.engine, "supports_batched_decode", False
+        )
         i = 0
         while i < len(self.active):
             state = self.active[i]
@@ -898,13 +957,14 @@ class ContinuousScheduler:
             t = state.next_step
             req = state.request
             try:
-                res = self.engine.decode_step(
-                    state.cache,
-                    req.decode_q[:, t, :],
-                    req.decode_k[:, t, :],
-                    req.decode_v[:, t, :],
+                self.engine.decode_append(
+                    state.cache, req.decode_k[:, t, :], req.decode_v[:, t, :]
                 )
             except PoolExhausted:
+                # Flush before preempting (see docstring): victim
+                # selection, trace order and timing marks must match the
+                # per-request loop exactly.
+                self._flush_decode(pending, round_ids)
                 if len(self.active) == 1:
                     # Defensive: _check_footprints guarantees a lone
                     # request's blocks always fit, so this only fires if
@@ -922,19 +982,43 @@ class ContinuousScheduler:
                 if state in self.active:
                     i = self.active.index(state)
                 continue
+            pending.append(state)
+            if not batching:
+                self._flush_decode(pending, round_ids)
+            i += 1
+        self._flush_decode(pending, round_ids)
+        if round_ids:
+            self._record("decode_round", tuple(round_ids))
+        return len(round_ids)
+
+    def _flush_decode(
+        self, pending: List[_RequestState], round_ids: List[str]
+    ) -> None:
+        """Filter the appended-but-unfiltered steps and record results.
+
+        One request in ``pending`` routes through the plain policy
+        ``decode_step`` (no fusion overhead); more than one becomes a
+        single fused cross-request filter call when the policy supports
+        it.  Either way the per-request bookkeeping below is identical.
+        """
+        if not pending:
+            return
+        results = self.engine.decode_attend_batch(
+            [s.cache for s in pending],
+            [s.request.decode_q[:, s.next_step, :] for s in pending],
+        )
+        for state, res in zip(pending, results):
+            t = state.next_step
             state.outputs.append(res.output[:, 0, :])
             state.retained_history.append(res.retained[:, 0, :])
             state.next_step = t + 1
             self._charge_service(state, 1.0)
             if t == 0:
-                timing = self._timings[req.request_id]
+                timing = self._timings[state.request.request_id]
                 if timing.first_token_time is None:
                     timing.first_token_time = self.time + 1.0
-            round_ids.append(req.request_id)
-            i += 1
-        if round_ids:
-            self._record("decode_round", tuple(round_ids))
-        return len(round_ids)
+            round_ids.append(state.request.request_id)
+        pending.clear()
 
     # ------------------------------------------------------------------
     def _extend_with_preemption(self, state: _RequestState, tokens: int) -> int:
@@ -1003,13 +1087,9 @@ class ContinuousScheduler:
         they report empty outputs; an aborted active request keeps the
         tokens it streamed before the abort.
         """
-        outputs = state.outputs if state is not None else []
-        if outputs:
-            decode_outputs = np.stack(outputs, axis=1)  # (H, T, Dv)
-        else:
-            num_heads = np.asarray(req.k).shape[0]
-            v_dim = np.asarray(req.v).shape[2]
-            decode_outputs = np.zeros((num_heads, 0, v_dim))
+        decode_outputs = _stack_decode_outputs(
+            req, state.outputs if state is not None else []
+        )
         timing = self._timings[req.request_id]
         return RequestResult(
             request_id=req.request_id,

@@ -986,6 +986,7 @@ def serving_profile(
     attention: str = "pade",
     scenario: Optional[str] = None,
     tenants: int = 3,
+    batched: bool = True,
 ) -> Dict[str, float]:
     """Continuous-batching serving profile over the paged bit-plane pool.
 
@@ -1005,6 +1006,9 @@ def serving_profile(
     ``attention`` selects the attention policy from
     :data:`repro.attention.policy.POLICY_REGISTRY` (PADE or any
     converted baseline), so the same profile sweeps every method.
+    ``batched`` toggles the fused cross-request decode round (results
+    are byte-identical either way; the report's ``batched_rounds`` /
+    ``batch_efficiency`` columns show the fusion occupancy).
     Deterministic for a given seed — safe for ``--json`` smoke runs; the
     CLI exposes ``--rate/--budget/--sched-policy/--scenario/--tenants/
     --prefix-sharing/--chunk/--round-tokens/--attention``.
@@ -1058,6 +1062,7 @@ def serving_profile(
         chunk_tokens=chunk,
         round_token_budget=round_tokens,
         tenant_weights=tenant_weights,
+        batched_decode=batched,
     )
     scheduler = engine.last_serve
     report = summarize_serving(
@@ -1081,6 +1086,7 @@ def serving_profile(
         "prefix_sharing": float(prefix_sharing),
         "chunk_tokens": float(chunk),
         "round_token_budget": float(round_tokens),
+        "batched_decode": float(batched),
         **report,
         "engine_sparsity": engine.stats.sparsity,
     }

@@ -310,4 +310,9 @@ def summarize_serving(
             report["policy_prediction_cost"] = float(stats.mean_prediction_cost)
             report["policy_execution_cost"] = float(stats.mean_execution_cost)
             report["policy_sparsity_level"] = float(stats.mean_sparsity_level)
+            # Fused-decode occupancy: how many rounds ran as one
+            # cross-request filter call, and how full the padded lattice
+            # was when they did (1.0 = perfectly rectangular active set).
+            report["batched_rounds"] = float(stats.batched_rounds)
+            report["batch_efficiency"] = float(stats.batch_efficiency)
     return report

@@ -1,0 +1,330 @@
+"""Cross-request batched decode: fused round == per-request loop (ISSUE 6).
+
+Three parity layers, strictest first:
+
+* **kernel** — ``bsf_filter_fast_batch`` must reproduce a per-request
+  loop over ``bsf_filter_fast_heads`` (and the reference backend's
+  ``filter_heads_batch``) bit for bit on every ``BSFResult`` field,
+  across ragged sequence lengths, ``allowed``/``protect`` masks, and
+  finite/infinite guards — property-tested via hypothesis;
+* **engine** — ``decode_step_batch`` must match interleaved
+  ``decode_step`` calls exactly (outputs, retained sets, shared filter
+  counters), and fall back to the loop when the attention policy does
+  not declare ``supports_batched_decode``;
+* **serving** — ``engine.serve(..., batched_decode=True)`` must be
+  byte-identical to ``batched_decode=False`` end to end (results,
+  retained history, trace, timings) on both backends, including under
+  preemption pressure and deadline aborts, and the batched run must
+  populate the ``batched_rounds`` / ``batch_efficiency`` accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PadeConfig
+from repro.core.backend import get_backend
+from repro.core.bsf_fast import bsf_filter_fast_heads
+from repro.core.bsf_fast_batch import bsf_filter_fast_batch
+from repro.engine import PadeEngine
+from repro.eval.serving_metrics import summarize_serving
+from repro.eval.workloads import build_engine_request
+from repro.quant.bitplane import decompose_bitplanes
+
+BITS = 6
+_LO, _HI = -(1 << (BITS - 1)), (1 << (BITS - 1)) - 1
+
+
+# ----------------------------------------------------------------------
+# Kernel parity: fused batch == per-request heads == reference batch
+# ----------------------------------------------------------------------
+def _random_request(rng, num_heads, num_rows, seq_len, head_dim, masks, guard_kind):
+    """One request's (q_int, planes, guards, allowed, protect) tuple."""
+    q = rng.integers(_LO, _HI + 1, size=(num_heads, num_rows, head_dim))
+    k = rng.integers(_LO, _HI + 1, size=(num_heads, seq_len, head_dim))
+    planes = decompose_bitplanes(k, bits=BITS)
+    if guard_kind == "inf":
+        guards = np.full(num_heads, np.inf)
+    elif guard_kind == "mixed":
+        guards = np.where(
+            rng.random(num_heads) < 0.5, np.inf, rng.uniform(0.0, 40.0, num_heads)
+        )
+    else:
+        guards = rng.uniform(0.0, 40.0, size=num_heads)
+    allowed = protect = None
+    if masks:
+        # Some rows end up fully masked — the all-pruned edge case.
+        allowed = rng.random((num_heads, num_rows, seq_len)) < 0.8
+        protect = rng.random((num_heads, num_rows, seq_len)) < 0.1
+    return q, planes, guards, allowed, protect
+
+
+def _assert_results_identical(got, want, label):
+    assert np.array_equal(got.retained, want.retained), label
+    assert np.array_equal(got.planes_processed, want.planes_processed), label
+    assert np.array_equal(got.scores, want.scores), label
+    assert got.bit_plane_loads == want.bit_plane_loads, label
+    assert got.effective_bit_ops == want.effective_bit_ops, label
+    assert got.naive_bit_ops == want.naive_bit_ops, label
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    num_requests=st.integers(1, 5),
+    num_heads=st.integers(1, 3),
+    num_rows=st.integers(1, 2),
+    head_dim=st.integers(4, 12),
+    masks=st.booleans(),
+    guard_kind=st.sampled_from(["finite", "inf", "mixed"]),
+)
+def test_kernel_parity_ragged(
+    seed, num_requests, num_heads, num_rows, head_dim, masks, guard_kind
+):
+    """Fused filter == per-request loop, bit for bit, on ragged sets."""
+    rng = np.random.default_rng(seed)
+    seq_lens = rng.integers(1, 33, size=num_requests)
+    reqs = [
+        _random_request(rng, num_heads, num_rows, int(s), head_dim, masks, guard_kind)
+        for s in seq_lens
+    ]
+    qs = [r[0] for r in reqs]
+    planes = [r[1] for r in reqs]
+    guards = [r[2] for r in reqs]
+    alloweds = [r[3] for r in reqs]
+    protects = [r[4] for r in reqs]
+
+    fused = bsf_filter_fast_batch(qs, planes, guards, alloweds=alloweds, protects=protects)
+    assert len(fused) == num_requests
+    for i in range(num_requests):
+        loop = bsf_filter_fast_heads(
+            qs[i], planes[i], guards[i], allowed=alloweds[i], protect=protects[i]
+        )
+        _assert_results_identical(fused[i], loop, f"request {i} vs fast heads loop")
+
+    ref = get_backend("reference").filter_heads_batch(
+        qs, planes, guards, alloweds=alloweds, protects=protects
+    )
+    for i in range(num_requests):
+        _assert_results_identical(fused[i], ref[i], f"request {i} vs reference batch")
+
+
+def test_kernel_batch_via_registry():
+    """Both registered backends expose filter_heads_batch and agree."""
+    rng = np.random.default_rng(7)
+    reqs = [_random_request(rng, 2, 1, s, 8, True, "finite") for s in (5, 17, 17, 1)]
+    args = tuple(zip(*reqs))
+    fast = get_backend("fast").filter_heads_batch(
+        args[0], args[1], args[2], alloweds=args[3], protects=args[4]
+    )
+    ref = get_backend("reference").filter_heads_batch(
+        args[0], args[1], args[2], alloweds=args[3], protects=args[4]
+    )
+    for i, (f, r) in enumerate(zip(fast, ref)):
+        _assert_results_identical(f, r, f"request {i}")
+
+
+def test_kernel_batch_validates_ragged_inputs():
+    rng = np.random.default_rng(11)
+    q, planes, guards, _, _ = _random_request(rng, 2, 1, 8, 8, False, "finite")
+    assert bsf_filter_fast_batch([], [], []) == []
+    with pytest.raises(ValueError):
+        bsf_filter_fast_batch([q], [planes], [])  # length mismatch
+    q_bad, planes_bad, guards_bad, _, _ = _random_request(rng, 3, 1, 8, 8, False, "finite")
+    with pytest.raises(ValueError):  # heterogeneous head counts
+        bsf_filter_fast_batch([q, q_bad], [planes, planes_bad], [guards, guards_bad])
+
+
+# ----------------------------------------------------------------------
+# Engine parity: decode_step_batch == interleaved decode_step
+# ----------------------------------------------------------------------
+def _engine_requests(num, context=12, steps=4, num_heads=2, head_dim=16, **kw):
+    return [
+        build_engine_request(
+            f"r{i}", num_heads, context + 3 * (i % 3), steps,
+            head_dim=head_dim, seed=50 + i, **kw,
+        )
+        for i in range(num)
+    ]
+
+
+def _prefilled(engine, requests):
+    from repro.engine.cache import PagedBitPlaneKVCache, PlaneBlockPool
+
+    first = np.asarray(requests[0].k)
+    num_heads, _, head_dim = first.shape
+    v_dim = np.asarray(requests[0].v).shape[2]
+    budget = sum(16 * -(-r.total_tokens // 16) for r in requests)
+    pool = PlaneBlockPool(num_heads, head_dim, v_dim, bits=engine.config.bits,
+                          block_size=16, token_budget=budget)
+    caches = []
+    for req in requests:
+        cache = PagedBitPlaneKVCache(pool)
+        engine.prefill(cache, req.k, req.v, total_tokens=req.total_tokens)
+        caches.append(cache)
+    return caches
+
+
+_SHARED_COUNTERS = (
+    "filter_calls", "bit_plane_loads", "effective_bit_ops",
+    "naive_bit_ops", "retained_keys", "candidate_keys",
+)
+
+
+@pytest.mark.parametrize("backend", ["fast", "reference"])
+def test_decode_step_batch_matches_loop(backend):
+    requests = _engine_requests(4)
+    loop_engine = PadeEngine(PadeConfig.standard(), backend=backend)
+    loop_caches = _prefilled(loop_engine, requests)
+    fused_engine = PadeEngine(PadeConfig.standard(), backend=backend)
+    fused_caches = _prefilled(fused_engine, requests)
+
+    for t in range(requests[0].decode_steps):
+        loop_res = [
+            loop_engine.decode_step(
+                c, r.decode_q[:, t, :], r.decode_k[:, t, :], r.decode_v[:, t, :]
+            )
+            for c, r in zip(loop_caches, requests)
+        ]
+        fused_res = fused_engine.decode_step_batch(
+            [
+                (c, r.decode_q[:, t, :], r.decode_k[:, t, :], r.decode_v[:, t, :])
+                for c, r in zip(fused_caches, requests)
+            ]
+        )
+        for i, (a, b) in enumerate(zip(loop_res, fused_res)):
+            assert np.array_equal(a.retained, b.retained), f"step {t} request {i}"
+            assert a.output.tobytes() == b.output.tobytes(), f"step {t} request {i}"
+            assert np.array_equal(a.scores, b.scores)
+            assert a.candidate_keys == b.candidate_keys
+            assert a.prediction_cost == b.prediction_cost
+            assert a.execution_cost == b.execution_cost
+
+    for field in _SHARED_COUNTERS:
+        assert getattr(loop_engine.stats, field) == getattr(fused_engine.stats, field)
+    assert fused_engine.stats.batched_rounds == requests[0].decode_steps
+    assert fused_engine.stats.fused_rows > 0
+    assert 0.0 < fused_engine.stats.batch_efficiency <= 1.0
+    assert loop_engine.stats.batched_rounds == 0
+
+
+def test_decode_step_batch_single_request_uses_loop_path():
+    """A batch of one never pays the fused-lattice setup."""
+    requests = _engine_requests(1)
+    engine = PadeEngine(PadeConfig.standard(), backend="fast")
+    caches = _prefilled(engine, requests)
+    req = requests[0]
+    res = engine.decode_step_batch(
+        [(caches[0], req.decode_q[:, 0, :], req.decode_k[:, 0, :], req.decode_v[:, 0, :])]
+    )
+    assert len(res) == 1
+    assert engine.stats.batched_rounds == 0
+
+
+def test_unsupported_policy_falls_back_to_loop():
+    """Policies without supports_batched_decode serve via the loop."""
+    requests = _engine_requests(3)
+    engine = PadeEngine(PadeConfig.standard(), backend="fast", policy="h2o")
+    assert not engine.supports_batched_decode
+    results = engine.serve(
+        requests, token_budget=512, block_size=16, batched_decode=True
+    )
+    assert all(r.status == "ok" for r in results.values())
+    assert engine.stats.batched_rounds == 0
+
+
+# ----------------------------------------------------------------------
+# Serving parity: batched_decode=True == False, byte for byte
+# ----------------------------------------------------------------------
+def _result_digest(results):
+    """Order-stable byte digest of everything a caller can observe."""
+    out = []
+    for rid in sorted(results):
+        r = results[rid]
+        out.append((
+            rid, r.status, r.abort_reason,
+            r.arrival_time, r.admit_time, r.first_token_time, r.finish_time,
+            b"".join(np.asarray(o).tobytes() for o in r.decode_outputs),
+            b"".join(
+                np.packbits(np.asarray(h, dtype=bool).astype(np.uint8)).tobytes()
+                for h in r.retained_history
+            ),
+        ))
+    return out
+
+
+def _serve(backend, batched, requests=None, **serve_kw):
+    engine = PadeEngine(PadeConfig.standard(), backend=backend)
+    if requests is None:
+        requests = _engine_requests(5, deadline_ms=None)
+    results = engine.serve(requests, batched_decode=batched, **serve_kw)
+    return results, engine.last_serve, engine.stats
+
+
+@pytest.mark.parametrize("backend", ["fast", "reference"])
+def test_serve_batched_matches_loop(backend):
+    kw = dict(token_budget=512, block_size=16)
+    loop_results, loop_sched, loop_stats = _serve(backend, False, **kw)
+    fused_results, fused_sched, fused_stats = _serve(backend, True, **kw)
+    assert _result_digest(loop_results) == _result_digest(fused_results)
+    assert loop_sched.trace == fused_sched.trace
+    for field in _SHARED_COUNTERS:
+        assert getattr(loop_stats, field) == getattr(fused_stats, field)
+    assert fused_stats.batched_rounds > 0
+    assert loop_stats.batched_rounds == 0
+
+
+@pytest.mark.parametrize("backend", ["fast", "reference"])
+def test_serve_batched_matches_loop_under_preemption(backend):
+    """Parity must survive PoolExhausted preempt-and-retry and SLO aborts."""
+    def mk():
+        reqs = _engine_requests(6, context=10, steps=5)
+        # One request with a deadline tight enough to abort mid-flight.
+        reqs.append(
+            build_engine_request("tight", 2, 14, 6, head_dim=16, seed=99,
+                                 deadline_ms=6.0)
+        )
+        return reqs
+
+    kw = dict(token_budget=32, block_size=4, max_active=4)
+    loop_results, loop_sched, _ = _serve(backend, False, requests=mk(), **kw)
+    fused_results, fused_sched, fused_stats = _serve(backend, True, requests=mk(), **kw)
+    assert any(e[0] == "preempt" for e in loop_sched.trace), "scenario lost its pressure"
+    assert _result_digest(loop_results) == _result_digest(fused_results)
+    assert loop_sched.trace == fused_sched.trace
+    assert fused_stats.batched_rounds > 0
+
+
+def test_serve_batched_deterministic():
+    """Two identical batched runs are byte-identical (golden determinism)."""
+    a_results, a_sched, _ = _serve("fast", True, token_budget=48, block_size=4)
+    b_results, b_sched, _ = _serve("fast", True, token_budget=48, block_size=4)
+    assert _result_digest(a_results) == _result_digest(b_results)
+    assert a_sched.trace == b_sched.trace
+
+
+def test_legacy_scheduler_uses_batched_rounds():
+    """EngineScheduler's round goes through decode_step_batch too."""
+    engine = PadeEngine(PadeConfig.standard(), backend="fast", max_active=4)
+    for req in _engine_requests(3):
+        engine.submit(req)
+    results = engine.run()
+    assert all(r.status == "ok" for r in results.values())
+    assert engine.stats.batched_rounds > 0
+
+
+def test_summarize_serving_reports_batch_columns():
+    results, sched, _ = _serve("fast", True, token_budget=512, block_size=16)
+    report = summarize_serving(
+        results.values(), sched.occupancy, token_budget=512, scheduler=sched
+    )
+    assert report["batched_rounds"] > 0
+    assert 0.0 < report["batch_efficiency"] <= 1.0
+    loop_results, loop_sched, _ = _serve("fast", False, token_budget=512, block_size=16)
+    loop_report = summarize_serving(
+        loop_results.values(), loop_sched.occupancy, token_budget=512,
+        scheduler=loop_sched,
+    )
+    assert loop_report["batched_rounds"] == 0
