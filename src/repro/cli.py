@@ -27,10 +27,13 @@ come from :data:`repro.attention.policy.POLICY_REGISTRY`),
 a shared-system-prompt workload), ``--round-tokens`` (tokens one decode
 round can process — activates the prefill cost model), ``--chunk``
 (chunked prefill: per-request, per-round prompt chunk size; requires
-``--round-tokens``), and ``--batched-decode`` /
+``--round-tokens``), ``--batched-decode`` /
 ``--no-batched-decode`` (fuse each decode round's filter across the
 whole active set — on by default; results are byte-identical either
-way, only speed differs).
+way, only speed differs), and ``--async`` / ``--port`` (serve the same
+workload through the asyncio loopback front-end in
+:mod:`repro.serve`: the round-clock report is identical, and measured
+wall-clock TTFT/TPOT/queueing columns are added).
 """
 
 from __future__ import annotations
@@ -176,6 +179,17 @@ def main(argv=None) -> int:
         "(byte-identical results; --no-batched-decode forces the "
         "per-request loop) (serve only)",
     )
+    serve_group.add_argument(
+        "--async", dest="async_serve", action="store_true",
+        help="serve the workload through the asyncio loopback front-end "
+        "(repro.serve): identical round-clock report plus measured "
+        "wall-clock TTFT/TPOT columns (serve only)",
+    )
+    serve_group.add_argument(
+        "--port", type=int, default=0,
+        help="listening port of the async front-end; 0 = ephemeral "
+        "(serve only, needs --async)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
@@ -204,13 +218,17 @@ def main(argv=None) -> int:
                 "scenario": args.scenario,
                 "tenants": args.tenants,
                 "batched": args.batched_decode,
+                "async_serve": args.async_serve,
+                "port": args.port,
             }
             if name == "serve"
             else {}
         )
-        t0 = time.time()
+        # perf_counter, not time.time: monotonic, so the elapsed span
+        # cannot go negative under an NTP clock adjustment.
+        t0 = time.perf_counter()
         data = fn(**kwargs)
-        elapsed = time.time() - t0
+        elapsed = time.perf_counter() - t0
         if args.json:
             print(json.dumps({name: _to_jsonable(data)}, indent=2))
         else:

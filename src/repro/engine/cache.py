@@ -98,7 +98,11 @@ def quantize_heads(
         # Zero-length sequences calibrate to the unit scale, matching the
         # scalar quantizer's empty-input fallback.
         max_abs = flat.max(axis=1) if flat.shape[1] else np.zeros(k.shape[0])
-        scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+        # Floor at the smallest normal double: subnormal max_abs can make
+        # the quotient underflow to a zero scale (see quant.integer).
+        scales = np.where(
+            max_abs > 0, np.maximum(max_abs / qmax, np.finfo(np.float64).tiny), 1.0
+        )
     else:
         scales = np.asarray(scales, dtype=np.float64)
     expand = (slice(None),) + (None,) * (k.ndim - 1)

@@ -310,7 +310,11 @@ class PadeEngine:
                 )
         qmin, qmax = int_range(cfg.bits)
         max_abs = np.abs(q_all).max(axis=(2, 3))  # (R, Hh)
-        q_scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+        # Same subnormal-underflow floor as quantize_symmetric — the two
+        # paths must stay bit-identical.
+        q_scales = np.where(
+            max_abs > 0, np.maximum(max_abs / qmax, np.finfo(np.float64).tiny), 1.0
+        )
         q_int = np.clip(
             np.rint(q_all / q_scales[:, :, None, None]), qmin, qmax
         ).astype(np.int64)

@@ -683,7 +683,15 @@ class ContinuousScheduler:
         # tokens against the token budget instead of its dense context.
         attn_policy = getattr(engine, "policy", None)
         self._charged = attn_policy is not None and not attn_policy.dense_footprint
-        self._pool_token_budget = token_budget
+        # Charged mode keeps every key physically resident (retained sets
+        # must stay exactly reproducible) while *admission* is billed the
+        # policy's bounded footprint; the physical backing store is sized
+        # to the dense worst case of everything submitted so far, and the
+        # token budget lives on as the accounting ceiling — the capacity a
+        # bounded-cache deployment would actually provision.  Accumulated
+        # in :meth:`submit` so incremental (async) submission sizes the
+        # pool the same way a batch submit does.
+        self._physical_tokens = 0
         self.time = 0.0
         self.pending: List[Tuple[int, EngineRequest]] = []  # (submit order, request)
         self.active: List[_RequestState] = []
@@ -699,6 +707,14 @@ class ContinuousScheduler:
         self._timings: Dict[str, _Timing] = {}
         self._submit_seq = 0
         self._admit_seq = 0
+        self._results: Dict[str, RequestResult] = {}
+        # Per-token streaming hook for the async front-end: called as
+        # ``token_sink(request_id, step_index, output)`` the moment a
+        # decode step's output is flushed.  Replay after a preemption
+        # recomputes byte-identical tokens; the high-water marks in
+        # ``_streamed`` keep them from being streamed twice.
+        self.token_sink = None
+        self._streamed: Dict[str, int] = {}
 
     @property
     def _budgeted(self) -> bool:
@@ -713,7 +729,19 @@ class ContinuousScheduler:
             raise ValueError(f"request id {request.request_id!r} already queued")
         self.pending.append((self._submit_seq, request))
         self._submit_seq += 1
+        if self._charged:
+            bs = self.block_size
+            self._physical_tokens += max(1, -(-request.total_tokens // bs)) * bs
         self._timings.setdefault(request.request_id, _Timing(arrival_time=request.arrival_time))
+
+    def fits_budget(self, request: EngineRequest) -> bool:
+        """Whether ``request`` could ever be served under the token budget.
+
+        The same predicate :meth:`_check_footprints` enforces at run
+        start; the async front-end uses it to reject an oversized
+        submission with an error reply instead of a crashed engine loop.
+        """
+        return self._charge_blocks(request) <= self.token_budget // self.block_size
 
     def cancel(self, request_id: str) -> None:
         """Mark a request for abort at the next round boundary.
@@ -766,7 +794,11 @@ class ContinuousScheduler:
                 v_dim,
                 bits=self.engine.config.bits,
                 block_size=self.block_size,
-                token_budget=self._pool_token_budget,
+                token_budget=(
+                    max(self.token_budget, self._physical_tokens)
+                    if self._charged
+                    else self.token_budget
+                ),
             )
         elif (self.pool.num_heads, self.pool.head_dim, self.pool.v_dim) != (
             num_heads,
@@ -1012,6 +1044,13 @@ class ContinuousScheduler:
             state.outputs.append(res.output[:, 0, :])
             state.retained_history.append(res.retained[:, 0, :])
             state.next_step = t + 1
+            if self.token_sink is not None:
+                rid = state.request.request_id
+                # A post-preemption replay recomputes byte-identical
+                # tokens; only steps past the high-water mark stream.
+                if t >= self._streamed.get(rid, 0):
+                    self._streamed[rid] = t + 1
+                    self.token_sink(rid, t, res.output[:, 0, :])
             self._charge_service(state, 1.0)
             if t == 0:
                 timing = self._timings[state.request.request_id]
@@ -1187,61 +1226,91 @@ class ContinuousScheduler:
         self.active = still_active
 
     # ------------------------------------------------------------------
-    def run(self) -> Dict[str, RequestResult]:
-        """Serve every submitted request to completion; returns per-id results."""
+    def _used_tokens(self) -> int:
+        """Tokens the budget ceiling currently sees (charged or physical)."""
+        if self._charged:
+            # Charged accounting: what the budget ceiling actually sees.
+            used = sum(self._charge_blocks(s.request) for s in self.active)
+            return used * self.block_size
+        return self.pool.used_tokens if self.pool is not None else 0
+
+    def start(self) -> Dict[str, RequestResult]:
+        """Begin a run: reset per-run state and validate footprints.
+
+        Returns the *live* results dict that :meth:`step` fills in —
+        callers driving the scheduler round by round (the async
+        front-end) read completed entries out of it between steps.
+        """
         self.time = 0.0
         self.trace = []
         self.events = []
         self.occupancy = []
         self.tenant_service = {}
+        self._streamed = {}
         self._check_footprints()
-        if self._charged:
-            # The simulation keeps every key resident so retained sets stay
-            # exactly reproducible (H2O's accumulated scores read the full
-            # distribution), while *admission* is charged the policy's
-            # bounded footprint — so the physical backing store is sized to
-            # the worst case and the token budget lives on as the
-            # accounting ceiling, the capacity a bounded-cache deployment
-            # would actually provision.
-            bs = self.block_size
-            physical = sum(
-                max(1, -(-req.total_tokens // bs)) for _, req in self.pending
-            ) * bs
-            self._pool_token_budget = max(self.token_budget, physical)
-        results: Dict[str, RequestResult] = {}
-        while self.pending or self.active:
-            if not self.active and self.pending:
-                # Idle: fast-forward the clock to the next arrival.
-                next_arrival = min(r.arrival_time for _, r in self.pending)
-                if next_arrival > self.time:
-                    self.time = float(next_arrival)
-            self._expire(results)
-            self._admit()
-            decode_tokens = 0
-            exclusive = (
-                self._budgeted
-                and not self.chunk_tokens
-                and any(s.prefilling for s in self.active)
-            )
-            if exclusive:
-                # Unchunked prefill hogs the engine: decode stalls — the
-                # degradation chunked prefill exists to remove.
-                if any(not s.done and not s.prefilling for s in self.active):
-                    self.decode_blocked_rounds += 1
-            else:
-                decode_tokens = self._decode_round()
-            if self._budgeted:
-                self._prefill_round(decode_tokens)
-            self.time += 1.0
-            if self._charged:
-                # Charged accounting: what the budget ceiling actually sees.
-                used = sum(self._charge_blocks(s.request) for s in self.active)
-                used *= self.block_size
-            else:
-                used = self.pool.used_tokens if self.pool is not None else 0
-            self.occupancy.append((self.time, used, len(self.active)))
-            self._collect(results)
-        # Unconsumed cancellations (ids this run never saw) die with it:
-        # a later batch reusing an id must not inherit a stale cancel.
+        self._results = {}
+        return self._results
+
+    def step(self) -> bool:
+        """Execute one decode round (one clock unit).
+
+        Returns ``False`` without advancing the clock when both the
+        queue and the active set are empty; the caller may keep
+        submitting and stepping afterwards.  This is the *one* round
+        implementation — :meth:`run` and the async front-end both drive
+        it, so an async serve over loopback replays the exact schedule
+        the in-process path produces.
+        """
+        if not (self.pending or self.active):
+            return False
+        results = self._results
+        if not self.active and self.pending:
+            # Idle: fast-forward the clock to the next arrival.
+            next_arrival = min(r.arrival_time for _, r in self.pending)
+            if next_arrival > self.time:
+                if self.occupancy:
+                    # Sample the idle gap so time-weighted occupancy
+                    # means do not over-weight busy periods: this sample
+                    # covers (previous sample, next_arrival] at the idle
+                    # usage level with an empty active set.
+                    self.occupancy.append(
+                        (float(next_arrival), self._used_tokens(), 0)
+                    )
+                self.time = float(next_arrival)
+        self._expire(results)
+        self._admit()
+        decode_tokens = 0
+        exclusive = (
+            self._budgeted
+            and not self.chunk_tokens
+            and any(s.prefilling for s in self.active)
+        )
+        if exclusive:
+            # Unchunked prefill hogs the engine: decode stalls — the
+            # degradation chunked prefill exists to remove.
+            if any(not s.done and not s.prefilling for s in self.active):
+                self.decode_blocked_rounds += 1
+        else:
+            decode_tokens = self._decode_round()
+        if self._budgeted:
+            self._prefill_round(decode_tokens)
+        self.time += 1.0
+        self.occupancy.append((self.time, self._used_tokens(), len(self.active)))
+        self._collect(results)
+        return True
+
+    def finish(self) -> Dict[str, RequestResult]:
+        """End a run and return every result produced so far.
+
+        Unconsumed cancellations (ids this run never saw) die with it:
+        a later batch reusing an id must not inherit a stale cancel.
+        """
         self._cancelled.clear()
-        return results
+        return self._results
+
+    def run(self) -> Dict[str, RequestResult]:
+        """Serve every submitted request to completion; returns per-id results."""
+        self.start()
+        while self.step():
+            pass
+        return self.finish()

@@ -987,6 +987,8 @@ def serving_profile(
     scenario: Optional[str] = None,
     tenants: int = 3,
     batched: bool = True,
+    async_serve: bool = False,
+    port: int = 0,
 ) -> Dict[str, float]:
     """Continuous-batching serving profile over the paged bit-plane pool.
 
@@ -1009,9 +1011,14 @@ def serving_profile(
     ``batched`` toggles the fused cross-request decode round (results
     are byte-identical either way; the report's ``batched_rounds`` /
     ``batch_efficiency`` columns show the fusion occupancy).
+    ``async_serve`` routes the same workload through the asyncio
+    loopback front-end (:mod:`repro.serve`) in deterministic-replay
+    mode: the round-clock report is identical to the in-process path and
+    the measured ``wall_*_ms`` latency block is added (``port`` picks
+    the listening port, 0 = ephemeral).
     Deterministic for a given seed — safe for ``--json`` smoke runs; the
     CLI exposes ``--rate/--budget/--sched-policy/--scenario/--tenants/
-    --prefix-sharing/--chunk/--round-tokens/--attention``.
+    --prefix-sharing/--chunk/--round-tokens/--attention/--async/--port``.
     """
     from repro.engine import PadeEngine
     from repro.eval.serving_metrics import summarize_serving
@@ -1052,8 +1059,7 @@ def serving_profile(
         workload = build_serving_workload(
             requests, num_heads, context, steps, head_dim, rate=rate, seed=seed
         )
-    results = engine.serve(
-        workload,
+    serve_kwargs = dict(
         max_active=max_active,
         token_budget=budget,
         block_size=block_size,
@@ -1064,13 +1070,27 @@ def serving_profile(
         tenant_weights=tenant_weights,
         batched_decode=batched,
     )
-    scheduler = engine.last_serve
-    report = summarize_serving(
-        results.values(),
-        occupancy=scheduler.occupancy,
-        token_budget=scheduler.pool.token_budget if scheduler.pool else None,
-        scheduler=scheduler,
-    )
+    if async_serve:
+        # Same workload, same scheduler knobs, but served over a real
+        # loopback socket with per-token streaming.  Deterministic-replay
+        # mode (all submits land before round 0) makes the round-clock
+        # report identical to the in-process path; the wall_*_ms block
+        # on top is measured, not simulated.
+        from repro.serve.client import serve_workload_over_loopback
+
+        _dones, _ack, server = serve_workload_over_loopback(
+            engine, workload, barrier=True, port=port, **serve_kwargs
+        )
+        report = server.report()
+    else:
+        results = engine.serve(workload, **serve_kwargs)
+        scheduler = engine.last_serve
+        report = summarize_serving(
+            results.values(),
+            occupancy=scheduler.occupancy,
+            token_budget=scheduler.pool.token_budget if scheduler.pool else None,
+            scheduler=scheduler,
+        )
     return {
         "backend": resolve_backend_name(),
         "attention_policy": engine.policy.name,
@@ -1087,6 +1107,7 @@ def serving_profile(
         "chunk_tokens": float(chunk),
         "round_token_budget": float(round_tokens),
         "batched_decode": float(batched),
+        "async_serve": float(async_serve),
         **report,
         "engine_sparsity": engine.stats.sparsity,
     }

@@ -8,15 +8,23 @@ used (pool occupancy).  This module turns the per-request timing the
 continuous scheduler records into those numbers, with the p50/p95/p99
 tails that capacity planning actually cares about.
 
-All times are in decode-round units on the scheduler's clock; the
-conversions to wall-clock are a single multiply by the round latency of
-whatever hardware model is being costed, so ratios and percentile shapes
-carry over unchanged.
+Round-based times are in decode-round units on the scheduler's clock;
+the conversions to wall-clock are a single multiply by the round latency
+of whatever hardware model is being costed, so ratios and percentile
+shapes carry over unchanged.  The async front-end
+(:mod:`repro.serve`) additionally stamps *measured* wall-clock marks
+(``wall_*_ms``, milliseconds on a monotonic clock relative to the server
+epoch) onto each :class:`RequestTiming` via :func:`with_wall_clock`;
+when any timing carries them, :func:`summarize_serving` reports
+wall-clock TTFT/TPOT/queueing percentiles alongside the round-based
+ones.  Every latency series also reports its sample count
+(``n_{prefix}``) so an empty series — all-zero percentiles — cannot be
+mistaken for genuinely perfect latency.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,6 +32,7 @@ import numpy as np
 __all__ = [
     "RequestTiming",
     "timing_from_result",
+    "with_wall_clock",
     "latency_percentiles",
     "jain_fairness_index",
     "prefix_cache_stats",
@@ -41,6 +50,11 @@ class RequestTiming:
     ``first_token_time`` is when the first decode token (or the prefill
     output, for prefill-only requests) became available; ``decode_tokens``
     counts generated tokens.
+
+    The ``wall_*_ms`` fields are *measured* wall-clock marks stamped by
+    the async front-end (milliseconds on a monotonic clock, relative to
+    the server epoch — see :func:`with_wall_clock`); they stay ``None``
+    for in-process simulation runs, where only the round clock exists.
     """
 
     request_id: str
@@ -57,6 +71,10 @@ class RequestTiming:
     deadline_ms: Optional[float] = None
     status: str = "ok"
     abort_reason: Optional[str] = None
+    wall_arrival_ms: Optional[float] = None
+    wall_admit_ms: Optional[float] = None
+    wall_first_token_ms: Optional[float] = None
+    wall_finish_ms: Optional[float] = None
 
     @property
     def aborted(self) -> bool:
@@ -97,6 +115,67 @@ class RequestTiming:
         if self.decode_tokens <= 1 or self.first_token_time is None:
             return 0.0
         return (self.finish_time - self.first_token_time) / (self.decode_tokens - 1)
+
+    # -- measured wall-clock views (None when no wall marks were stamped)
+    @property
+    def wall_ttft_ms(self) -> Optional[float]:
+        """Measured wall-clock time to first token from arrival (ms)."""
+        if self.wall_arrival_ms is None:
+            return None
+        first = (
+            self.wall_finish_ms
+            if self.wall_first_token_ms is None
+            else self.wall_first_token_ms
+        )
+        if first is None:
+            return None
+        return first - self.wall_arrival_ms
+
+    @property
+    def wall_tpot_ms(self) -> Optional[float]:
+        """Measured mean wall ms per output token after the first."""
+        if (
+            self.decode_tokens <= 1
+            or self.wall_first_token_ms is None
+            or self.wall_finish_ms is None
+        ):
+            return None
+        return (self.wall_finish_ms - self.wall_first_token_ms) / (self.decode_tokens - 1)
+
+    @property
+    def wall_queueing_ms(self) -> Optional[float]:
+        """Measured wall ms spent waiting for admission (whole life for
+        a request aborted while still queued, mirroring
+        :attr:`queueing_delay`)."""
+        if self.wall_arrival_ms is None:
+            return None
+        if self.wall_admit_ms is None:
+            if self.wall_finish_ms is None:
+                return None
+            return self.wall_finish_ms - self.wall_arrival_ms
+        return self.wall_admit_ms - self.wall_arrival_ms
+
+
+def with_wall_clock(
+    timing: RequestTiming,
+    arrival_ms: Optional[float] = None,
+    admit_ms: Optional[float] = None,
+    first_token_ms: Optional[float] = None,
+    finish_ms: Optional[float] = None,
+) -> RequestTiming:
+    """Stamp measured wall-clock marks onto a round-clock timing.
+
+    All marks are milliseconds on one monotonic clock
+    (``time.perf_counter`` based — never the NTP-adjustable wall clock)
+    relative to a shared epoch, so differences are always non-negative.
+    """
+    return replace(
+        timing,
+        wall_arrival_ms=arrival_ms,
+        wall_admit_ms=admit_ms,
+        wall_first_token_ms=first_token_ms,
+        wall_finish_ms=finish_ms,
+    )
 
 
 def timing_from_result(result) -> RequestTiming:
@@ -142,9 +221,12 @@ def latency_percentiles(values: Sequence[float], prefix: str) -> Dict[str, float
     """Mean + p50/p95/p99 of a latency series, keyed ``{prefix}_{stat}``.
 
     Uses linear interpolation (numpy default) so small request counts
-    still produce stable, monotone tails; an empty series reports zeros.
+    still produce stable, monotone tails.  An empty series reports zeros
+    *plus* ``n_{prefix} = 0`` — every series carries its sample count,
+    so report consumers (and the bench sanity gates) can tell "no data"
+    from "zero latency" (an all-aborted flood produces the former).
     """
-    out = {f"mean_{prefix}": 0.0}
+    out = {f"n_{prefix}": float(len(values)), f"mean_{prefix}": 0.0}
     out.update({f"p{int(q)}_{prefix}": 0.0 for q in PERCENTILES})
     if len(values) == 0:
         return out
@@ -184,13 +266,18 @@ def summarize_serving(
 ) -> Dict[str, float]:
     """Reduce per-request results + the occupancy timeline to one report.
 
-    ``results`` is any iterable of ``RequestResult``; ``occupancy`` is the
-    scheduler's ``(time, used_tokens, active_requests)`` timeline.  The
-    report covers latency (TTFT / TPOT / queueing delay, each with
-    mean/p50/p95/p99, measured over *completed* requests), throughput
-    (generated tokens per round over the makespan), preemption count,
-    and — when ``token_budget`` is given — mean/peak pool occupancy as a
-    fraction of the budget.
+    ``results`` is any iterable of ``RequestResult`` (or pre-built
+    :class:`RequestTiming`, which the async front-end passes so its
+    wall-clock marks survive); ``occupancy`` is the scheduler's
+    ``(time, used_tokens, active_requests)`` timeline.  The report
+    covers latency (TTFT / TPOT / queueing delay, each with
+    n/mean/p50/p95/p99, measured over *completed* requests; a
+    ``wall_*_ms`` block is added when wall marks are present),
+    throughput (generated tokens per round over the makespan),
+    preemption count, and — when ``token_budget`` is given — mean/peak
+    pool occupancy as a fraction of the budget, with means
+    *time-weighted* over the sample intervals so fast-forwarded idle
+    gaps count for their full duration.
 
     The multi-tenant SLO block is always present: completed/aborted
     counts (aborts split by reason), the deadline-miss rate over
@@ -210,7 +297,9 @@ def summarize_serving(
     Fig. 15 cost split (mean prediction/execution cost per attention
     call and their sum, the sparsity level).
     """
-    timings = [timing_from_result(r) for r in results]
+    timings = [
+        r if isinstance(r, RequestTiming) else timing_from_result(r) for r in results
+    ]
     if not timings:
         raise ValueError("no results to summarize")
     completed = [t for t in timings if not t.aborted]
@@ -232,6 +321,28 @@ def summarize_serving(
         latency_percentiles([t.tpot for t in completed if t.decode_tokens > 1], "tpot")
     )
     report.update(latency_percentiles([t.queueing_delay for t in completed], "queueing_delay"))
+
+    # Measured wall-clock latency block: only when the async front-end
+    # stamped wall marks (in-process simulation reports stay unchanged).
+    if any(t.wall_arrival_ms is not None for t in timings):
+        wall_ttft = [t.wall_ttft_ms for t in completed if t.wall_ttft_ms is not None]
+        wall_tpot = [t.wall_tpot_ms for t in completed if t.wall_tpot_ms is not None]
+        wall_queue = [
+            t.wall_queueing_ms for t in completed if t.wall_queueing_ms is not None
+        ]
+        report.update(latency_percentiles(wall_ttft, "wall_ttft_ms"))
+        report.update(latency_percentiles(wall_tpot, "wall_tpot_ms"))
+        report.update(latency_percentiles(wall_queue, "wall_queueing_ms"))
+        wall_start = [t.wall_arrival_ms for t in timings if t.wall_arrival_ms is not None]
+        wall_end = [t.wall_finish_ms for t in timings if t.wall_finish_ms is not None]
+        if wall_start and wall_end:
+            wall_makespan = max(wall_end) - min(wall_start)
+            report["wall_makespan_ms"] = wall_makespan
+            report["wall_tokens_per_s"] = (
+                1000.0 * sum(t.decode_tokens for t in timings) / wall_makespan
+                if wall_makespan > 0
+                else 0.0
+            )
 
     # Per-class latency tails: only when the workload actually has classes
     # (single-class reports stay exactly the pre-SLO shape).
@@ -280,12 +391,24 @@ def summarize_serving(
     report["preemptions"] = float(sum(t.preemptions for t in timings))
 
     if occupancy:
+        times = np.asarray([t for t, _, _ in occupancy], dtype=np.float64)
         used = np.asarray([u for _, u, _ in occupancy], dtype=np.float64)
         active = np.asarray([a for _, _, a in occupancy], dtype=np.float64)
+        # Each sample covers the interval since the previous one (the
+        # first covers one round), so means are *time-weighted*: an idle
+        # gap the scheduler fast-forwarded across counts for its full
+        # duration instead of one sample — executed rounds (1-unit
+        # intervals) keep weight 1, so dense timelines are unchanged.
+        weights = np.ones_like(times)
+        if times.size > 1:
+            weights[1:] = np.diff(times)
+        span = float(weights.sum())
         report["peak_active_requests"] = float(active.max())
-        report["mean_active_requests"] = float(active.mean())
+        report["mean_active_requests"] = float((active * weights).sum() / span)
         if token_budget:
-            report["mean_pool_occupancy"] = float(used.mean() / token_budget)
+            report["mean_pool_occupancy"] = float(
+                (used * weights).sum() / (span * token_budget)
+            )
             report["peak_pool_occupancy"] = float(used.max() / token_budget)
 
     if scheduler is not None:

@@ -88,12 +88,18 @@ def _resolve_scale(
     if scale is not None:
         return np.asarray(scale, dtype=np.float64)
     _, qmax = int_range(bits)
+    # Subnormal inputs can make ``max_abs / qmax`` underflow to exactly
+    # 0.0 even though ``max_abs > 0`` — a zero scale then divides by zero
+    # downstream.  Flooring at the smallest normal double is a no-op for
+    # every normal quotient and keeps the reconstruction-error bound
+    # (|err| <= scale/2) intact for subnormal ones.
+    tiny = np.finfo(np.float64).tiny
     if axis is None:
         max_abs = float(np.max(np.abs(values))) if values.size else 0.0
-        resolved = np.asarray(max_abs / qmax if max_abs > 0 else 1.0)
+        resolved = np.asarray(max(max_abs / qmax, tiny) if max_abs > 0 else 1.0)
     else:
         max_abs = np.max(np.abs(values), axis=axis, keepdims=True)
-        resolved = np.where(max_abs > 0, max_abs / qmax, 1.0)
+        resolved = np.where(max_abs > 0, np.maximum(max_abs / qmax, tiny), 1.0)
     return resolved.astype(np.float64)
 
 

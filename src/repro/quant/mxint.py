@@ -73,7 +73,10 @@ def quantize_mxint(
     grouped = values.reshape(values.shape[:-1] + (num_groups, group_size))
     _, qmax = int_range(bits)
     max_abs = np.max(np.abs(grouped), axis=-1)
-    scales = np.where(max_abs > 0, max_abs / qmax, 1.0)
+    # Subnormal-underflow floor, same rationale as quant.integer.
+    scales = np.where(
+        max_abs > 0, np.maximum(max_abs / qmax, np.finfo(np.float64).tiny), 1.0
+    )
     q = np.rint(grouped / scales[..., None])
     q = np.clip(q, -qmax - 1, qmax).astype(np.int64)
     return MXQuantizedTensor(

@@ -1,0 +1,401 @@
+"""Asyncio serving front-end: :class:`AsyncPadeServer`.
+
+One engine task drives :meth:`ContinuousScheduler.step` — the *same*
+round implementation :meth:`PadeEngine.serve` runs in-process — so the
+schedule a workload gets over the socket is identical to the one it gets
+in-process.  Everything wall-clock lives out here: arrivals are stamped
+when a submit is read off the socket, admissions when the scheduler's
+timed event trace records them, first tokens when the scheduler's
+``token_sink`` fires, finishes when the done message is built.  All
+marks come from ``time.perf_counter()`` (monotonic — NTP adjustments
+cannot produce negative latencies) relative to one server epoch.
+
+Flow control, cancellation, shutdown:
+
+* **Backpressure** — accepted submits wait in a bounded queue the engine
+  loop drains at round boundaries; a submit past ``queue_limit`` is
+  rejected with ``overloaded`` instead of buffering without bound.
+  Requests that could never fit the token budget are rejected up front
+  (``too-large``) via :meth:`ContinuousScheduler.fits_budget`.
+* **Cancellation** — a ``cancel`` message or a client disconnect marks
+  the request via :meth:`ContinuousScheduler.cancel`; the next round
+  boundary aborts it (blocks, staging and prefix refs freed) and the
+  result surfaces ``abort_reason="cancelled"``.
+* **Shutdown** — a ``shutdown`` message stops new admissions, drains
+  everything in flight, then answers with ``shutdown_ack`` carrying the
+  serving report and the pool-leak counter (0 on a clean run).
+
+``start_barrier`` holds the engine loop until that many submits are
+queued before the first round runs — the deterministic-replay mode the
+parity benchmark uses (every request is in the scheduler before round 0,
+exactly like a batch :meth:`PadeEngine.serve` call).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.engine.scheduler import ContinuousScheduler
+from repro.eval.serving_metrics import (
+    summarize_serving,
+    timing_from_result,
+    with_wall_clock,
+)
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    array_digest,
+    decode_message,
+    decode_request,
+    encode_array,
+    encode_message,
+    result_digests,
+)
+
+__all__ = ["AsyncPadeServer", "main"]
+
+
+class _Connection:
+    """One client: its writer, the ids it owns, its outbox."""
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.owned: Set[str] = set()
+        self.outbox: Deque[bytes] = deque()
+        self.alive = True
+
+
+class AsyncPadeServer:
+    def __init__(
+        self,
+        engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 64,
+        start_barrier: int = 0,
+        **scheduler_kwargs,
+    ) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.engine = engine
+        self.host = host
+        self.port = port
+        self.queue_limit = int(queue_limit)
+        self.start_barrier = int(start_barrier)
+        self.scheduler = ContinuousScheduler(engine, **scheduler_kwargs)
+        self.scheduler.token_sink = self._on_token
+        self.results: Dict[str, object] = {}
+        self.epoch = time.perf_counter()
+        self._accept_queue: Deque[Tuple[dict, _Connection]] = deque()
+        self._connections: List[_Connection] = []
+        self._owners: Dict[str, _Connection] = {}
+        self._wall: Dict[str, Dict[str, float]] = {}
+        self._done_sent: Set[str] = set()
+        self._events_seen = 0
+        self._started = False
+        self._draining = False
+        self._shutdown_conns: List[_Connection] = []
+        self._wake = asyncio.Event()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._engine_task: Optional[asyncio.Task] = None
+        self.closed = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    def _now_ms(self) -> float:
+        return (time.perf_counter() - self.epoch) * 1000.0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.results = self.scheduler.start()
+        self._engine_task = asyncio.create_task(self._engine_loop())
+
+    async def wait_closed(self) -> None:
+        await self.closed.wait()
+
+    async def stop(self) -> None:
+        """Force shutdown (the graceful path is the ``shutdown`` message)."""
+        self._draining = True
+        self._wake.set()
+        await self.closed.wait()
+
+    def leaked_blocks(self) -> int:
+        pool = self.scheduler.pool
+        return 0 if pool is None else int(pool.used_block_count)
+
+    # ------------------------------------------------------------------
+    def timings(self):
+        """Round-clock timings with the measured wall marks stamped on."""
+        out = []
+        for rid, res in self.results.items():
+            wall = self._wall.get(rid, {})
+            out.append(
+                with_wall_clock(
+                    timing_from_result(res),
+                    arrival_ms=wall.get("arrival"),
+                    admit_ms=wall.get("admit"),
+                    first_token_ms=wall.get("first_token"),
+                    finish_ms=wall.get("finish"),
+                )
+            )
+        return out
+
+    def report(self) -> Dict[str, float]:
+        """The serving report over everything finished so far: the exact
+        round-clock report the in-process path produces, plus the
+        measured ``wall_*_ms`` latency block."""
+        scheduler = self.scheduler
+        pool = scheduler.pool
+        return summarize_serving(
+            self.timings(),
+            occupancy=scheduler.occupancy,
+            token_budget=pool.token_budget if pool is not None else scheduler.token_budget,
+            scheduler=scheduler,
+        )
+
+    # ------------------------------------------------------------------
+    def _send(self, conn: _Connection, msg: Dict) -> None:
+        if conn.alive:
+            conn.outbox.append(encode_message(msg))
+
+    def _on_token(self, request_id: str, step: int, output) -> None:
+        wall = self._wall.setdefault(request_id, {})
+        if "first_token" not in wall:
+            now = self._now_ms()
+            # The admit event is only scanned after step() returns; a
+            # request admitted and streamed in the same round must still
+            # read admit <= first_token on the wall clock.
+            wall.setdefault("admit", now)
+            wall["first_token"] = now
+        conn = self._owners.get(request_id)
+        if conn is not None and conn.alive:
+            self._send(
+                conn,
+                {
+                    "type": "token",
+                    "request_id": request_id,
+                    "step": step,
+                    "digest": array_digest(output),
+                    "output": encode_array(output),
+                },
+            )
+
+    def _stamp_admits(self) -> None:
+        events = self.scheduler.events
+        while self._events_seen < len(events):
+            _, event, ids = events[self._events_seen]
+            self._events_seen += 1
+            if event in ("admit", "prefill"):
+                for rid in ids:
+                    self._wall.setdefault(rid, {}).setdefault("admit", self._now_ms())
+
+    def _dispatch_done(self) -> None:
+        for rid, res in self.results.items():
+            if rid in self._done_sent:
+                continue
+            self._done_sent.add(rid)
+            self._wall.setdefault(rid, {})["finish"] = self._now_ms()
+            conn = self._owners.get(rid)
+            if conn is None or not conn.alive:
+                continue  # orphaned by a disconnect; the result stands
+            msg = {
+                "type": "done",
+                "request_id": rid,
+                "status": res.status,
+                "abort_reason": res.abort_reason,
+                "decode_tokens": int(res.decode_outputs.shape[1]),
+                "preemptions": int(res.preemptions),
+                "timing": {
+                    "arrival_time": res.arrival_time,
+                    "admit_time": res.admit_time,
+                    "first_token_time": res.first_token_time,
+                    "finish_time": res.finish_time,
+                },
+                "wall": dict(self._wall[rid]),
+            }
+            msg.update(result_digests(res))
+            self._send(conn, msg)
+
+    async def _flush_outboxes(self) -> None:
+        for conn in self._connections:
+            if not conn.alive or not conn.outbox:
+                continue
+            data = b"".join(conn.outbox)
+            conn.outbox.clear()
+            try:
+                conn.writer.write(data)
+                await conn.writer.drain()
+            except (ConnectionError, RuntimeError):
+                self._drop_connection(conn)
+
+    def _drop_connection(self, conn: _Connection) -> None:
+        """Map a client disconnect onto the round-boundary abort path."""
+        if not conn.alive:
+            return
+        conn.alive = False
+        conn.outbox.clear()
+        for rid in conn.owned:
+            if rid not in self._done_sent:
+                self.scheduler.cancel(rid)
+        self._wake.set()
+
+    # ------------------------------------------------------------------
+    def _barrier_open(self) -> bool:
+        if self._started or self._draining:
+            return True
+        if len(self._accept_queue) >= self.start_barrier:
+            self._started = True
+            return True
+        return False
+
+    def _drain_accepts(self) -> int:
+        """Hand accepted submits to the scheduler (round-boundary work)."""
+        if not self._barrier_open():
+            return 0
+        drained = 0
+        while self._accept_queue:
+            msg, conn = self._accept_queue.popleft()
+            arrival = msg.get("arrival")
+            request = decode_request(
+                msg["request"],
+                arrival_time=self.scheduler.time if arrival == "now" else arrival,
+            )
+            self.scheduler.submit(request)
+            drained += 1
+        return drained
+
+    def _on_submit(self, conn: _Connection, msg: Dict) -> None:
+        rid = str(msg["request"]["request_id"])
+        if self._draining:
+            self._send(conn, {"type": "rejected", "request_id": rid, "error": "shutting-down"})
+            return
+        if rid in self._owners:
+            self._send(conn, {"type": "rejected", "request_id": rid, "error": "duplicate"})
+            return
+        if len(self._accept_queue) >= self.queue_limit:
+            self._send(conn, {"type": "rejected", "request_id": rid, "error": "overloaded"})
+            return
+        probe = decode_request(msg["request"])
+        if not self.scheduler.fits_budget(probe):
+            self._send(conn, {"type": "rejected", "request_id": rid, "error": "too-large"})
+            return
+        self._owners[rid] = conn
+        conn.owned.add(rid)
+        self._wall.setdefault(rid, {})["arrival"] = self._now_ms()
+        self._accept_queue.append((msg, conn))
+        self._send(conn, {"type": "accepted", "request_id": rid})
+        self._wake.set()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        self._connections.append(conn)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                msg = decode_message(line)
+                kind = msg["type"]
+                if kind == "submit":
+                    self._on_submit(conn, msg)
+                elif kind == "cancel":
+                    self.scheduler.cancel(str(msg["request_id"]))
+                    self._wake.set()
+                elif kind == "shutdown":
+                    self._draining = True
+                    self._shutdown_conns.append(conn)
+                    self._wake.set()
+                else:
+                    self._send(conn, {"type": "error", "error": f"unknown type {kind!r}"})
+                await self._flush_outboxes()
+        except (ConnectionError, ValueError):
+            pass
+        finally:
+            self._drop_connection(conn)
+
+    # ------------------------------------------------------------------
+    async def _engine_loop(self) -> None:
+        try:
+            while True:
+                drained = self._drain_accepts()
+                progressed = self.scheduler.step()
+                self._stamp_admits()
+                self._dispatch_done()
+                await self._flush_outboxes()
+                if progressed or drained:
+                    # Yield between rounds so submits/cancels land at the
+                    # next round boundary instead of after the whole run.
+                    await asyncio.sleep(0)
+                    continue
+                if self._draining and not self._accept_queue:
+                    break
+                await self._wake.wait()
+                self._wake.clear()
+            self.scheduler.finish()
+            ack = {
+                "type": "shutdown_ack",
+                "served": len(self.results),
+                "leaked_blocks": self.leaked_blocks(),
+                "report": self.report() if self.results else {},
+            }
+            for conn in self._shutdown_conns:
+                self._send(conn, ack)
+            await self._flush_outboxes()
+        finally:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            for conn in self._connections:
+                if conn.alive:
+                    conn.alive = False
+                    try:
+                        conn.writer.close()
+                    except RuntimeError:
+                        pass
+            self.closed.set()
+
+
+async def _amain(args) -> int:
+    from repro.core.config import PadeConfig
+    from repro.engine import PadeEngine
+
+    engine = PadeEngine(PadeConfig.standard(), policy=args.attention)
+    server = AsyncPadeServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        max_active=args.max_active,
+        token_budget=args.budget,
+        block_size=args.block_size,
+        policy=args.policy,
+    )
+    await server.start()
+    print(f"serving on {server.host}:{server.port}")
+    await server.wait_closed()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Standalone async PADE server.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--max-active", type=int, default=4)
+    parser.add_argument("--budget", type=int, default=1536)
+    parser.add_argument("--block-size", type=int, default=16)
+    parser.add_argument("--policy", default="fcfs")
+    parser.add_argument("--attention", default="pade")
+    args = parser.parse_args(argv)
+    return asyncio.run(_amain(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""Async-serve smoke: start a server, stream a small workload through
+the closed-loop client over loopback, assert a clean shutdown.
+
+Exit code 0 requires: every request accepted and completed ``ok`` with
+a non-empty token stream, the shutdown ack reporting zero leaked pool
+blocks, and wall-clock TTFT populated for every request.  Run by CI as::
+
+    python -m repro.serve.smoke --requests 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.config import PadeConfig
+from repro.engine import PadeEngine
+from repro.eval.workloads import build_serving_workload
+from repro.serve.client import serve_workload_over_loopback
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Async-serve loopback smoke test.")
+    parser.add_argument("--requests", type=int, default=6)
+    parser.add_argument("--steps", type=int, default=8)
+    parser.add_argument("--context", type=int, default=48)
+    parser.add_argument("--budget", type=int, default=1536)
+    parser.add_argument("--concurrency", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    engine = PadeEngine(PadeConfig.standard(), policy="pade")
+    workload = build_serving_workload(
+        args.requests, 4, args.context, args.steps, 32, rate=0.5, seed=args.seed
+    )
+    dones, ack, _server = serve_workload_over_loopback(
+        engine,
+        workload,
+        barrier=False,
+        concurrency=args.concurrency,
+        max_active=4,
+        token_budget=args.budget,
+        block_size=16,
+    )
+
+    failures = []
+    if len(dones) != args.requests:
+        failures.append(f"expected {args.requests} dones, got {len(dones)}")
+    for rid, done in sorted(dones.items()):
+        if done.get("type") != "done" or done.get("status") != "ok":
+            failures.append(f"{rid}: not served ok ({done.get('type')}/{done.get('status')})")
+        elif not done.get("tokens"):
+            failures.append(f"{rid}: no streamed tokens")
+    if ack.get("leaked_blocks", -1) != 0:
+        failures.append(f"leaked_blocks = {ack.get('leaked_blocks')}")
+    report = ack.get("report", {})
+    if report.get("n_wall_ttft_ms", 0.0) != float(args.requests):
+        failures.append(f"wall TTFT series incomplete: {report.get('n_wall_ttft_ms')}")
+
+    print(
+        json.dumps(
+            {
+                "requests": len(dones),
+                "leaked_blocks": ack.get("leaked_blocks"),
+                "wall_makespan_ms": report.get("wall_makespan_ms"),
+                "p95_wall_ttft_ms": report.get("p95_wall_ttft_ms"),
+                "wall_tokens_per_s": report.get("wall_tokens_per_s"),
+                "failures": failures,
+            },
+            indent=2,
+        )
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

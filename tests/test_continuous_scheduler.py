@@ -309,3 +309,43 @@ class TestTimingAndMetrics:
         assert 0.0 < report["peak_pool_occupancy"] <= 1.0
         assert report["generated_tokens"] == 30.0
         assert report["throughput_tokens_per_round"] > 0.0
+
+
+class TestIdleGapOccupancy:
+    """Regression: occupancy means over a sparse-arrival trace.
+
+    The scheduler fast-forwards its clock across idle gaps without
+    executing rounds.  The gap must still show up in the occupancy
+    timeline (an explicit zero-active sample at the next arrival) and
+    the report's means must be time-weighted — otherwise a mostly-idle
+    trace reports a mostly-busy pool.
+    """
+
+    def test_fast_forward_leaves_a_gap_sample(self):
+        requests = [
+            _timed_request(0, arrival=0.0, steps=4),
+            _timed_request(1, arrival=100.0, steps=4),
+        ]
+        _, sched = _serve(requests, token_budget=1024, block_size=8)
+        gap = [(t, u, a) for t, u, a in sched.occupancy if a == 0]
+        assert any(t == 100.0 and u == 0 for t, u, _ in gap), sched.occupancy
+
+    def test_sparse_arrivals_do_not_overweight_busy_periods(self):
+        requests = [
+            _timed_request(0, arrival=0.0, steps=4),
+            _timed_request(1, arrival=100.0, steps=4),
+        ]
+        res, sched = _serve(requests, token_budget=1024, block_size=8)
+        report = summarize_serving(
+            res.values(), occupancy=sched.occupancy,
+            token_budget=sched.pool.token_budget,
+        )
+        # ~12 busy rounds out of a ~110-round span: the trace is idle
+        # more than 80% of the time and the means must say so.
+        unweighted_active = float(
+            np.mean([a for _, _, a in sched.occupancy])
+        )
+        assert unweighted_active > 0.5  # the naive per-sample mean lies
+        assert report["mean_active_requests"] < 0.25
+        assert report["peak_active_requests"] == 1.0
+        assert report["mean_pool_occupancy"] < 0.25 * report["peak_pool_occupancy"]

@@ -6,6 +6,7 @@ import pytest
 from repro.eval import harness as H
 from repro.eval.metrics import geomean, normalize, reduction, speedup
 from repro.eval.reporting import format_table
+from repro.eval.serving_metrics import latency_percentiles
 from repro.eval.workloads import WORKLOADS, build_attention_workload, measure_pipeline_stats
 from repro.model.configs import get_model
 
@@ -34,6 +35,23 @@ class TestReporting:
         lines = out.splitlines()
         assert len(lines) == 4
         assert "a" in lines[0] and "bb" in lines[0]
+
+    def test_latency_percentiles_carry_sample_counts(self):
+        out = latency_percentiles([1.0, 2.0, 3.0], "ttft")
+        assert out["n_ttft"] == 3.0
+        assert out["mean_ttft"] == pytest.approx(2.0)
+        assert out["p50_ttft"] == pytest.approx(2.0)
+        assert out["p50_ttft"] <= out["p95_ttft"] <= out["p99_ttft"]
+
+    def test_empty_series_distinguishable_from_zero_latency(self):
+        # An all-aborted flood yields no completed samples; the zeros it
+        # reports must be marked as "no data", not "zero latency".
+        empty = latency_percentiles([], "tpot")
+        assert empty["n_tpot"] == 0.0
+        assert set(empty) == {"n_tpot", "mean_tpot", "p50_tpot", "p95_tpot", "p99_tpot"}
+        assert all(v == 0.0 for k, v in empty.items() if k != "n_tpot")
+        zero = latency_percentiles([0.0], "tpot")
+        assert zero["n_tpot"] == 1.0  # same stats, different n
 
 
 class TestWorkloads:
