@@ -30,10 +30,14 @@ round can process — activates the prefill cost model), ``--chunk``
 ``--round-tokens``), ``--batched-decode`` /
 ``--no-batched-decode`` (fuse each decode round's filter across the
 whole active set — on by default; results are byte-identical either
-way, only speed differs), and ``--async`` / ``--port`` (serve the same
+way, only speed differs), ``--async`` / ``--port`` (serve the same
 workload through the asyncio loopback front-end in
 :mod:`repro.serve`: the round-clock report is identical, and measured
-wall-clock TTFT/TPOT/queueing columns are added).
+wall-clock TTFT/TPOT/queueing columns are added), and ``--replicas`` /
+``--routing`` (shard the workload over N engine worker subprocesses
+behind the prefix-affinity router in :mod:`repro.cluster`; the report
+becomes the cluster roll-up with ``cluster_throughput_tokens_per_round``
+and ``jain_replica_index``).
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ import time
 from typing import Dict
 
 from repro.attention.policy import available_policies
+from repro.cluster.router import ROUTING_MODES
 from repro.core.backend import available_backends, set_default_backend
 from repro.engine import SCHEDULING_POLICIES
 from repro.eval import harness as H
@@ -190,6 +195,19 @@ def main(argv=None) -> int:
         help="listening port of the async front-end; 0 = ephemeral "
         "(serve only, needs --async)",
     )
+    serve_group.add_argument(
+        "--replicas", type=int, default=1,
+        help="shard the workload over N engine worker subprocesses behind "
+        "the prefix-affinity router (repro.cluster); 1 = single in-process "
+        "engine (serve only)",
+    )
+    serve_group.add_argument(
+        "--routing", choices=ROUTING_MODES, default="prefix",
+        help="replica routing mode: 'prefix' matches chained prompt block "
+        "keys against each replica's key index, 'random' and "
+        "'least-loaded' are the control arms (serve only, needs "
+        "--replicas > 1)",
+    )
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
@@ -220,6 +238,8 @@ def main(argv=None) -> int:
                 "batched": args.batched_decode,
                 "async_serve": args.async_serve,
                 "port": args.port,
+                "replicas": args.replicas,
+                "routing": args.routing,
             }
             if name == "serve"
             else {}

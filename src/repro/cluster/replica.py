@@ -1,0 +1,188 @@
+"""One replica from the cluster front-end's point of view.
+
+:class:`ReplicaHandle` pairs the worker subprocess with the control
+socket the cluster keeps to it, tracks what was routed there (assigned
+submits, per-request token high-water marks, done set), and surfaces the
+two events the cluster reacts to:
+
+* ``on_message(handle, msg)`` — every decoded protocol message the
+  worker sends (accepted / rejected / token / done / stats /
+  shutdown_ack), called from the handle's reader task.
+* ``on_lost(handle)`` — the socket hit EOF or errored while the replica
+  was still supposed to be alive.  Fired at most once; a handle whose
+  ``expect_close`` flag is set (graceful shutdown acked, or an injected
+  kill the caller owns) does not fire it.
+
+The token high-water marks exist for exactly one decision: when a
+replica dies, requests with **zero** streamed tokens are safe to
+re-route (the client saw nothing; restart-from-scratch is the engine's
+own preemption semantics), while requests that already streamed must
+surface ``abort_reason="replica_lost"`` — silently replaying them could
+hand the client duplicate tokens.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Optional, Set
+
+from repro.serve.protocol import MAX_LINE_BYTES, decode_message, encode_message
+
+__all__ = ["BARRIER_HOLD", "ReplicaHandle"]
+
+#: A start barrier no workload reaches: replay-mode workers hold their
+#: engine loop until the cluster lowers the barrier to the routed count
+#: over the socket.  Lives here (not in ``worker.py``) so importing the
+#: cluster package never pre-imports the worker's ``__main__`` module.
+BARRIER_HOLD = 1 << 30
+
+
+class ReplicaHandle:
+    def __init__(self, replica_id: str) -> None:
+        self.replica_id = replica_id
+        self.process: Optional[asyncio.subprocess.Process] = None
+        self.port: Optional[int] = None
+        self.alive = False
+        self.expect_close = False
+        self.on_message = None
+        self.on_lost = None
+        self.assigned: Dict[str, dict] = {}  # rid -> submit msg (for re-route)
+        self.streamed: Dict[str, int] = {}  # rid -> tokens relayed so far
+        self.done: Set[str] = set()
+        self.accepted_count = 0
+        self.ack: Optional[dict] = None  # shutdown_ack once received
+        self.ack_event = asyncio.Event()
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pump_task: Optional[asyncio.Task] = None
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.assigned) - len(self.done)
+
+    # ------------------------------------------------------------------
+    async def spawn(
+        self,
+        *,
+        start_barrier: int = 0,
+        queue_limit: int = 64,
+        max_active: int = 4,
+        token_budget: int = 1536,
+        block_size: int = 16,
+        policy: str = "fcfs",
+        attention: str = "pade",
+        prefix_sharing: bool = True,
+    ) -> None:
+        """Start the worker subprocess, read its ready line, connect."""
+        import repro
+
+        # The worker must import `repro` regardless of how the parent was
+        # launched (pytest sets pythonpath via pytest.ini, which does not
+        # propagate to subprocesses), so prepend the package root.
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.cluster.worker",
+            "--replica-id", self.replica_id,
+            "--port", "0",
+            "--queue-limit", str(queue_limit),
+            "--start-barrier", str(start_barrier),
+            "--max-active", str(max_active),
+            "--budget", str(token_budget),
+            "--block-size", str(block_size),
+            "--policy", str(policy),
+            "--attention", str(attention),
+        ]
+        if prefix_sharing:
+            cmd.append("--prefix-sharing")
+        self.process = await asyncio.create_subprocess_exec(
+            *cmd, stdout=asyncio.subprocess.PIPE, env=env
+        )
+        line = await self.process.stdout.readline()
+        if not line:
+            raise RuntimeError(f"replica {self.replica_id}: worker exited before ready")
+        ready = json.loads(line)
+        if ready.get("type") != "ready":
+            raise RuntimeError(f"replica {self.replica_id}: bad ready line {ready!r}")
+        self.port = int(ready["port"])
+        self._reader, self._writer = await asyncio.open_connection(
+            "127.0.0.1", self.port, limit=MAX_LINE_BYTES
+        )
+        self.alive = True
+        self._pump_task = asyncio.create_task(self._pump())
+
+    async def _pump(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                msg = decode_message(line)
+                if self.on_message is not None:
+                    self.on_message(self, msg)
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            pass
+        finally:
+            was_alive = self.alive
+            self.alive = False
+            if was_alive and not self.expect_close and self.on_lost is not None:
+                self.on_lost(self)
+
+    # ------------------------------------------------------------------
+    def send_nowait(self, msg: dict) -> None:
+        """Queue one message on the socket (transport-buffered).
+
+        Safe from synchronous callbacks; a dead transport is ignored —
+        the pump's EOF is the authoritative failure signal.
+        """
+        if self._writer is None or self._writer.is_closing():
+            return
+        try:
+            self._writer.write(encode_message(msg))
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def send(self, msg: dict) -> None:
+        self.send_nowait(msg)
+        if self._writer is not None and not self._writer.is_closing():
+            try:
+                await self._writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    # ------------------------------------------------------------------
+    async def kill(self) -> None:
+        """Hard-kill the worker (failure injection; ``on_lost`` fires)."""
+        if self.process is not None and self.process.returncode is None:
+            self.process.kill()
+            await self.process.wait()
+
+    async def close(self) -> None:
+        """Tear the handle down quietly (no ``on_lost``)."""
+        self.expect_close = True
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+        if self.process is not None and self.process.returncode is None:
+            self.process.terminate()
+            try:
+                await asyncio.wait_for(self.process.wait(), timeout=10.0)
+            except asyncio.TimeoutError:
+                self.process.kill()
+                await self.process.wait()

@@ -1,0 +1,71 @@
+"""Replica worker: one engine + one :class:`AsyncPadeServer` per process.
+
+The cluster front-end spawns this module as a subprocess per replica
+(``python -m repro.cluster.worker``).  Each worker owns its own
+:class:`~repro.engine.cache.PlaneBlockPool` — nothing is shared across
+replicas except the NDJSON protocol — and announces readiness by
+printing one JSON line ``{"type": "ready", "replica": ..., "port": ...}``
+on stdout once its socket is bound (port 0 = ephemeral, the parent reads
+the real port from the announcement).
+
+``--start-barrier`` is normally either 0 (serve live) or an unreachable
+sentinel: in deterministic-replay cluster runs the parent routes every
+submit first, then lowers each worker's barrier over the socket with a
+``barrier`` message (see :meth:`AsyncPadeServer` protocol handling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+
+from repro.core.config import PadeConfig
+from repro.engine import PadeEngine
+from repro.serve.server import AsyncPadeServer
+
+__all__ = ["main"]
+
+
+async def _amain(args) -> int:
+    engine = PadeEngine(PadeConfig.standard(), policy=args.attention)
+    server = AsyncPadeServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        start_barrier=args.start_barrier,
+        max_active=args.max_active,
+        token_budget=args.budget,
+        block_size=args.block_size,
+        policy=args.policy,
+        prefix_sharing=args.prefix_sharing,
+    )
+    await server.start()
+    print(
+        json.dumps({"type": "ready", "replica": args.replica_id, "port": server.port}),
+        flush=True,
+    )
+    await server.wait_closed()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="Cluster replica worker process.")
+    parser.add_argument("--replica-id", default="r0")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--start-barrier", type=int, default=0)
+    parser.add_argument("--max-active", type=int, default=4)
+    parser.add_argument("--budget", type=int, default=1536)
+    parser.add_argument("--block-size", type=int, default=16)
+    parser.add_argument("--policy", default="fcfs")
+    parser.add_argument("--attention", default="pade")
+    parser.add_argument("--prefix-sharing", action="store_true")
+    args = parser.parse_args(argv)
+    return asyncio.run(_amain(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,11 +69,54 @@ from repro.quant.integer import int_range
 
 __all__ = [
     "quantize_heads",
+    "chain_block_keys",
     "BitPlaneKVCache",
     "PlaneBlockPool",
     "PagedBitPlaneKVCache",
     "PoolExhausted",
 ]
+
+
+def chain_block_keys(
+    k_int: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    scales: np.ndarray,
+    *,
+    bits: int,
+    block_size: int,
+    num_heads: int,
+    head_dim: int,
+    v_dim: int,
+) -> List[bytes]:
+    """Chained content keys of every *full* prompt block.
+
+    The root digest covers the cache config and the frozen per-head
+    scales, so two prompts only chain together when their quantized
+    rows are byte-identical; each block key then folds in the block's
+    ``k_int``, raw ``k`` and value rows on top of its parent's key.
+    (Raw K participates because the baseline attention policies score
+    against the float keys — a hit must be byte-identical for *every*
+    consumer, not just the plane-reading PADE kernels.)
+
+    Module-level so out-of-process consumers — the cluster router's
+    prefix-affinity index — compute the exact keys a replica's
+    :class:`PagedBitPlaneKVCache` will register, without holding a pool.
+    """
+    root = hashlib.sha256()
+    root.update(repr((bits, block_size, num_heads, head_dim, v_dim)).encode())
+    root.update(scales.tobytes())
+    parent = root.digest()
+    keys: List[bytes] = []
+    bs = block_size
+    for b in range(k_int.shape[1] // bs):
+        h = hashlib.sha256(parent)
+        h.update(np.ascontiguousarray(k_int[:, b * bs : (b + 1) * bs, :]).tobytes())
+        h.update(np.ascontiguousarray(k[:, b * bs : (b + 1) * bs, :]).tobytes())
+        h.update(np.ascontiguousarray(v[:, b * bs : (b + 1) * bs, :]).tobytes())
+        parent = h.digest()
+        keys.append(parent)
+    return keys
 
 
 def quantize_heads(
@@ -644,30 +687,21 @@ class PagedBitPlaneKVCache:
     ) -> List[bytes]:
         """Chained content keys of every *full* prompt block.
 
-        The root digest covers the cache config and the frozen per-head
-        scales, so two prompts only chain together when their quantized
-        rows are byte-identical; each block key then folds in the block's
-        ``k_int``, raw ``k`` and value rows on top of its parent's key.
-        (Raw K participates because the baseline attention policies score
-        against the float keys — a hit must be byte-identical for *every*
-        consumer, not just the plane-reading PADE kernels.)
+        Delegates to the module-level :func:`chain_block_keys` so any
+        out-of-process consumer (the cluster router's affinity index)
+        computes byte-identical keys from the same prompt tensors.
         """
-        bs = self.pool.block_size
-        root = hashlib.sha256()
-        root.update(
-            repr((self.bits, bs, self.num_heads, self.head_dim, self.v_dim)).encode()
+        return chain_block_keys(
+            k_int,
+            k,
+            v,
+            scales,
+            bits=self.bits,
+            block_size=self.pool.block_size,
+            num_heads=self.num_heads,
+            head_dim=self.head_dim,
+            v_dim=self.v_dim,
         )
-        root.update(scales.tobytes())
-        parent = root.digest()
-        keys = []
-        for b in range(k_int.shape[1] // bs):
-            h = hashlib.sha256(parent)
-            h.update(np.ascontiguousarray(k_int[:, b * bs : (b + 1) * bs, :]).tobytes())
-            h.update(np.ascontiguousarray(k[:, b * bs : (b + 1) * bs, :]).tobytes())
-            h.update(np.ascontiguousarray(v[:, b * bs : (b + 1) * bs, :]).tobytes())
-            parent = h.digest()
-            keys.append(parent)
-        return keys
 
     def begin_prefill(self, k: np.ndarray, v: np.ndarray) -> int:
         """Calibrate scales on the full prompt and attach shared prefix blocks.

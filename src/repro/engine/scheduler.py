@@ -743,6 +743,28 @@ class ContinuousScheduler:
         """
         return self._charge_blocks(request) <= self.token_budget // self.block_size
 
+    def load_stats(self) -> Dict[str, float]:
+        """Lightweight load snapshot for routers and monitors.
+
+        The cluster front-end polls this through the ``stats`` protocol
+        message to drive least-loaded routing and drain detection; every
+        field is a plain number so the snapshot serializes as-is.
+        """
+        pool = self.pool
+        used = pool.used_block_count if pool is not None else 0
+        total = pool.num_blocks if pool is not None else self.token_budget // self.block_size
+        return {
+            "time": float(self.time),
+            "pending": len(self.pending),
+            "active": len(self.active),
+            "in_flight": len(self.pending) + len(self.active),
+            "used_blocks": int(used),
+            "total_blocks": int(total),
+            "completed": len(self._results),
+            "prefix_hit_blocks": int(self.prefix_hit_blocks),
+            "prefix_miss_blocks": int(self.prefix_miss_blocks),
+        }
+
     def cancel(self, request_id: str) -> None:
         """Mark a request for abort at the next round boundary.
 

@@ -989,6 +989,8 @@ def serving_profile(
     batched: bool = True,
     async_serve: bool = False,
     port: int = 0,
+    replicas: int = 1,
+    routing: str = "prefix",
 ) -> Dict[str, float]:
     """Continuous-batching serving profile over the paged bit-plane pool.
 
@@ -1016,6 +1018,13 @@ def serving_profile(
     mode: the round-clock report is identical to the in-process path and
     the measured ``wall_*_ms`` latency block is added (``port`` picks
     the listening port, 0 = ephemeral).
+    ``replicas`` > 1 shards the workload over that many engine worker
+    subprocesses behind the prefix-affinity router
+    (:mod:`repro.cluster`), each with its own ``budget``-token pool, and
+    reports the cluster roll-up (``cluster_throughput_tokens_per_round``,
+    ``jain_replica_index``, request-weighted prefix hit rate);
+    ``routing`` picks the routing mode (``prefix`` / ``random`` /
+    ``least-loaded``).
     Deterministic for a given seed — safe for ``--json`` smoke runs; the
     CLI exposes ``--rate/--budget/--sched-policy/--scenario/--tenants/
     --prefix-sharing/--chunk/--round-tokens/--attention/--async/--port``.
@@ -1070,7 +1079,34 @@ def serving_profile(
         tenant_weights=tenant_weights,
         batched_decode=batched,
     )
-    if async_serve:
+    if replicas > 1:
+        # Sharded serving: the workload fans out over subprocess workers,
+        # each a full engine with a private pool, behind the affinity
+        # router.  Workers run the standard batched decode path only.
+        if chunk or round_tokens or tenant_weights is not None or not batched:
+            raise ValueError(
+                "replicas > 1 serves through cluster workers, which run the "
+                "standard batched decode path (no chunked prefill, prefill "
+                "cost model, or tenant weights)"
+            )
+        from repro.cluster.server import serve_workload_over_cluster
+
+        _dones, ack, _cluster = serve_workload_over_cluster(
+            workload,
+            replicas=replicas,
+            routing=routing,
+            barrier=True,
+            seed=seed,
+            port=port,
+            max_active=max_active,
+            token_budget=budget,
+            block_size=block_size,
+            policy=policy,
+            attention=attention,
+            prefix_sharing=prefix_sharing,
+        )
+        report = ack["report"]
+    elif async_serve:
         # Same workload, same scheduler knobs, but served over a real
         # loopback socket with per-token streaming.  Deterministic-replay
         # mode (all submits land before round 0) makes the round-clock
@@ -1108,6 +1144,8 @@ def serving_profile(
         "round_token_budget": float(round_tokens),
         "batched_decode": float(batched),
         "async_serve": float(async_serve),
+        "replicas_configured": float(replicas),
+        "routing": routing,
         **report,
         "engine_sparsity": engine.stats.sparsity,
     }

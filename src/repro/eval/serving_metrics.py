@@ -37,6 +37,7 @@ __all__ = [
     "jain_fairness_index",
     "prefix_cache_stats",
     "summarize_serving",
+    "summarize_cluster",
 ]
 
 #: Tail percentiles reported for every latency series.
@@ -439,3 +440,62 @@ def summarize_serving(
             report["batched_rounds"] = float(stats.batched_rounds)
             report["batch_efficiency"] = float(stats.batch_efficiency)
     return report
+
+
+def summarize_cluster(replica_reports: Sequence[Dict[str, float]]) -> Dict[str, float]:
+    """Roll per-replica serving reports up into one cluster report.
+
+    ``replica_reports`` is one :func:`summarize_serving` dict per replica
+    (an empty dict for a replica that served nothing — a dead replica,
+    or one the router simply never picked).  Counts sum; the cluster
+    makespan is the *max* per-replica makespan, because replicas are
+    independent engines running concurrently — on the shared round
+    clock, the cluster is done when its slowest replica is done, so
+    ``cluster_throughput_tokens_per_round`` is total generated tokens
+    over that max.  Prefix-cache hit/miss blocks sum before the hit rate
+    is recomputed (so the cluster rate is request-weighted, not an
+    average of rates), and ``jain_replica_index`` applies Jain's index
+    to per-replica generated tokens — the load-balance figure, with
+    ``tokens_r{i}`` detail columns.  Worst-tail columns
+    (``worst_p95_ttft`` etc.) take the max across replicas: the SLO a
+    cluster operator quotes is the one its worst shard delivers.
+    """
+    reports = list(replica_reports)
+    if not reports:
+        raise ValueError("no replica reports to summarize")
+    served = [r for r in reports if r]
+    out: Dict[str, float] = {
+        "replicas": float(len(reports)),
+        "reporting_replicas": float(len(served)),
+    }
+
+    def total(key: str) -> float:
+        return float(sum(float(r.get(key, 0.0)) for r in served))
+
+    for key in (
+        "requests",
+        "completed_requests",
+        "aborted_requests",
+        "generated_tokens",
+        "preemptions",
+    ):
+        out[key] = total(key)
+    makespan = max((float(r.get("makespan_rounds", 0.0)) for r in served), default=0.0)
+    out["cluster_makespan_rounds"] = makespan
+    out["cluster_throughput_tokens_per_round"] = (
+        out["generated_tokens"] / makespan if makespan > 0 else 0.0
+    )
+    hit = total("prefix_hit_blocks")
+    miss = total("prefix_miss_blocks")
+    out.update(prefix_cache_stats(int(hit), int(miss)))
+    out["prefix_bytes_saved"] = total("prefix_bytes_saved")
+    out["jain_replica_index"] = jain_fairness_index(
+        [float(r.get("generated_tokens", 0.0)) for r in reports]
+    )
+    for i, r in enumerate(reports):
+        out[f"tokens_r{i}"] = float(r.get("generated_tokens", 0.0))
+    for key in ("p95_ttft", "p99_ttft", "p95_queueing_delay", "p95_wall_ttft_ms"):
+        values = [float(r[key]) for r in served if key in r]
+        if values:
+            out[f"worst_{key}"] = max(values)
+    return out

@@ -35,6 +35,7 @@ __all__ = [
     "trace_arrival_times",
     "build_serving_workload",
     "build_prefix_workload",
+    "build_cluster_workload",
     "SCENARIO_KINDS",
     "TenantSpec",
     "default_tenant_specs",
@@ -557,6 +558,59 @@ def default_tenant_specs(
 
 #: Scenario kinds build_scenario_workload understands.
 SCENARIO_KINDS = ("bursty", "diurnal", "heavy_tail", "multi_tenant")
+
+
+def build_cluster_workload(
+    groups: int,
+    per_group: int,
+    num_heads: int,
+    prefix_len: int,
+    unique_len: int,
+    decode_steps: int,
+    head_dim: int,
+    rate: float = 0.5,
+    profile: str = "nlp",
+    seed: int = 0,
+):
+    """Multiple prefix families arriving interleaved: the sharding workload.
+
+    ``groups`` independent system prompts, ``per_group`` requests each
+    (built by :func:`build_prefix_workload` with per-group decorrelated
+    seeds, so requests within a group share their prefix blocks and
+    requests across groups share nothing).  One Poisson arrival process
+    at ``rate`` covers the merged stream, with arrival slots assigned
+    round-robin across groups — every prefix family stays live for the
+    whole run, which is exactly the traffic shape where affinity routing
+    pays (each family keeps hitting its replica's warm blocks) and
+    random routing destroys the hit rate (a family's blocks end up
+    duplicated on every replica).  Request ids are ``g{g}-req{j}`` and
+    the tenant is the group name, so per-group token accounting falls
+    out of the standard report.
+    """
+    from dataclasses import replace
+
+    if groups < 1 or per_group < 1:
+        raise ValueError("groups and per_group must be >= 1")
+    times = poisson_arrival_times(groups * per_group, rate, seed=seed)
+    family = [
+        build_prefix_workload(
+            per_group, num_heads, prefix_len, unique_len, decode_steps, head_dim,
+            profile=profile, seed=seed + 7919 * (g + 1),
+        )
+        for g in range(groups)
+    ]
+    merged = []
+    for i in range(groups * per_group):
+        g, j = i % groups, i // groups
+        merged.append(
+            replace(
+                family[g][j],
+                request_id=f"g{g}-req{j}",
+                tenant=f"g{g}",
+                arrival_time=float(times[i]),
+            )
+        )
+    return merged
 
 
 def build_scenario_workload(

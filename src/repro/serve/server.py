@@ -312,6 +312,25 @@ class AsyncPadeServer:
                     self._draining = True
                     self._shutdown_conns.append(conn)
                     self._wake.set()
+                elif kind == "stats":
+                    self._send(
+                        conn,
+                        {
+                            "type": "stats",
+                            "load": self.scheduler.load_stats(),
+                            "accept_queued": len(self._accept_queue),
+                            "served": len(self.results),
+                        },
+                    )
+                elif kind == "barrier":
+                    # Re-arm the start barrier at runtime: the cluster
+                    # front-end spawns replay-mode workers with an
+                    # unreachable barrier, routes every submit, then
+                    # lowers each replica's barrier to its routed count
+                    # so all replicas start their round 0 fully loaded.
+                    self.start_barrier = int(msg.get("count", 0))
+                    self._send(conn, {"type": "barrier_ack", "count": self.start_barrier})
+                    self._wake.set()
                 else:
                     self._send(conn, {"type": "error", "error": f"unknown type {kind!r}"})
                 await self._flush_outboxes()
@@ -372,10 +391,12 @@ async def _amain(args) -> int:
         host=args.host,
         port=args.port,
         queue_limit=args.queue_limit,
+        start_barrier=args.start_barrier,
         max_active=args.max_active,
         token_budget=args.budget,
         block_size=args.block_size,
         policy=args.policy,
+        prefix_sharing=args.prefix_sharing,
     )
     await server.start()
     print(f"serving on {server.host}:{server.port}")
@@ -388,7 +409,9 @@ def main(argv=None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=0)
     parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--start-barrier", type=int, default=0)
     parser.add_argument("--max-active", type=int, default=4)
+    parser.add_argument("--prefix-sharing", action="store_true")
     parser.add_argument("--budget", type=int, default=1536)
     parser.add_argument("--block-size", type=int, default=16)
     parser.add_argument("--policy", default="fcfs")

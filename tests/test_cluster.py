@@ -1,0 +1,205 @@
+"""End-to-end tests for the multi-replica cluster front-end.
+
+These spawn real worker subprocesses (one engine each) behind
+:class:`ClusterServer` and drive them through the loopback NDJSON
+protocol — the same path CI's cluster-smoke job exercises.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.cluster.server import ClusterServer, serve_workload_over_cluster
+from repro.eval.serving_metrics import summarize_cluster
+from repro.eval.workloads import build_cluster_workload
+from repro.serve.client import ServeConnection
+
+WORKER_KWARGS = dict(token_budget=1536, max_active=4, block_size=16)
+
+
+def _workload(groups=2, per_group=3, steps=5, seed=7, rate=0.5):
+    return build_cluster_workload(
+        groups, per_group, 4, 32, 16, steps, 32, rate=rate, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# workload builder
+# ----------------------------------------------------------------------
+
+
+def test_build_cluster_workload_shape_and_determinism():
+    a = _workload(groups=3, per_group=2)
+    b = _workload(groups=3, per_group=2)
+    assert len(a) == 6
+    assert sorted(r.request_id for r in a) == sorted(r.request_id for r in b)
+    by_id = {r.request_id: r for r in b}
+    for req in a:
+        twin = by_id[req.request_id]
+        assert req.tenant == twin.tenant
+        assert req.arrival_time == twin.arrival_time
+        assert (req.k == twin.k).all() and (req.v == twin.v).all()
+    # One shared Poisson arrival process across groups, per-group tenants.
+    assert {r.tenant for r in a} == {"g0", "g1", "g2"}
+    assert all(r.arrival_time >= 0.0 for r in a)
+
+
+def test_build_cluster_workload_groups_share_prefix_within_not_across():
+    workload = _workload(groups=2, per_group=2)
+    by_tenant = {}
+    for req in workload:
+        by_tenant.setdefault(req.tenant, []).append(req)
+    g0, g1 = by_tenant["g0"], by_tenant["g1"]
+    prefix = 32
+    assert (g0[0].k[:, :prefix] == g0[1].k[:, :prefix]).all()
+    assert not (g0[0].k[:, :prefix] == g1[0].k[:, :prefix]).all()
+
+
+# ----------------------------------------------------------------------
+# cluster report roll-up
+# ----------------------------------------------------------------------
+
+
+def test_summarize_cluster_rolls_up():
+    r0 = {
+        "requests": 4.0, "completed_requests": 4.0, "aborted_requests": 0.0,
+        "generated_tokens": 40.0, "preemptions": 1.0, "makespan_rounds": 20.0,
+        "prefix_hit_blocks": 6.0, "prefix_miss_blocks": 2.0,
+        "prefix_bytes_saved": 100.0, "p95_ttft": 3.0,
+    }
+    r1 = {
+        "requests": 2.0, "completed_requests": 2.0, "aborted_requests": 0.0,
+        "generated_tokens": 20.0, "preemptions": 0.0, "makespan_rounds": 10.0,
+        "prefix_hit_blocks": 0.0, "prefix_miss_blocks": 8.0,
+        "prefix_bytes_saved": 0.0, "p95_ttft": 7.0,
+    }
+    out = summarize_cluster([r0, r1, {}])  # one replica served nothing
+    assert out["replicas"] == 3.0
+    assert out["reporting_replicas"] == 2.0
+    assert out["requests"] == 6.0
+    assert out["generated_tokens"] == 60.0
+    # Concurrent engines: makespan is the max, throughput over that max.
+    assert out["cluster_makespan_rounds"] == 20.0
+    assert out["cluster_throughput_tokens_per_round"] == pytest.approx(3.0)
+    # Hit rate recomputed from summed blocks (request-weighted).
+    assert out["prefix_hit_blocks"] == 6.0
+    assert out["prefix_hit_rate"] == pytest.approx(6.0 / 16.0)
+    assert out["prefix_bytes_saved"] == 100.0
+    # Jain over per-replica tokens, the silent replica included.
+    assert 0.0 < out["jain_replica_index"] < 1.0
+    assert (out["tokens_r0"], out["tokens_r1"], out["tokens_r2"]) == (40.0, 20.0, 0.0)
+    assert out["worst_p95_ttft"] == 7.0
+
+
+def test_summarize_cluster_empty_raises():
+    with pytest.raises(ValueError):
+        summarize_cluster([])
+
+
+def test_summarize_cluster_all_dead():
+    out = summarize_cluster([{}, {}])
+    assert out["reporting_replicas"] == 0.0
+    assert out["cluster_throughput_tokens_per_round"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# live serving end-to-end
+# ----------------------------------------------------------------------
+
+
+def test_two_replica_cluster_serves_and_drains_clean():
+    workload = _workload()
+    dones, ack, cluster = serve_workload_over_cluster(
+        workload, replicas=2, routing="prefix", barrier=False,
+        concurrency=3, seed=7, **WORKER_KWARGS,
+    )
+    assert len(dones) == len(workload)
+    for rid, done in dones.items():
+        assert done["type"] == "done" and done["status"] == "ok", (rid, done)
+        assert done["tokens"], rid
+    assert ack["leaked_blocks"] == 0
+    assert ack["lost_replicas"] == []
+    report = ack["report"]
+    assert report["replicas"] == 2.0
+    assert report["completed_requests"] == float(len(workload))
+    assert report["prefix_hit_blocks"] > 0  # affinity warmed both shards
+
+
+def test_barrier_mode_is_deterministic_across_runs():
+    workload = _workload(per_group=4, seed=11, rate=3.0)
+    reports = []
+    for _ in range(2):
+        dones, ack, _ = serve_workload_over_cluster(
+            workload, replicas=2, routing="prefix", barrier=True,
+            seed=11, **WORKER_KWARGS,
+        )
+        assert len(dones) == len(workload)
+        assert ack["leaked_blocks"] == 0
+        # Wall-clock columns measure real time and legitimately differ
+        # between runs; everything on the round clock must be identical.
+        reports.append(
+            {k: v for k, v in ack["report"].items() if "wall" not in k}
+        )
+    assert reports[0] == reports[1]
+
+
+# ----------------------------------------------------------------------
+# replica failure
+# ----------------------------------------------------------------------
+
+
+async def _kill_one_mid_load(workload, replicas, kill_after):
+    cluster = ClusterServer(
+        replicas=replicas, routing="prefix",
+        queue_limit=len(workload), seed=5, **WORKER_KWARGS,
+    )
+    await cluster.start()
+    try:
+        conn = await ServeConnection.open(cluster.host, cluster.port)
+        try:
+            accepted = []
+            for request in workload:
+                reply = await conn.submit(request, arrival="now")
+                assert reply["type"] == "accepted"
+                accepted.append(request.request_id)
+            dones = {}
+            victim = None
+            pending = {
+                asyncio.ensure_future(conn.result(rid)): rid for rid in accepted
+            }
+            while pending:
+                finished, _ = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                for fut in finished:
+                    dones[pending.pop(fut)] = fut.result()
+                if victim is None and len(dones) >= kill_after:
+                    live = [h for h in cluster.replicas.values() if h.alive]
+                    handle = max(live, key=lambda h: h.in_flight)
+                    victim = handle.replica_id
+                    await cluster.kill_replica(victim)
+            ack = await conn.shutdown()
+        finally:
+            await conn.close()
+    finally:
+        await cluster.stop()
+    return dones, ack, victim
+
+
+def test_replica_failure_settles_everything_without_leaks():
+    workload = _workload(groups=2, per_group=4, steps=6, seed=5)
+    dones, ack, victim = asyncio.run(_kill_one_mid_load(workload, 2, 2))
+    assert victim is not None
+    assert len(dones) == len(workload)
+    ok = [r for r, d in dones.items() if d.get("status") == "ok"]
+    lost = [
+        r for r, d in dones.items() if d.get("abort_reason") == "replica_lost"
+    ]
+    assert len(ok) + len(lost) == len(workload)
+    # Survivor pools are untouched by the failure: nothing leaks.
+    assert ack["leaked_blocks"] == 0
+    assert ack["lost_replicas"] == [victim]
+    assert ack["rerouted_requests"] + len(lost) >= 1
+    report = ack["report"]
+    assert report["lost_replicas"] == 1.0
+    assert report["rerouted_requests"] == float(ack["rerouted_requests"])
