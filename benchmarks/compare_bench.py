@@ -36,6 +36,7 @@ REGISTRY = {
     "BENCH_batch_decode.json": ("backends.fast.4.speedup", "higher"),
     "BENCH_async_serve.json": ("parity.round_report.throughput_tokens_per_round", "higher"),
     "BENCH_cluster.json": ("scaling.throughput_ratio", "higher"),
+    "BENCH_tiering.json": ("overload.p99_ttft_improvement", "higher"),
 }
 
 

@@ -202,6 +202,22 @@ def main(argv=None) -> int:
         "engine (serve only)",
     )
     serve_group.add_argument(
+        "--tiering", action="store_true",
+        help="two-tier bit-plane KV memory: spill low-order planes of "
+        "cold blocks under pressure instead of preempting; PADE "
+        "attention only (serve only)",
+    )
+    serve_group.add_argument(
+        "--tier-min-planes", type=int, default=2,
+        help="residency floor: planes a block keeps resident even fully "
+        "spilled (serve only, needs --tiering)",
+    )
+    serve_group.add_argument(
+        "--tier-restore-blocks", type=int, default=4,
+        help="prefetch-restore cap: degraded blocks restored per decode "
+        "round (serve only, needs --tiering)",
+    )
+    serve_group.add_argument(
         "--routing", choices=ROUTING_MODES, default="prefix",
         help="replica routing mode: 'prefix' matches chained prompt block "
         "keys against each replica's key index, 'random' and "
@@ -240,6 +256,9 @@ def main(argv=None) -> int:
                 "port": args.port,
                 "replicas": args.replicas,
                 "routing": args.routing,
+                "tiering": args.tiering,
+                "tier_min_planes": args.tier_min_planes,
+                "tier_restore_blocks": args.tier_restore_blocks,
             }
             if name == "serve"
             else {}

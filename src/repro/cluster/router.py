@@ -23,6 +23,10 @@ Invariants (property-tested in ``tests/test_cluster_router.py``):
   sequences also replay identically).
 * A drained replica is never routed to, and draining drops its key
   index, so dead replicas cannot attract affinity traffic.
+* The index is bounded: each replica holds at most
+  ``max_keys_per_replica`` keys (oldest-registered evicted first), and
+  :meth:`unregister` mirrors pool-side block eviction so recycled
+  prefixes stop attracting routes to a guaranteed miss.
 * A full-prefix match always beats the least-loaded fallback, whatever
   the loads are — affinity is worth a longer queue because a hit saves
   both pool blocks and prefill compute on the target.
@@ -85,7 +89,8 @@ class PrefixAffinityRouter:
     toward replica declaration order, so routing is fully deterministic.
     """
 
-    def __init__(self, replica_ids: Sequence[str], mode: str = "prefix", seed: int = 0):
+    def __init__(self, replica_ids: Sequence[str], mode: str = "prefix", seed: int = 0,
+                 max_keys_per_replica: int = 65536):
         ids = list(replica_ids)
         if not ids:
             raise ValueError("need at least one replica")
@@ -93,10 +98,15 @@ class PrefixAffinityRouter:
             raise ValueError(f"duplicate replica ids in {ids!r}")
         if mode not in ROUTING_MODES:
             raise ValueError(f"mode must be one of {ROUTING_MODES}, got {mode!r}")
+        if max_keys_per_replica < 1:
+            raise ValueError("max_keys_per_replica must be >= 1")
         self.mode = mode
+        self.max_keys_per_replica = int(max_keys_per_replica)
         self._ids = ids
         self._order = {rid: i for i, rid in enumerate(ids)}
-        self._keys: Dict[str, Set[bytes]] = {rid: set() for rid in ids}
+        # Insertion-ordered (dict) so the cap evicts oldest-registered
+        # first — the keys most likely already recycled by the pool.
+        self._keys: Dict[str, Dict[bytes, None]] = {rid: {} for rid in ids}
         self._loads: Dict[str, float] = {rid: 0.0 for rid in ids}
         self._drained: Set[str] = set()
         self._rng = random.Random(seed)
@@ -135,13 +145,42 @@ class PrefixAffinityRouter:
         if replica_id not in self._order:
             raise KeyError(f"unknown replica {replica_id!r}")
         self._drained.add(replica_id)
-        self._keys[replica_id] = set()
+        self._keys[replica_id] = {}
 
     def register(self, replica_id: str, keys: Sequence[bytes]) -> None:
-        """Record that ``keys`` were routed to ``replica_id`` (optimistic)."""
+        """Record that ``keys`` were routed to ``replica_id`` (optimistic).
+
+        Re-registering an existing key refreshes its age (moves it to the
+        back of the eviction order); past ``max_keys_per_replica`` the
+        oldest keys are evicted so the index cannot grow without bound.
+        """
         if replica_id in self._drained:
             raise ValueError(f"replica {replica_id!r} is drained")
-        self._keys[replica_id].update(keys)
+        index = self._keys[replica_id]
+        for key in keys:
+            index.pop(key, None)
+            index[key] = None
+        while len(index) > self.max_keys_per_replica:
+            index.pop(next(iter(index)))
+
+    def unregister(self, replica_id: str, keys: Sequence[bytes]) -> int:
+        """Drop ``keys`` from a replica's index; returns how many were present.
+
+        Mirrors pool-side block eviction: when a replica's pool recycles
+        a registered prefix block, the chain key stops matching there, so
+        keeping it indexed only attracts affinity traffic to a guaranteed
+        miss.  Unknown keys and drained replicas are ignored (the drain
+        already emptied the index).
+        """
+        if replica_id not in self._order:
+            raise KeyError(f"unknown replica {replica_id!r}")
+        index = self._keys[replica_id]
+        dropped = 0
+        for key in keys:
+            if key in index:
+                del index[key]
+                dropped += 1
+        return dropped
 
     # -- routing -------------------------------------------------------
     def match_length(self, replica_id: str, keys: Sequence[bytes]) -> int:

@@ -214,11 +214,25 @@ class ClusterServer:
             self._done.add(rid)
             self.router.sub_load(handle.replica_id)
             self._relay(rid, msg)
+            # A finished request is when the replica's pool recycles
+            # blocks, so poll its stats (fire-and-forget) to learn which
+            # prefix keys died — the reply unindexes them below.
+            if handle.alive and not handle.expect_close:
+                handle.send_nowait({"type": "stats"})
+        elif kind == "stats":
+            # Mirror pool-side block eviction into the router: a key the
+            # replica recycled can never hit there again, so drop it from
+            # the index before it attracts another affinity route.
+            evicted = msg.get("evicted_prefix_keys") or []
+            if evicted and not self.router.is_drained(handle.replica_id):
+                self.router.unregister(
+                    handle.replica_id, [bytes.fromhex(k) for k in evicted]
+                )
         elif kind == "shutdown_ack":
             handle.ack = msg
             handle.expect_close = True
             handle.ack_event.set()
-        # barrier_ack / stats replies need no action here
+        # barrier_ack replies need no action here
 
     def _relay(self, rid: Optional[str], msg: dict) -> None:
         conn = self._owners.get(rid)

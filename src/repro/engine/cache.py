@@ -39,6 +39,15 @@ Two sharing mechanisms ride on the paged pool (both off by default):
   forking); the first divergent ``append`` into a shared partial tail
   block copies it (:meth:`PlaneBlockPool.fork_block`) before writing.
 
+With a :class:`TierConfig`, the pool becomes a **two-tier plane
+memory**: under pressure, low-order bit planes of cold blocks are
+*spilled* — moved byte-exact into a side store, their primary rows
+zeroed — so the same plane budget keeps more sequences resident at
+degraded precision instead of preempting one (the filter transparently
+scores the partial reconstruction; spilled planes are restored
+byte-identical on touch or by the scheduler's prefetch pass).  See
+DESIGN.md §16.
+
 Chunked prefill is supported at cache level by the
 ``begin_prefill`` / ``extend_prefill`` / ``finish_prefill`` triple:
 scales are calibrated on the *full* prompt up front, so chunk-by-chunk
@@ -60,7 +69,9 @@ Two serving-specific choices apply to both:
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -74,6 +85,7 @@ __all__ = [
     "PlaneBlockPool",
     "PagedBitPlaneKVCache",
     "PoolExhausted",
+    "TierConfig",
 ]
 
 
@@ -323,6 +335,52 @@ class BitPlaneKVCache:
         self._capacity = new_cap
 
 
+@dataclass(frozen=True)
+class TierConfig:
+    """Policy knobs for the two-tier (primary / spill) plane memory.
+
+    ``min_resident_planes`` is the floor of the spill ladder: the sign
+    plane plus at least one magnitude plane must stay in the primary
+    tier, so a degraded block still yields a usable (if coarse) partial
+    reconstruction — the score error of a block at residency ``r`` is
+    bounded by ``unknown_weight_sum(bits, r) * scale * sum|q|`` per head
+    (DESIGN.md §16).  ``restore_blocks_per_round`` caps how many spilled
+    blocks the scheduler's prefetch pass restores per round (0 disables
+    prefetch; writers still restore on touch).
+    """
+
+    min_resident_planes: int = 2
+    restore_blocks_per_round: int = 4
+
+    def __post_init__(self) -> None:
+        if self.min_resident_planes < 1:
+            raise ValueError("min_resident_planes must be >= 1")
+        if self.restore_blocks_per_round < 0:
+            raise ValueError("restore_blocks_per_round must be >= 0")
+
+    def ladder(self, bits: int) -> List[int]:
+        """Target residencies of the spill ladder, shallow to deep.
+
+        Halves the plane count per level down to the floor — for 8-bit
+        operands with the default floor this is ``[4, 2]``: shed half
+        the planes of a cold block first, halve again only under
+        continued pressure, preempt only when even the floor cannot
+        make room.
+        """
+        if self.min_resident_planes >= bits:
+            raise ValueError(
+                f"min_resident_planes {self.min_resident_planes} leaves no "
+                f"spillable planes at {bits}-bit operands"
+            )
+        levels: List[int] = []
+        level = bits // 2
+        while level > self.min_resident_planes:
+            levels.append(level)
+            level //= 2
+        levels.append(self.min_resident_planes)
+        return levels
+
+
 class PoolExhausted(RuntimeError):
     """A block allocation would exceed the pool's global token budget.
 
@@ -365,6 +423,8 @@ class PlaneBlockPool:
         bits: int = 8,
         block_size: int = 16,
         token_budget: int = 4096,
+        tiering: Optional[TierConfig] = None,
+        plane_budget_blocks: Optional[int] = None,
     ) -> None:
         if num_heads < 1 or head_dim < 1 or v_dim < 1:
             raise ValueError("num_heads, head_dim and v_dim must be positive")
@@ -397,6 +457,38 @@ class PlaneBlockPool:
         self.allocations = 0  # cumulative allocate() grants
         self.prefix_shares = 0  # cumulative share() grants
         self.forks = 0  # cumulative copy-on-write block copies
+        # Eviction notifications for the cluster router's affinity index:
+        # chain keys whose registered block was freed or forked since the
+        # last drain.  Bounded — an undrained backlog only means a router
+        # entry goes stale until its next miss, never unbounded memory.
+        self._evicted_keys: Deque[bytes] = deque(maxlen=4096)
+        # --- two-tier plane memory (None = flat pool, byte-identical to
+        # the pre-tiering behavior; see TierConfig / DESIGN.md §16) -----
+        self.tiering = tiering
+        if tiering is not None:
+            if tiering.min_resident_planes >= bits:
+                raise ValueError(
+                    f"min_resident_planes {tiering.min_resident_planes} leaves "
+                    f"no spillable planes at {bits}-bit operands"
+                )
+            budget_blocks = self.num_blocks if plane_budget_blocks is None else int(plane_budget_blocks)
+            if budget_blocks < 1:
+                raise ValueError("plane_budget_blocks must be >= 1")
+            self.plane_budget_blocks = min(budget_blocks, self.num_blocks)
+        else:
+            self.plane_budget_blocks = self.num_blocks
+        self._resident: Dict[int, int] = {}  # block -> planes in primary tier
+        self._spill_store: Dict[int, np.ndarray] = {}  # block -> planes[r:bits) bytes
+        self._plane_units_used = 0  # sum of residencies of live blocks
+        self._touch_clock = 0
+        self._last_touch: Dict[int, int] = {}
+        self._protected: set = set()  # blocks the scheduler pinned this round
+        self.spill_events = 0  # cumulative spill_block() calls
+        self.restore_events = 0  # cumulative restore_block() calls that moved planes
+        self.spilled_plane_bytes = 0  # modeled packed bytes moved to the spill tier
+        self.restored_plane_bytes = 0  # modeled packed bytes moved back
+        self._tier_plane_writes = 0  # (plane, key) rows spilled, for the DRAM model
+        self._tier_plane_reads = 0  # (plane, key) rows restored
 
     # ------------------------------------------------------------------
     @property
@@ -434,18 +526,64 @@ class PlaneBlockPool:
         return self.block_size * per_row
 
     # ------------------------------------------------------------------
+    # Two-tier accounting.  The primary tier's capacity is denominated in
+    # *plane units*: one unit = one bit plane of one block.  A fully
+    # resident block consumes ``bits`` units; spilling planes frees units
+    # the allocator can hand to new blocks — that is the whole point of
+    # tiering: the same plane budget admits more sequences at degraded
+    # precision instead of preempting one.
+    @property
+    def plane_capacity_units(self) -> int:
+        """Primary-tier capacity in plane units (budget blocks × bits)."""
+        return self.plane_budget_blocks * self.bits
+
+    @property
+    def plane_units_used(self) -> int:
+        """Plane units held by live blocks (residency-weighted)."""
+        return self._plane_units_used
+
+    @property
+    def plane_units_free(self) -> int:
+        return self.plane_capacity_units - self._plane_units_used
+
+    @property
+    def degraded_block_count(self) -> int:
+        """Live blocks with at least one plane in the spill tier."""
+        return len(self._spill_store)
+
+    def _plane_block_bytes(self, num_planes: int) -> int:
+        """Modeled packed bytes of ``num_planes`` planes of one block."""
+        row_bytes = (self.head_dim + 7) // 8  # one plane of one key, packed
+        return num_planes * self.block_size * self.num_heads * row_bytes
+
+    # ------------------------------------------------------------------
     def allocate(self) -> int:
-        """Take one free block (refcount 1); :class:`PoolExhausted` when full."""
+        """Take one free block (refcount 1); :class:`PoolExhausted` when full.
+
+        Under tiering the primary tier must also have ``bits`` plane
+        units free — a fresh block is always written at full precision.
+        The scheduler turns this failure into the spill ladder before
+        falling back to preemption.
+        """
         if not self._free:
             raise PoolExhausted(
                 f"pool exhausted: all {self.num_blocks} blocks "
                 f"({self.token_budget} tokens) in use"
+            )
+        if self.tiering is not None and self._plane_units_used + self.bits > self.plane_capacity_units:
+            raise PoolExhausted(
+                f"plane budget exhausted: {self._plane_units_used}/"
+                f"{self.plane_capacity_units} units in the primary tier"
             )
         block = self._free.pop()
         self._allocated.add(block)
         self._refcounts[block] = 1
         self.allocations += 1
         self.peak_used_blocks = max(self.peak_used_blocks, len(self._allocated))
+        if self.tiering is not None:
+            self._resident[block] = self.bits
+            self._plane_units_used += self.bits
+            self._touch(block)
         return block
 
     def allocate_many(self, count: int) -> List[int]:
@@ -460,6 +598,11 @@ class PlaneBlockPool:
                 f"allocation of {count} blocks exceeds the {len(self._free)} free "
                 f"({self.num_blocks} total, {self.token_budget} tokens)"
             )
+        if self.tiering is not None and self._plane_units_used + count * self.bits > self.plane_capacity_units:
+            raise PoolExhausted(
+                f"allocation of {count} blocks exceeds the primary tier's "
+                f"{self.plane_units_free} free plane units"
+            )
         return [self.allocate() for _ in range(count)]
 
     def share(self, block: int) -> int:
@@ -468,6 +611,8 @@ class PlaneBlockPool:
             raise ValueError(f"block {block} is not allocated")
         self._refcounts[block] += 1
         self.prefix_shares += 1
+        if self.tiering is not None:
+            self._touch(block)
         return block
 
     def ref_count(self, block: int) -> int:
@@ -494,6 +639,11 @@ class PlaneBlockPool:
             del self._refcounts[block]
             self._allocated.remove(block)
             self._free.append(block)
+            if self.tiering is not None:
+                self._plane_units_used -= self._resident.pop(block)
+                self._spill_store.pop(block, None)
+                self._last_touch.pop(block, None)
+                self._protected.discard(block)
 
     # ------------------------------------------------------------------
     def register_prefix(self, key: bytes, block: int) -> bool:
@@ -522,6 +672,19 @@ class PlaneBlockPool:
         key = self._block_key.pop(block, None)
         if key is not None and self._prefix_index.get(key) == block:
             del self._prefix_index[key]
+            self._evicted_keys.append(key)
+
+    def drain_evicted_prefix_keys(self) -> List[bytes]:
+        """Chain keys dropped from the prefix index since the last drain.
+
+        The serving front-end forwards these to the cluster router so a
+        replica whose pool freed a prefix stops attracting affinity
+        routes for it (the router mirrors the pool's index instead of
+        growing forever).
+        """
+        keys = list(self._evicted_keys)
+        self._evicted_keys.clear()
+        return keys
 
     def fork_block(self, block: int, rows_used: int) -> int:
         """Make ``block`` privately writable (copy-on-write).
@@ -535,6 +698,10 @@ class PlaneBlockPool:
         """
         if block not in self._allocated:
             raise ValueError(f"block {block} is not allocated")
+        # The caller is about to write into the result: spilled planes
+        # must come home first, or a later restore would clobber the
+        # fresh rows with stale spill-tier bytes.
+        self.ensure_resident(block)
         if self._refcounts[block] == 1:
             self._unregister(block)
             self.block_meta.pop(block, None)  # content is about to diverge
@@ -554,6 +721,168 @@ class PlaneBlockPool:
         """Physical row indices owned by ``block``."""
         start = block * self.block_size
         return np.arange(start, start + self.block_size)
+
+    # ------------------------------------------------------------------
+    # Plane-granular spill / restore (the two-tier extension).  Spilled
+    # planes are *moved*, byte-exact, into a per-block side store and
+    # their primary rows zeroed — so every consumer of the gathered
+    # planes (both kernel backends, fused and per-request) transparently
+    # scores a partial reconstruction with the unknown low-order planes
+    # contributing zero, exactly the ``partial_reconstruct`` semantics of
+    # ``quant/bitplane`` (error bound: ``unknown_weight_sum(bits, r)``).
+    # Restore copies the bytes back, so a round-trip is the identity.
+    def _require_tiering(self) -> TierConfig:
+        if self.tiering is None:
+            raise RuntimeError("pool was built without tiering (TierConfig)")
+        return self.tiering
+
+    def _touch(self, block: int) -> None:
+        self._touch_clock += 1
+        self._last_touch[block] = self._touch_clock
+
+    def touch(self, blocks) -> None:
+        """Mark blocks recently used (spill victims are chosen cold-first)."""
+        if self.tiering is None:
+            return
+        for block in blocks:
+            self._touch(block)
+
+    def set_protected(self, blocks) -> None:
+        """Pin blocks against spilling for the current round.
+
+        The scheduler pins every active sequence's write tail plus its
+        sink/recent attention window each round, so the protected
+        positions of :func:`protection_mask` are never degraded — the
+        divergence bound only ever applies to prunable middle context.
+        """
+        if self.tiering is None:
+            return
+        self._protected = {b for b in blocks if b in self._allocated}
+
+    def resident_planes(self, block: int) -> int:
+        """Planes of ``block`` in the primary tier (``bits`` when flat)."""
+        if self.tiering is None:
+            return self.bits
+        return self._resident[block]
+
+    def spill_candidates(self) -> List[int]:
+        """Live blocks eligible for (deeper) spilling, coldest first."""
+        tc = self._require_tiering()
+        eligible = [
+            b
+            for b in self._allocated
+            if b not in self._protected and self._resident[b] > tc.min_resident_planes
+        ]
+        eligible.sort(key=lambda b: (self._last_touch.get(b, 0), b))
+        return eligible
+
+    def spill_block(self, block: int, target_planes: int) -> int:
+        """Move planes ``[target_planes, resident)`` of ``block`` to the
+        spill tier; returns the number of planes moved (plane units freed).
+        """
+        tc = self._require_tiering()
+        if block not in self._allocated:
+            raise ValueError(f"block {block} is not allocated")
+        current = self._resident[block]
+        if target_planes < tc.min_resident_planes:
+            raise ValueError(
+                f"target {target_planes} below the residency floor "
+                f"{tc.min_resident_planes}"
+            )
+        if target_planes >= current:
+            return 0
+        start = block * self.block_size
+        rows = slice(start, start + self.block_size)
+        chunk = self._planes[target_planes:current, :, rows, :].copy()
+        store = self._spill_store.get(block)
+        self._spill_store[block] = (
+            chunk if store is None else np.concatenate([chunk, store], axis=0)
+        )
+        self._planes[target_planes:current, :, rows, :] = 0
+        self._resident[block] = target_planes
+        moved = current - target_planes
+        self._plane_units_used -= moved
+        self.spill_events += 1
+        self.spilled_plane_bytes += self._plane_block_bytes(moved)
+        self._tier_plane_writes += moved * self.block_size * self.num_heads
+        return moved
+
+    def restore_block(self, block: int, target_planes: Optional[int] = None) -> int:
+        """Bring planes of ``block`` back from the spill tier, byte-exact.
+
+        Restores up to ``target_planes`` residency (full precision when
+        omitted); returns the number of planes moved.  Restore never
+        raises for capacity — the backing rows physically exist — so a
+        transient overshoot of the plane budget is possible; the
+        scheduler's pressure ladder spills colder blocks to pay it back.
+        """
+        self._require_tiering()
+        if block not in self._allocated:
+            raise ValueError(f"block {block} is not allocated")
+        current = self._resident[block]
+        target = self.bits if target_planes is None else int(target_planes)
+        if target <= current:
+            return 0
+        store = self._spill_store[block]
+        moved = target - current
+        start = block * self.block_size
+        rows = slice(start, start + self.block_size)
+        self._planes[current:target, :, rows, :] = store[:moved]
+        if moved == store.shape[0]:
+            del self._spill_store[block]
+        else:
+            self._spill_store[block] = store[moved:].copy()
+        self._resident[block] = target
+        self._plane_units_used += moved
+        self.restore_events += 1
+        self.restored_plane_bytes += self._plane_block_bytes(moved)
+        self._tier_plane_reads += moved * self.block_size * self.num_heads
+        self._touch(block)
+        return moved
+
+    def ensure_resident(self, block: int) -> int:
+        """Restore ``block`` to full precision if degraded (no-op when flat)."""
+        if self.tiering is None or self._resident.get(block, self.bits) == self.bits:
+            return 0
+        return self.restore_block(block)
+
+    def degraded_blocks(self) -> List[int]:
+        """Blocks with spilled planes, least-recently-touched first."""
+        if self.tiering is None:
+            return []
+        out = sorted(
+            self._spill_store, key=lambda b: (self._last_touch.get(b, 0), b)
+        )
+        return out
+
+    def resident_plane_histogram(self) -> Dict[int, int]:
+        """Live-block count per residency level (``{bits: n}`` when flat)."""
+        hist: Dict[int, int] = {}
+        if self.tiering is None:
+            if self._allocated:
+                hist[self.bits] = len(self._allocated)
+            return hist
+        for block in self._allocated:
+            level = self._resident[block]
+            hist[level] = hist.get(level, 0) + 1
+        return hist
+
+    def tier_dram_stats(self):
+        """Modeled DRAM cost of the tier traffic so far.
+
+        Returns ``{"spill": DramStats, "restore": DramStats}`` from the
+        bit-plane-first HBM layout model — one plane of one key per
+        access, the same custom layout the accelerator's filter reads
+        use (``sim/dram``).  Lazy import keeps the engine package free of
+        a hard ``sim`` dependency for non-tiered serving.
+        """
+        from repro.sim.dram import HBMModel
+
+        model = HBMModel()
+        return {
+            "spill": model.read_bit_planes(self._tier_plane_writes, self.head_dim),
+            "restore": model.read_bit_planes(self._tier_plane_reads, self.head_dim),
+        }
 
 
 class PagedBitPlaneKVCache:
@@ -781,9 +1110,15 @@ class PagedBitPlaneKVCache:
         bs = self.pool.block_size
         start = self._length
         end = start + take
-        needed = -(-end // bs) - len(self._blocks)
+        prior_blocks = len(self._blocks)
+        needed = -(-end // bs) - prior_blocks
         if needed > 0:
             self._blocks.extend(self.pool.allocate_many(needed))
+        # A chunk resuming inside an existing partial tail block writes
+        # into it: spilled planes must be restored first so the side
+        # store never holds stale bytes for freshly written rows.
+        if start // bs < prior_blocks:
+            self.pool.ensure_resident(self._blocks[start // bs])
         k_int = self._pending_k_int[:, start:end, :]
         bp = decompose_bitplanes(k_int, bits=self.bits)
         rows = self._rows_for(start, end)
@@ -863,6 +1198,9 @@ class PagedBitPlaneKVCache:
             self._blocks.append(self.pool.allocate())
         else:
             self._ensure_tail_private()
+            # The write below lands in an existing block: degraded planes
+            # must come home first (see PlaneBlockPool.spill_block).
+            self.pool.ensure_resident(self._blocks[-1])
         k_int, _ = quantize_heads(k_step, bits=self.bits, scales=self._scales)
         bp = decompose_bitplanes(k_int, bits=self.bits)  # (bits, H, D)
         pos = self._length

@@ -655,6 +655,7 @@ class PadeEngine:
         round_token_budget: int = 0,
         tenant_weights=None,
         batched_decode: bool = True,
+        tiering=None,
     ):
         """Serve ``requests`` with continuous batching over a paged pool.
 
@@ -673,6 +674,11 @@ class PadeEngine:
         ``batched_decode`` (default on) fuses each decode round's filter
         across the whole active set when the policy supports it — results
         are byte-identical to the per-request loop either way.
+        ``tiering`` (``True`` or a :class:`~repro.engine.cache.TierConfig`)
+        arms the two-tier plane memory: under pool pressure, low-order
+        bit planes of cold blocks spill to a secondary tier and
+        preemption becomes the last resort (PADE policy only; DESIGN.md
+        §16).
         Returns ``{request_id: RequestResult}`` with per-request timing
         (arrival/admit/first-token/finish) populated — aborted requests
         (deadline missed, queueing bound exceeded, cancelled) report
@@ -694,6 +700,7 @@ class PadeEngine:
             round_token_budget=round_token_budget,
             tenant_weights=tenant_weights,
             batched_decode=batched_decode,
+            tiering=tiering,
         )
         for request in requests:
             scheduler.submit(request)

@@ -44,7 +44,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.cache import PagedBitPlaneKVCache, PlaneBlockPool, PoolExhausted
+from repro.engine.cache import (
+    PagedBitPlaneKVCache,
+    PlaneBlockPool,
+    PoolExhausted,
+    TierConfig,
+)
 
 __all__ = [
     "EngineRequest",
@@ -640,6 +645,19 @@ class ContinuousScheduler:
         retained sets, timings, traces, preemption decisions — are
         byte-identical to the per-request loop either way (DESIGN.md
         §13), so this is purely a throughput knob.
+    tiering:
+        Two-tier plane memory (DESIGN.md §16): ``True`` / a
+        :class:`~repro.engine.cache.TierConfig` arms the spill ladder —
+        under pool pressure, low-order bit planes of cold unprotected
+        blocks are spilled to the secondary tier (spill → deeper spill)
+        and preemption fires only when even fully-spilled state cannot
+        make room.  Spilled planes are prefetched back each round within
+        ``restore_blocks_per_round``; restore traffic is charged against
+        the round token budget when one is set.  Requires the plane-
+        consuming ``pade`` attention policy — the software baselines
+        score on float keys and would not observe the degradation, so
+        tiering them would cheat the budget.  ``None``/``False`` (the
+        default) is byte-identical to the pre-tiering scheduler.
     """
 
     def __init__(
@@ -655,6 +673,7 @@ class ContinuousScheduler:
         round_token_budget: int = 0,
         tenant_weights: Optional[Dict[str, float]] = None,
         batched_decode: bool = True,
+        tiering=None,
     ) -> None:
         self.policy_obj = resolve_scheduling_policy(policy)
         if admission not in ("continuous", "drain"):
@@ -665,6 +684,17 @@ class ContinuousScheduler:
             raise ValueError("chunk_tokens and round_token_budget must be >= 0")
         if chunk_tokens and not round_token_budget:
             raise ValueError("chunk_tokens requires round_token_budget (the per-round split)")
+        if tiering:
+            self.tiering = tiering if isinstance(tiering, TierConfig) else TierConfig()
+            attn_name = getattr(getattr(engine, "policy", None), "name", None)
+            if attn_name != "pade":
+                raise ValueError(
+                    f"tiering requires the plane-consuming 'pade' attention policy "
+                    f"(got {attn_name!r}): baseline policies score on float keys, "
+                    f"so spilled planes would free budget without degrading them"
+                )
+        else:
+            self.tiering = None
         self.engine = engine
         self.max_active = max_active
         self.token_budget = token_budget
@@ -702,6 +732,12 @@ class ContinuousScheduler:
         self.prefix_miss_blocks = 0  # shareable prompt blocks written fresh
         self.chunk_stall_rounds = 0  # rounds where a prefill got zero budget
         self.decode_blocked_rounds = 0  # rounds an exclusive prefill stalled decode
+        self.spill_reliefs = 0  # PoolExhausted events resolved by spilling (no preempt)
+        self.tier_prefetch_restores = 0  # blocks restored by the per-round prefetch pass
+        self.degraded_tokens = 0  # decode tokens produced while any block was degraded
+        self.decoded_tokens = 0  # all decode tokens this scheduler produced
+        self.planes_hist: Dict[int, int] = {}  # residency level -> block-round samples
+        self.tier_hist_rounds = 0  # rounds the histogram was sampled over
         self.tenant_service: Dict[str, float] = {}  # tenant -> tokens served
         self._cancelled: set = set()  # request ids to abort at the next boundary
         self._timings: Dict[str, _Timing] = {}
@@ -729,7 +765,12 @@ class ContinuousScheduler:
             raise ValueError(f"request id {request.request_id!r} already queued")
         self.pending.append((self._submit_seq, request))
         self._submit_seq += 1
-        if self._charged:
+        if self._charged or self.tiering is not None:
+            # Tiered mode reuses the charged-footprint oversizing: the
+            # backing store is sized to the dense worst case while the
+            # token budget lives on as the primary tier's plane-unit
+            # ceiling — spilled planes free accounting units, and the
+            # physical rows to admit into always exist.
             bs = self.block_size
             self._physical_tokens += max(1, -(-request.total_tokens // bs)) * bs
         self._timings.setdefault(request.request_id, _Timing(arrival_time=request.arrival_time))
@@ -810,6 +851,7 @@ class ContinuousScheduler:
         num_heads, _, head_dim = np.asarray(request.k).shape
         v_dim = np.asarray(request.v).shape[2]
         if self.pool is None:
+            oversized = self._charged or self.tiering is not None
             self.pool = PlaneBlockPool(
                 num_heads,
                 head_dim,
@@ -818,9 +860,11 @@ class ContinuousScheduler:
                 block_size=self.block_size,
                 token_budget=(
                     max(self.token_budget, self._physical_tokens)
-                    if self._charged
+                    if oversized
                     else self.token_budget
                 ),
+                tiering=self.tiering,
+                plane_budget_blocks=self.token_budget // self.block_size,
             )
         elif (self.pool.num_heads, self.pool.head_dim, self.pool.v_dim) != (
             num_heads,
@@ -881,6 +925,18 @@ class ContinuousScheduler:
                     self._charge_blocks(s.request) for s in self.active if not s.done
                 )
                 if budget_blocks - used < self._charge_blocks(request):
+                    return
+            elif self.tiering is not None:
+                blocks_needed = max(1, -(-request.prompt_tokens // pool.block_size))
+                headroom = sum(1 for s in self.active if not s.done)
+                # Tiered admission counts plane units, not physical blocks
+                # (the backing store is oversized): a deficit triggers the
+                # spill ladder *before* declining — admitting at degraded
+                # precision instead of queueing is the whole TTFT win.
+                units_needed = (blocks_needed + headroom) * pool.bits
+                if pool.plane_units_free < units_needed and not self._relieve_pressure(
+                    units_needed, blocks_needed
+                ):
                     return
             else:
                 blocks_needed = max(1, -(-request.prompt_tokens // pool.block_size))
@@ -974,6 +1030,115 @@ class ContinuousScheduler:
         self._submit_seq += 1
         self._record("preempt", (victim.request.request_id,))
 
+    # ------------------------------------------------------------------
+    # Two-tier pressure ladder (DESIGN.md §16).
+    def _relieve_pressure(
+        self, units_needed: Optional[int] = None, blocks_needed: int = 1, avoid=()
+    ) -> bool:
+        """Walk the spill ladder until ``units_needed`` plane units are free.
+
+        Spills cold, unprotected blocks level by level (half residency,
+        then the floor) and returns ``True`` once the primary tier has
+        room; ``False`` means even fully-spilled state cannot make room —
+        the caller falls back to preemption.  ``avoid`` lists blocks the
+        caller is about to write into (a write target must stay resident,
+        so spilling it would just bounce back).  Physical exhaustion
+        (fewer than ``blocks_needed`` free backing blocks) is not
+        spillable and fails fast.
+        """
+        pool = self.pool
+        if pool is None or pool.tiering is None:
+            return False
+        if pool.free_block_count < blocks_needed:
+            return False
+        needed = pool.bits if units_needed is None else int(units_needed)
+        avoid = set(avoid)
+        if pool.plane_units_free >= needed:
+            return True
+        for level in pool.tiering.ladder(pool.bits):
+            for block in pool.spill_candidates():
+                if block in avoid or pool.resident_planes(block) <= level:
+                    continue
+                pool.spill_block(block, level)
+                if pool.plane_units_free >= needed:
+                    self.spill_reliefs += 1
+                    return True
+        return False
+
+    def _tier_protect(self) -> None:
+        """Pin every active sequence's unspillable blocks for this round.
+
+        Protected: the write tail (spilling it would bounce straight
+        back on the next append) plus the blocks covering the engine's
+        sink/recent attention window — so the positions
+        :func:`~repro.attention.masks.protection_mask` guarantees are
+        retained are never scored from degraded planes, and the
+        divergence bound only ever applies to prunable middle context.
+        """
+        pool = self.pool
+        if pool is None or pool.tiering is None:
+            return
+        cfg = self.engine.config
+        sink = getattr(cfg, "sink_tokens", 0)
+        recent = getattr(cfg, "recent_tokens", 0)
+        bs = self.block_size
+        protected: set = set()
+        for state in self.active:
+            if state.done:
+                continue
+            blocks = state.cache.block_table
+            if not blocks:
+                continue
+            protected.add(blocks[-1])
+            if sink:
+                protected.update(blocks[: -(-min(sink, state.cache.length) // bs)])
+            if recent:
+                protected.update(blocks[max(0, state.cache.length - recent) // bs :])
+        pool.set_protected(protected)
+
+    def _tier_round(self) -> int:
+        """Per-round tier maintenance; returns the restore token charge.
+
+        Re-pins protected blocks (fresh admissions included), then
+        prefetches spilled planes back — coldest degraded block first,
+        up to ``restore_blocks_per_round`` and never past the primary
+        tier's capacity — so a block is restored *before* its request
+        next decodes, not on the blocking path of a write.  Restore
+        traffic is charged in round-token equivalents (one block's worth
+        of planes = one block of tokens) against the round budget when
+        one is set.
+        """
+        pool = self.pool
+        if pool is None or pool.tiering is None:
+            return 0
+        self._tier_protect()
+        budget = pool.tiering.restore_blocks_per_round
+        restore_cost = 0
+        restored = 0
+        for block in pool.degraded_blocks():
+            if restored >= budget:
+                break
+            missing = pool.bits - pool.resident_planes(block)
+            if pool.plane_units_free < missing:
+                break  # pressure is still on; do not overshoot the tier
+            moved = pool.restore_block(block)
+            restore_cost += -(-moved * self.block_size // pool.bits)
+            restored += 1
+            self.tier_prefetch_restores += 1
+        for level, count in pool.resident_plane_histogram().items():
+            self.planes_hist[level] = self.planes_hist.get(level, 0) + count
+        self.tier_hist_rounds += 1
+        return restore_cost
+
+    def drain_evicted_prefix_keys(self) -> List[bytes]:
+        """Prefix chain keys the pool dropped since the last drain.
+
+        Forwarded by the serving front-end to the cluster router so its
+        affinity index mirrors pool evictions (see
+        :meth:`~repro.engine.cache.PlaneBlockPool.drain_evicted_prefix_keys`).
+        """
+        return [] if self.pool is None else self.pool.drain_evicted_prefix_keys()
+
     def _decode_round(self) -> int:
         """One decode round over the active set; returns steps advanced.
 
@@ -1017,8 +1182,14 @@ class ContinuousScheduler:
             except PoolExhausted:
                 # Flush before preempting (see docstring): victim
                 # selection, trace order and timing marks must match the
-                # per-request loop exactly.
+                # per-request loop exactly.  (Flushing before a *spill*
+                # keeps the same equivalence: already-appended requests
+                # filter against pre-spill planes in both modes.)
                 self._flush_decode(pending, round_ids)
+                tail = state.cache.block_table[-1:]  # the append's write target
+                if self._relieve_pressure(avoid=tail):
+                    self._record("spill", (req.request_id,))
+                    continue
                 if len(self.active) == 1:
                     # Defensive: _check_footprints guarantees a lone
                     # request's blocks always fit, so this only fires if
@@ -1061,11 +1232,20 @@ class ContinuousScheduler:
             [s.cache for s in pending],
             [s.request.decode_q[:, s.next_step, :] for s in pending],
         )
+        tiered = self.pool is not None and self.pool.tiering is not None
         for state, res in zip(pending, results):
             t = state.next_step
             state.outputs.append(res.output[:, 0, :])
             state.retained_history.append(res.retained[:, 0, :])
             state.next_step = t + 1
+            self.decoded_tokens += 1
+            if tiered and any(
+                self.pool.resident_planes(b) < self.pool.bits
+                for b in state.cache.block_table
+            ):
+                # This token was scored against partial-plane keys: the
+                # accuracy-vs-pressure quantity the serving report tracks.
+                self.degraded_tokens += 1
             if self.token_sink is not None:
                 rid = state.request.request_id
                 # A post-preemption replay recomputes byte-identical
@@ -1095,6 +1275,27 @@ class ContinuousScheduler:
                 written = self.engine.prefill_extend(state.cache, tokens)
                 break
             except PoolExhausted:
+                # Spill ladder first (the chunk resumes inside its tail
+                # block, so that write target must stay resident);
+                # preemption only when even fully-spilled state is full.
+                # The chunk may need several blocks at once, so relief
+                # must free the whole chunk's worth before the retry —
+                # anything less would loop on the same exhaustion.
+                cache = state.cache
+                remaining = cache.prefill_remaining
+                take = remaining if tokens is None else min(int(tokens), remaining)
+                end = cache.length + take
+                chunk_blocks = max(
+                    1, -(-end // self.block_size) - len(cache.block_table)
+                )
+                tail = cache.block_table[-1:]
+                if self._relieve_pressure(
+                    chunk_blocks * (self.pool.bits if self.pool else 8),
+                    chunk_blocks,
+                    avoid=tail,
+                ):
+                    self._record("spill", (state.request.request_id,))
+                    continue
                 if len(self.active) == 1:
                     raise RuntimeError(
                         f"token budget {self.token_budget} cannot hold request "
@@ -1254,6 +1455,12 @@ class ContinuousScheduler:
             # Charged accounting: what the budget ceiling actually sees.
             used = sum(self._charge_blocks(s.request) for s in self.active)
             return used * self.block_size
+        if self.pool is not None and self.pool.tiering is not None:
+            # Tiered accounting: residency-weighted primary-tier usage
+            # in token equivalents (a half-spilled block counts half),
+            # so occupancy stays meaningful against the token budget
+            # even though the backing store is oversized.
+            return self.pool.plane_units_used * self.block_size // self.pool.bits
         return self.pool.used_tokens if self.pool is not None else 0
 
     def start(self) -> Dict[str, RequestResult]:
@@ -1300,7 +1507,15 @@ class ContinuousScheduler:
                     )
                 self.time = float(next_arrival)
         self._expire(results)
+        # Pin the running batch's write tails and sink/recent windows
+        # before admission — an admission-triggered spill must never
+        # degrade them.
+        self._tier_protect()
         self._admit()
+        # Re-pin (fresh admissions included) and prefetch spilled planes
+        # back before anyone decodes; the restore traffic is charged
+        # against this round's token budget below.
+        restore_tokens = self._tier_round()
         decode_tokens = 0
         exclusive = (
             self._budgeted
@@ -1315,7 +1530,7 @@ class ContinuousScheduler:
         else:
             decode_tokens = self._decode_round()
         if self._budgeted:
-            self._prefill_round(decode_tokens)
+            self._prefill_round(decode_tokens + restore_tokens)
         self.time += 1.0
         self.occupancy.append((self.time, self._used_tokens(), len(self.active)))
         self._collect(results)

@@ -991,6 +991,9 @@ def serving_profile(
     port: int = 0,
     replicas: int = 1,
     routing: str = "prefix",
+    tiering: bool = False,
+    tier_min_planes: int = 2,
+    tier_restore_blocks: int = 4,
 ) -> Dict[str, float]:
     """Continuous-batching serving profile over the paged bit-plane pool.
 
@@ -1025,9 +1028,16 @@ def serving_profile(
     ``jain_replica_index``, request-weighted prefix hit rate);
     ``routing`` picks the routing mode (``prefix`` / ``random`` /
     ``least-loaded``).
+    ``tiering`` switches the pool to the two-tier bit-plane memory
+    (spill-before-preempt; PADE attention only), with
+    ``tier_min_planes`` the residency floor and ``tier_restore_blocks``
+    the per-round prefetch-restore cap — the report gains the
+    accuracy-vs-pressure columns (``degraded_token_fraction``,
+    ``planes_resident_*``, spill/restore bytes).
     Deterministic for a given seed — safe for ``--json`` smoke runs; the
     CLI exposes ``--rate/--budget/--sched-policy/--scenario/--tenants/
-    --prefix-sharing/--chunk/--round-tokens/--attention/--async/--port``.
+    --prefix-sharing/--chunk/--round-tokens/--attention/--async/--port/
+    --tiering/--tier-min-planes/--tier-restore-blocks``.
     """
     from repro.engine import PadeEngine
     from repro.eval.serving_metrics import summarize_serving
@@ -1079,15 +1089,23 @@ def serving_profile(
         tenant_weights=tenant_weights,
         batched_decode=batched,
     )
+    if tiering:
+        from repro.engine.cache import TierConfig
+
+        serve_kwargs["tiering"] = TierConfig(
+            min_resident_planes=tier_min_planes,
+            restore_blocks_per_round=tier_restore_blocks,
+        )
     if replicas > 1:
         # Sharded serving: the workload fans out over subprocess workers,
         # each a full engine with a private pool, behind the affinity
         # router.  Workers run the standard batched decode path only.
-        if chunk or round_tokens or tenant_weights is not None or not batched:
+        if chunk or round_tokens or tenant_weights is not None or not batched \
+                or tiering:
             raise ValueError(
                 "replicas > 1 serves through cluster workers, which run the "
                 "standard batched decode path (no chunked prefill, prefill "
-                "cost model, or tenant weights)"
+                "cost model, tenant weights, or tiered memory)"
             )
         from repro.cluster.server import serve_workload_over_cluster
 

@@ -427,6 +427,27 @@ def summarize_serving(
         )
         if pool is not None:
             report["peak_used_blocks"] = float(pool.peak_used_blocks)
+        if getattr(scheduler, "tiering", None) is not None and pool is not None:
+            # Accuracy-vs-pressure columns, emitted only when the tiered
+            # backend ran so the disabled report stays byte-identical.
+            report["spill_reliefs"] = float(scheduler.spill_reliefs)
+            report["spill_events"] = float(pool.spill_events)
+            report["restore_events"] = float(pool.restore_events)
+            report["spilled_plane_bytes"] = float(pool.spilled_plane_bytes)
+            report["restored_plane_bytes"] = float(pool.restored_plane_bytes)
+            report["tier_prefetch_restores"] = float(scheduler.tier_prefetch_restores)
+            report["degraded_token_fraction"] = float(
+                scheduler.degraded_tokens / max(1, scheduler.decoded_tokens)
+            )
+            report["tier_min_resident_planes"] = float(
+                scheduler.tiering.min_resident_planes
+            )
+            rounds = max(1, scheduler.tier_hist_rounds)
+            for level, count in sorted(scheduler.planes_hist.items()):
+                report[f"planes_resident_{level}"] = float(count / rounds)
+            dram = pool.tier_dram_stats()
+            report["tier_restore_cycles"] = float(dram["restore"].cycles)
+            report["tier_restore_energy_pj"] = float(dram["restore"].energy_pj)
         engine = getattr(scheduler, "engine", None)
         stats = getattr(engine, "stats", None)
         if stats is not None:

@@ -218,6 +218,7 @@ def serve_workload_over_loopback(
     queue_limit: Optional[int] = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    pace_s_per_round: float = 0.0,
     **scheduler_kwargs,
 ):
     """Serve ``requests`` through a loopback :class:`AsyncPadeServer`.
@@ -228,7 +229,9 @@ def serve_workload_over_loopback(
     engine loop until every request is submitted, making the run a
     deterministic replay of the equivalent in-process
     :meth:`PadeEngine.serve` call; ``barrier=False`` serves live with a
-    closed-loop client at ``concurrency``.
+    closed-loop client at ``concurrency``, or — with
+    ``pace_s_per_round`` > 0 — with the open-loop client replaying each
+    request's arrival schedule against real wall-clock time.
     """
     limit = queue_limit if queue_limit is not None else max(len(requests), 1)
 
@@ -245,6 +248,11 @@ def serve_workload_over_loopback(
         try:
             if barrier:
                 dones = await run_open_loop(server.host, server.port, requests)
+            elif pace_s_per_round > 0:
+                dones = await run_open_loop(
+                    server.host, server.port, requests,
+                    pace_s_per_round=pace_s_per_round,
+                )
             else:
                 dones = await run_closed_loop(
                     server.host, server.port, requests, concurrency=concurrency

@@ -320,6 +320,15 @@ class AsyncPadeServer:
                             "load": self.scheduler.load_stats(),
                             "accept_queued": len(self._accept_queue),
                             "served": len(self.results),
+                            # Prefix chain keys whose blocks the pool has
+                            # recycled since the last poll — the cluster
+                            # router unindexes them so dropped prefixes
+                            # stop attracting affinity routes (hex, since
+                            # the wire format is JSON).
+                            "evicted_prefix_keys": [
+                                key.hex()
+                                for key in self.scheduler.drain_evicted_prefix_keys()
+                            ],
                         },
                     )
                 elif kind == "barrier":

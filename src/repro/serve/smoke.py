@@ -3,9 +3,14 @@ the closed-loop client over loopback, assert a clean shutdown.
 
 Exit code 0 requires: every request accepted and completed ``ok`` with
 a non-empty token stream, the shutdown ack reporting zero leaked pool
-blocks, and wall-clock TTFT populated for every request.  Run by CI as::
+blocks, and wall-clock TTFT populated for every request.  With
+``--open-loop`` the workload instead replays each request's Poisson
+arrival schedule against real wall-clock time (``--pace`` seconds per
+round unit), and the makespan must additionally cover the paced
+submission window — the standing paced-load scenario.  Run by CI as::
 
     python -m repro.serve.smoke --requests 6
+    python -m repro.serve.smoke --requests 6 --open-loop --pace 0.02
 """
 
 from __future__ import annotations
@@ -30,17 +35,28 @@ def main(argv=None) -> int:
     parser.add_argument("--budget", type=int, default=1536)
     parser.add_argument("--concurrency", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--open-loop", action="store_true",
+        help="replay the workload's arrival schedule open-loop instead of "
+        "running the closed-loop client",
+    )
+    parser.add_argument(
+        "--pace", type=float, default=0.02,
+        help="wall-clock seconds per arrival round unit (open-loop only)",
+    )
     args = parser.parse_args(argv)
 
     engine = PadeEngine(PadeConfig.standard(), policy="pade")
     workload = build_serving_workload(
         args.requests, 4, args.context, args.steps, 32, rate=0.5, seed=args.seed
     )
+    pace = args.pace if args.open_loop else 0.0
     dones, ack, _server = serve_workload_over_loopback(
         engine,
         workload,
         barrier=False,
         concurrency=args.concurrency,
+        pace_s_per_round=pace,
         max_active=4,
         token_budget=args.budget,
         block_size=16,
@@ -59,6 +75,17 @@ def main(argv=None) -> int:
     report = ack.get("report", {})
     if report.get("n_wall_ttft_ms", 0.0) != float(args.requests):
         failures.append(f"wall TTFT series incomplete: {report.get('n_wall_ttft_ms')}")
+    if pace > 0:
+        # The paced replay must actually have taken wall-clock time: the
+        # makespan (first submit -> last completion) covers at least the
+        # paced span between the first and last arrivals.
+        arrivals = [r.arrival_time for r in workload]
+        floor_ms = (max(arrivals) - min(arrivals)) * pace * 1000.0
+        if report.get("wall_makespan_ms", 0.0) < floor_ms:
+            failures.append(
+                f"paced makespan {report.get('wall_makespan_ms'):.1f}ms below "
+                f"pacing floor {floor_ms:.1f}ms"
+            )
 
     print(
         json.dumps(

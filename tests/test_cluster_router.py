@@ -200,3 +200,81 @@ def test_request_chain_keys_match_what_the_replica_registers():
     cache = PagedBitPlaneKVCache(pool, prefix_sharing=True)
     cache.begin_prefill(k, v)
     assert cache._block_keys == keys
+
+
+# -- bounded key index + eviction mirroring ----------------------------
+
+
+@given(st.lists(key, min_size=1, max_size=6, unique=True))
+def test_unregister_drops_match_and_reports_count(keys):
+    router = PrefixAffinityRouter(["a", "b"], mode="prefix")
+    router.register("a", keys)
+    assert router.match_length("a", keys) == len(keys)
+    assert router.unregister("a", keys) == len(keys)
+    assert router.match_length("a", keys) == 0
+    assert router.indexed_keys("a") == 0
+    # Idempotent: the keys are already gone, nothing else breaks.
+    assert router.unregister("a", keys) == 0
+
+
+def test_unregister_unknown_replica_raises():
+    router = PrefixAffinityRouter(["a"])
+    with pytest.raises(KeyError):
+        router.unregister("ghost", [b"k"])
+
+
+def test_unregister_on_drained_replica_is_a_noop():
+    router = PrefixAffinityRouter(["a", "b"])
+    router.register("a", [b"k1", b"k2"])
+    router.drain("a")
+    assert router.unregister("a", [b"k1", b"k2"]) == 0
+
+
+@given(cap=st.integers(1, 8), extra=st.integers(1, 8))
+def test_key_index_is_bounded_and_evicts_oldest_first(cap, extra):
+    router = PrefixAffinityRouter(["a"], max_keys_per_replica=cap)
+    total = cap + extra
+    keys = [f"k{i}".encode() for i in range(total)]
+    for k in keys:
+        router.register("a", [k])
+    assert router.indexed_keys("a") == cap
+    # Oldest keys fell out, the newest cap survive.
+    for k in keys[:extra]:
+        assert router.match_length("a", [k]) == 0
+    for k in keys[extra:]:
+        assert router.match_length("a", [k]) == 1
+
+
+def test_reregistering_refreshes_eviction_age():
+    router = PrefixAffinityRouter(["a"], max_keys_per_replica=2)
+    router.register("a", [b"old"])
+    router.register("a", [b"mid"])
+    router.register("a", [b"old"])  # refresh: "mid" is now the oldest
+    router.register("a", [b"new"])
+    assert router.match_length("a", [b"old"]) == 1
+    assert router.match_length("a", [b"mid"]) == 0
+    assert router.match_length("a", [b"new"]) == 1
+
+
+def test_evicted_keys_flow_from_pool_to_scheduler_drain():
+    """The pool reports recycled prefix keys exactly once per drain."""
+    from repro.engine.cache import PagedBitPlaneKVCache, PlaneBlockPool
+    from repro.eval.workloads import build_engine_request
+
+    request = build_engine_request("evict", 4, 32, 4, 32, seed=5)
+    k = np.asarray(request.k, dtype=np.float64)
+    v = np.asarray(request.v, dtype=np.float64)
+    pool = PlaneBlockPool(
+        k.shape[0], k.shape[2], v.shape[2], bits=8,
+        block_size=16, token_budget=256,
+    )
+    cache = PagedBitPlaneKVCache(pool, prefix_sharing=True)
+    cache.begin_prefill(k, v)
+    while cache.prefill_remaining:
+        cache.extend_prefill()
+    registered = list(cache._block_keys)
+    assert registered and pool.drain_evicted_prefix_keys() == []
+    cache.release()  # frees the registered blocks -> keys are evicted
+    drained = pool.drain_evicted_prefix_keys()
+    assert sorted(drained) == sorted(registered)
+    assert pool.drain_evicted_prefix_keys() == []  # drained exactly once

@@ -1,0 +1,266 @@
+"""Property tests for the two-tier (plane-progressive spill) pool.
+
+The tiered pool is only sound if spilling is invisible to everything but
+the score precision: refcounts, COW sharing, and the free/allocated
+accounting must be exactly the flat pool's, a spill → restore round trip
+must be byte-identical, writers must never land rows in a degraded
+block, and with tiering disabled the pool must behave byte-for-byte like
+the pre-tiering code (no tier state, no report columns).  Hypothesis
+drives the spill/restore/release schedules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import PadeConfig
+from repro.engine import (
+    PadeEngine,
+    PagedBitPlaneKVCache,
+    PlaneBlockPool,
+    PoolExhausted,
+)
+from repro.engine.cache import TierConfig
+
+
+def _tiered_pool(budget_blocks=6, block_size=4, bits=8, min_resident=2,
+                 num_heads=2, head_dim=4, plane_budget_blocks=None):
+    return PlaneBlockPool(
+        num_heads, head_dim, head_dim, bits=bits, block_size=block_size,
+        token_budget=budget_blocks * block_size,
+        tiering=TierConfig(min_resident_planes=min_resident),
+        plane_budget_blocks=plane_budget_blocks,
+    )
+
+
+def _fill_cache(pool, rng, tokens):
+    cache = PagedBitPlaneKVCache(pool)
+    k = rng.normal(size=(pool.num_heads, tokens, pool.head_dim))
+    v = rng.normal(size=(pool.num_heads, tokens, pool.v_dim))
+    cache.prefill(k, v)
+    return cache
+
+
+def _check_tier_invariants(pool):
+    """Accounting invariants that must hold after every operation."""
+    live = pool._allocated
+    # Plane units are exactly the sum of live residencies.
+    assert pool.plane_units_used == sum(pool.resident_planes(b) for b in live)
+    assert pool.plane_units_used <= pool.plane_capacity_units
+    for block in live:
+        r = pool.resident_planes(block)
+        assert pool.tiering.min_resident_planes <= r <= pool.bits
+        if r < pool.bits:
+            # The spill store holds exactly the missing plane prefix.
+            assert pool._spill_store[block].shape[0] == pool.bits - r
+        else:
+            assert block not in pool._spill_store
+    # Free blocks carry no tier state.
+    for block in pool._free:
+        assert block not in pool._resident
+        assert block not in pool._spill_store
+
+
+class TestPoolLifecycle:
+    @given(
+        schedule=st.lists(st.integers(0, 3), min_size=1, max_size=24),
+        min_resident=st.integers(1, 4),
+        seed=st.integers(0, 2**16),
+    )
+    def test_spill_restore_release_preserves_accounting(
+        self, schedule, min_resident, seed
+    ):
+        """Any interleaving of fill/spill/restore/release keeps the
+        plane-unit and refcount books balanced and leaks nothing."""
+        rng = np.random.default_rng(seed)
+        pool = _tiered_pool(budget_blocks=6, min_resident=min_resident)
+        ladder = pool.tiering.ladder(pool.bits)
+        caches = []
+        for op in schedule:
+            if op == 0 and len(caches) < 3:  # fill a fresh cache
+                try:
+                    caches.append(_fill_cache(pool, rng, int(rng.integers(1, 8))))
+                except PoolExhausted:
+                    pass
+            elif op == 1:  # spill the coldest candidate one ladder level
+                for block in pool.spill_candidates()[:1]:
+                    current = pool.resident_planes(block)
+                    target = next((t for t in ladder if t < current), None)
+                    if target is not None:
+                        pool.spill_block(block, target)
+            elif op == 2:  # prefetch-restore the coldest degraded block
+                for block in pool.degraded_blocks()[:1]:
+                    missing = pool.bits - pool.resident_planes(block)
+                    if pool.plane_units_free >= missing:
+                        pool.restore_block(block)
+            elif op == 3 and caches:  # retire the oldest cache
+                caches.pop(0).release()
+            _check_tier_invariants(pool)
+        for cache in caches:
+            cache.release()
+        assert pool.used_block_count == 0
+        assert pool.plane_units_used == 0
+        assert not pool._spill_store
+        assert not pool._resident
+        assert pool.free_block_count == pool.num_blocks
+
+    @given(
+        tokens=st.integers(1, 16),
+        target=st.integers(1, 7),
+        seed=st.integers(0, 2**16),
+    )
+    def test_spill_restore_roundtrip_is_byte_identical(self, tokens, target, seed):
+        """Restoring a spilled block reproduces its plane bytes exactly;
+        while spilled, the low planes read as zero (partial reconstruction)."""
+        rng = np.random.default_rng(seed)
+        pool = _tiered_pool(budget_blocks=6, min_resident=1)
+        cache = _fill_cache(pool, rng, tokens)
+        block = cache.block_table[0]
+        rows = slice(block * pool.block_size, (block + 1) * pool.block_size)
+        before = pool._planes[:, :, rows, :].copy()
+        moved = pool.spill_block(block, target)
+        assert moved == pool.bits - target
+        assert not pool._planes[target:, :, rows, :].any()
+        assert (pool._planes[:target, :, rows, :] == before[:target]).all()
+        pool.restore_block(block)
+        assert pool._planes[:, :, rows, :].tobytes() == before.tobytes()
+        cache.release()
+
+    @given(seed=st.integers(0, 2**16))
+    def test_writes_into_spilled_blocks_restore_first(self, seed):
+        """Appending into a degraded tail block must not leave the fresh
+        row's planes half-spilled (a later restore would clobber them)."""
+        rng = np.random.default_rng(seed)
+        pool = _tiered_pool(budget_blocks=6, block_size=4)
+        cache = _fill_cache(pool, rng, 5)  # tail block half-full
+        tail = cache.block_table[-1]
+        pool.spill_block(tail, pool.tiering.min_resident_planes)
+        k = rng.normal(size=(pool.num_heads, pool.head_dim))
+        v = rng.normal(size=(pool.num_heads, pool.v_dim))
+        cache.append(k, v)
+        assert pool.resident_planes(tail) == pool.bits
+        assert tail not in pool._spill_store
+        cache.release()
+        assert pool.plane_units_used == 0
+
+
+class TestSharingAndCow:
+    @given(seed=st.integers(0, 2**16))
+    def test_fork_of_spilled_block_restores_then_copies(self, seed):
+        """COW-forking a shared degraded block first restores it, so the
+        fork is a byte-identical full-precision copy."""
+        rng = np.random.default_rng(seed)
+        pool = _tiered_pool(budget_blocks=6, block_size=4)
+        cache = _fill_cache(pool, rng, 4)
+        block = cache.block_table[0]
+        pool.share(block)  # a second owner appears
+        pool.spill_block(block, pool.tiering.min_resident_planes)
+        fork = pool.fork_block(block, rows_used=4)
+        assert pool.resident_planes(block) == pool.bits
+        assert pool.resident_planes(fork) == pool.bits
+        src = slice(block * pool.block_size, (block + 1) * pool.block_size)
+        dst = slice(fork * pool.block_size, (fork + 1) * pool.block_size)
+        assert (
+            pool._planes[:, :, src, :].tobytes()
+            == pool._planes[:, :, dst, :].tobytes()
+        )
+        # The fork consumed the share() reference; only the cache's remains.
+        assert pool.ref_count(block) == 1
+        pool.release([fork])
+        cache.release()
+        assert pool.used_block_count == 0
+        assert pool.plane_units_used == 0
+
+    def test_protected_blocks_are_never_spill_candidates(self):
+        rng = np.random.default_rng(0)
+        pool = _tiered_pool(budget_blocks=6)
+        cache = _fill_cache(pool, rng, 8)
+        pool.set_protected(cache.block_table)
+        assert pool.spill_candidates() == []
+        pool.set_protected([])
+        assert set(pool.spill_candidates()) == set(cache.block_table)
+        cache.release()
+
+    def test_plane_budget_exhaustion_raises_and_spill_unblocks(self):
+        rng = np.random.default_rng(1)
+        pool = _tiered_pool(budget_blocks=6, plane_budget_blocks=2, block_size=4)
+        cache = _fill_cache(pool, rng, 8)  # 2 blocks = entire plane budget
+        with pytest.raises(PoolExhausted):
+            pool.allocate()
+        for block in cache.block_table:
+            pool.spill_block(block, pool.tiering.min_resident_planes)
+        extra = pool.allocate()  # freed units admit a new block
+        pool.release([extra])
+        cache.release()
+        assert pool.plane_units_used == 0
+
+
+class TestSchedulerIntegration:
+    def _overload(self, tiering):
+        from repro.eval.workloads import build_serving_workload
+
+        engine = PadeEngine(PadeConfig.standard())
+        workload = build_serving_workload(6, 4, 32, 40, 32, rate=1.5, seed=7)
+        results = engine.serve(
+            workload, max_active=5, token_budget=224, block_size=16,
+            tiering=tiering,
+        )
+        return results, engine.last_serve
+
+    def test_overloaded_tiered_serve_leaks_nothing(self):
+        results, scheduler = self._overload(TierConfig(min_resident_planes=4))
+        assert all(r.status == "ok" for r in results.values())
+        assert scheduler.spill_reliefs > 0, "overload never spilled"
+        pool = scheduler.pool
+        assert pool.used_block_count == 0
+        assert pool.plane_units_used == 0
+        assert not pool._spill_store
+
+    def test_disabled_tiering_matches_flat_pool_and_hides_columns(self):
+        from repro.eval.serving_metrics import summarize_serving
+
+        results, scheduler = self._overload(None)
+        assert scheduler.tiering is None
+        pool = scheduler.pool
+        assert pool.tiering is None
+        assert pool.spill_events == 0 and pool.restore_events == 0
+        report = summarize_serving(
+            results.values(), occupancy=scheduler.occupancy,
+            token_budget=pool.token_budget, scheduler=scheduler,
+        )
+        leaked = [
+            k for k in report
+            if "tier" in k or "spill" in k or "planes_resident" in k
+            or "degraded" in k
+        ]
+        assert not leaked, f"disabled run leaked tiering columns: {leaked}"
+
+    def test_tiering_requires_the_pade_policy(self):
+        from repro.eval.workloads import build_serving_workload
+
+        engine = PadeEngine(PadeConfig.standard(), policy="h2o")
+        workload = build_serving_workload(2, 4, 32, 4, 32, rate=0.5, seed=0)
+        with pytest.raises(ValueError, match="pade"):
+            engine.serve(workload, token_budget=256, tiering=True)
+
+
+class TestTierConfigValidation:
+    def test_bad_knobs_raise(self):
+        with pytest.raises(ValueError):
+            TierConfig(min_resident_planes=0)
+        with pytest.raises(ValueError):
+            TierConfig(restore_blocks_per_round=-1)
+        with pytest.raises(ValueError):
+            TierConfig(min_resident_planes=8).ladder(8)
+
+    def test_ladder_halves_down_to_the_floor(self):
+        assert TierConfig(min_resident_planes=2).ladder(8) == [4, 2]
+        assert TierConfig(min_resident_planes=1).ladder(8) == [4, 2, 1]
+        assert TierConfig(min_resident_planes=3).ladder(8) == [4, 3]
+
+    def test_floor_at_or_above_bits_rejected_by_pool(self):
+        with pytest.raises(ValueError):
+            _tiered_pool(min_resident=8)
