@@ -37,6 +37,7 @@ REGISTRY = {
     "BENCH_async_serve.json": ("parity.round_report.throughput_tokens_per_round", "higher"),
     "BENCH_cluster.json": ("scaling.throughput_ratio", "higher"),
     "BENCH_tiering.json": ("overload.p99_ttft_improvement", "higher"),
+    "BENCH_spec.json": ("speculative.accepted_tokens_per_round", "higher"),
 }
 
 

@@ -52,6 +52,9 @@ class StreamingLLMPolicy(BaselineAttentionPolicy):
 
     name = "streaming-llm"
     dense_footprint = False
+    # Purely positional selection: no per-request state absorbs the
+    # speculated queries, so rollback to a fork anchor is sound.
+    draftable = True
 
     def __init__(self, keep_fraction: float = 0.25, sink_tokens: int = 4) -> None:
         self.keep_fraction = float(keep_fraction)

@@ -49,6 +49,9 @@ class TopKOraclePolicy(BaselineAttentionPolicy):
     """
 
     name = "topk-oracle"
+    # A pure function of the query and the *current* resident keys: no
+    # state survives a rolled-back draft block, so it is a sound draft.
+    draftable = True
 
     def __init__(self, keep_fraction: float = 0.25) -> None:
         self.keep_fraction = float(keep_fraction)

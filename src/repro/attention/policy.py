@@ -82,6 +82,8 @@ __all__ = [
     "get_policy",
     "available_policies",
     "resolve_policy",
+    "resolve_draft_policy",
+    "available_draft_policies",
 ]
 
 
@@ -132,6 +134,37 @@ def resolve_policy(
     return policy
 
 
+def available_draft_policies() -> List[str]:
+    """Registry names usable as the cheap draft in speculative decoding."""
+    _ensure_registered()
+    return sorted(
+        name for name, cls in POLICY_REGISTRY.items() if cls.draftable
+    )
+
+
+def resolve_draft_policy(
+    policy: Union[None, str, "AttentionPolicy"],
+) -> "AttentionPolicy":
+    """Resolve the *draft* side of a draft-verify speculative pair.
+
+    Only :attr:`AttentionPolicy.draftable` policies qualify: the
+    scheduler forks a rollback anchor before every draft block and
+    re-attaches the draft's per-request state to it on a reject, which
+    is sound only when that state never absorbs information from the
+    speculated (possibly discarded) tokens.  Stateless positional
+    policies (StreamingLLM) and pure functions of the current K/V
+    (top-k oracle) qualify; accumulation-style policies like H2O — whose
+    eviction mass would be polluted by rolled-back queries — do not.
+    """
+    resolved = resolve_policy(policy if policy is not None else "streaming-llm")
+    if not resolved.draftable:
+        raise ValueError(
+            f"policy {resolved.name!r} cannot be used as a speculative draft; "
+            f"choose from {available_draft_policies()}"
+        )
+    return resolved
+
+
 class AttentionPolicy:
     """Base class: how the engine selects and attends retained keys.
 
@@ -155,6 +188,12 @@ class AttentionPolicy:
     #: §13).  Policies that keep it ``False`` always serve through the
     #: per-request loop, even when the scheduler runs in batched mode.
     supports_batched_decode: bool = False
+    #: True when the policy is sound as the cheap *draft* of a
+    #: draft-verify speculative pair (DESIGN.md §17): its per-request
+    #: state must not accumulate information from speculated queries,
+    #: because a rejected draft block rolls the cache back to the fork
+    #: anchor and re-attaches the same state object.
+    draftable: bool = False
 
     # ------------------------------------------------------------------
     def cache_footprint(self, prompt_tokens: int, decode_steps: int) -> int:

@@ -37,7 +37,12 @@ wall-clock TTFT/TPOT/queueing columns are added), and ``--replicas`` /
 ``--routing`` (shard the workload over N engine worker subprocesses
 behind the prefix-affinity router in :mod:`repro.cluster`; the report
 becomes the cluster roll-up with ``cluster_throughput_tokens_per_round``
-and ``jain_replica_index``).
+and ``jain_replica_index``).  ``--speculative`` / ``--draft-policy`` /
+``--draft-tokens`` / ``--spec-accept-tol`` turn on draft-verify
+speculative decoding (a draftable policy proposes tokens on a
+copy-on-write forked cache, the PADE verifier accepts a prefix per
+round), and ``--parallel-samples N`` serves n-best parallel sampling
+(N decode lineages forked off one shared prefill).
 """
 
 from __future__ import annotations
@@ -48,7 +53,7 @@ import sys
 import time
 from typing import Dict
 
-from repro.attention.policy import available_policies
+from repro.attention.policy import available_draft_policies, available_policies
 from repro.cluster.router import ROUTING_MODES
 from repro.core.backend import available_backends, set_default_backend
 from repro.engine import SCHEDULING_POLICIES
@@ -218,6 +223,33 @@ def main(argv=None) -> int:
         "round (serve only, needs --tiering)",
     )
     serve_group.add_argument(
+        "--speculative", action="store_true",
+        help="draft-verify speculative decoding: a cheap draftable policy "
+        "proposes tokens on a COW-forked cache, the PADE verifier accepts "
+        "a prefix per round; served on a draft-friendly workload; PADE "
+        "attention only (serve only)",
+    )
+    serve_group.add_argument(
+        "--parallel-samples", type=int, default=1,
+        help="n-best parallel sampling: fork every request into N decode "
+        "lineages off one shared prefill; PADE attention only (serve only)",
+    )
+    serve_group.add_argument(
+        "--draft-policy", choices=available_draft_policies(), default="streaming-llm",
+        help="draft proposer policy for --speculative; only stateless / "
+        "rollback-sound policies are draftable (serve only)",
+    )
+    serve_group.add_argument(
+        "--draft-tokens", type=int, default=4,
+        help="draft depth: tokens proposed per speculative round "
+        "(serve only, needs --speculative)",
+    )
+    serve_group.add_argument(
+        "--spec-accept-tol", type=float, default=0.05,
+        help="relative-L2 tolerance for accepting a drafted token against "
+        "the verifier output (serve only, needs --speculative)",
+    )
+    serve_group.add_argument(
         "--routing", choices=ROUTING_MODES, default="prefix",
         help="replica routing mode: 'prefix' matches chained prompt block "
         "keys against each replica's key index, 'random' and "
@@ -259,6 +291,11 @@ def main(argv=None) -> int:
                 "tiering": args.tiering,
                 "tier_min_planes": args.tier_min_planes,
                 "tier_restore_blocks": args.tier_restore_blocks,
+                "speculative": args.speculative,
+                "parallel_samples": args.parallel_samples,
+                "draft_policy": args.draft_policy,
+                "draft_tokens": args.draft_tokens,
+                "spec_accept_tol": args.spec_accept_tol,
             }
             if name == "serve"
             else {}

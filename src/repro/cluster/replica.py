@@ -76,6 +76,8 @@ class ReplicaHandle:
         policy: str = "fcfs",
         attention: str = "pade",
         prefix_sharing: bool = True,
+        draft_policy: str = "streaming-llm",
+        spec_accept_tol: float = 0.05,
     ) -> None:
         """Start the worker subprocess, read its ready line, connect."""
         import repro
@@ -99,6 +101,8 @@ class ReplicaHandle:
             "--block-size", str(block_size),
             "--policy", str(policy),
             "--attention", str(attention),
+            "--draft-policy", str(draft_policy),
+            "--spec-accept-tol", str(spec_accept_tol),
         ]
         if prefix_sharing:
             cmd.append("--prefix-sharing")

@@ -97,6 +97,8 @@ class ClusterServer:
         policy: str = "fcfs",
         attention: str = "pade",
         prefix_sharing: bool = True,
+        draft_policy: str = "streaming-llm",
+        spec_accept_tol: float = 0.05,
     ) -> None:
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
@@ -120,6 +122,8 @@ class ClusterServer:
             policy=policy,
             attention=attention,
             prefix_sharing=prefix_sharing,
+            draft_policy=draft_policy,
+            spec_accept_tol=spec_accept_tol,
         )
         self.router = PrefixAffinityRouter(
             [f"r{i}" for i in range(self.num_replicas)], mode=routing, seed=seed

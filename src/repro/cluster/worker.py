@@ -40,6 +40,8 @@ async def _amain(args) -> int:
         block_size=args.block_size,
         policy=args.policy,
         prefix_sharing=args.prefix_sharing,
+        draft_policy=args.draft_policy,
+        spec_accept_tol=args.spec_accept_tol,
     )
     await server.start()
     print(
@@ -63,6 +65,8 @@ def main(argv=None) -> int:
     parser.add_argument("--policy", default="fcfs")
     parser.add_argument("--attention", default="pade")
     parser.add_argument("--prefix-sharing", action="store_true")
+    parser.add_argument("--draft-policy", default="streaming-llm")
+    parser.add_argument("--spec-accept-tol", type=float, default=0.05)
     args = parser.parse_args(argv)
     return asyncio.run(_amain(args))
 

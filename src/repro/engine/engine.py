@@ -656,6 +656,8 @@ class PadeEngine:
         tenant_weights=None,
         batched_decode: bool = True,
         tiering=None,
+        draft_policy="streaming-llm",
+        spec_accept_tol: float = 0.05,
     ):
         """Serve ``requests`` with continuous batching over a paged pool.
 
@@ -678,7 +680,12 @@ class PadeEngine:
         arms the two-tier plane memory: under pool pressure, low-order
         bit planes of cold blocks spill to a secondary tier and
         preemption becomes the last resort (PADE policy only; DESIGN.md
-        §16).
+        §16).  ``draft_policy`` / ``spec_accept_tol`` configure the
+        draft-verify speculative mode for requests submitted with
+        ``speculative=True`` (DESIGN.md §17): the named draftable policy
+        proposes ``draft_tokens``-token blocks over a COW fork anchor
+        and this engine's PADE policy verifies them, accepting the
+        leading run within the relative-L2 tolerance.
         Returns ``{request_id: RequestResult}`` with per-request timing
         (arrival/admit/first-token/finish) populated — aborted requests
         (deadline missed, queueing bound exceeded, cancelled) report
@@ -701,6 +708,8 @@ class PadeEngine:
             tenant_weights=tenant_weights,
             batched_decode=batched_decode,
             tiering=tiering,
+            draft_policy=draft_policy,
+            spec_accept_tol=spec_accept_tol,
         )
         for request in requests:
             scheduler.submit(request)

@@ -102,6 +102,19 @@ class EngineRequest:
     priority: int = 0
     deadline_ms: Optional[float] = None
     max_queue_ms: Optional[float] = None
+    # Parallel sampling (n-best): per extra lineage decode streams of
+    # shape (n-1, H, T, D) / (n-1, H, T, D) / (n-1, H, T, Dv).  The
+    # primary decode_q/k/v stream is lineage 0; lineages share the
+    # prefilled prompt via copy-on-write cache forks.
+    sample_decode_q: Optional[np.ndarray] = None
+    sample_decode_k: Optional[np.ndarray] = None
+    sample_decode_v: Optional[np.ndarray] = None
+    # Draft-verify speculative decoding: a cheap draft policy proposes
+    # up to ``draft_tokens`` outputs per round and the engine's verifier
+    # accepts a leading run of them at the round boundary (rollback to a
+    # pre-round fork point on reject).
+    speculative: bool = False
+    draft_tokens: int = 4
 
     @property
     def decode_steps(self) -> int:
@@ -113,8 +126,26 @@ class EngineRequest:
 
     @property
     def total_tokens(self) -> int:
-        """Peak KV footprint of this request: prompt plus every decode step."""
+        """Peak KV footprint of one lineage: prompt plus every decode step."""
         return self.prompt_tokens + self.decode_steps
+
+    @property
+    def n_samples(self) -> int:
+        """Decode lineages served for this request (1 = plain decoding)."""
+        if self.sample_decode_q is None:
+            return 1
+        return 1 + int(self.sample_decode_q.shape[0])
+
+    @property
+    def footprint_tokens(self) -> int:
+        """Worst-case token rows across all lineages, before COW sharing.
+
+        The shared prompt is counted once; every lineage (primary
+        included) adds its own decode growth.  Block-level COW slack
+        (the forked partial tail each divergent lineage privatizes) is
+        charged by the scheduler, which knows the block size.
+        """
+        return self.prompt_tokens + self.n_samples * self.decode_steps
 
     def __post_init__(self) -> None:
         streams = (self.decode_q, self.decode_k, self.decode_v)
@@ -123,6 +154,34 @@ class EngineRequest:
             raise ValueError("decode_q/decode_k/decode_v must be provided together")
         if present and len({s.shape[1] for s in present}) != 1:
             raise ValueError("decode streams must share the same step count")
+        samples = (self.sample_decode_q, self.sample_decode_k, self.sample_decode_v)
+        sample_present = [s for s in samples if s is not None]
+        if sample_present and len(sample_present) != 3:
+            raise ValueError(
+                "sample_decode_q/sample_decode_k/sample_decode_v must be "
+                "provided together"
+            )
+        if sample_present:
+            if len(present) != 3:
+                raise ValueError("parallel sampling requires primary decode streams")
+            if len({s.shape[0] for s in sample_present}) != 1:
+                raise ValueError("sample decode streams must share the lineage count")
+            if len({s.shape[2] for s in sample_present}) != 1 or (
+                sample_present[0].shape[2] != self.decode_steps
+            ):
+                raise ValueError(
+                    "sample decode streams must match the primary step count"
+                )
+        if self.speculative:
+            if len(present) != 3:
+                raise ValueError("speculative decoding requires decode streams")
+            if sample_present:
+                raise ValueError(
+                    "speculative decoding and parallel sampling are mutually "
+                    "exclusive on one request"
+                )
+            if self.draft_tokens < 1:
+                raise ValueError("draft_tokens must be >= 1")
         if self.arrival_time < 0:
             raise ValueError("arrival_time must be >= 0")
         if self.priority < 0:
@@ -185,6 +244,10 @@ class RequestResult:
     prefill_output: Optional[np.ndarray]  # (H, P, Dv) or None
     decode_outputs: np.ndarray  # (H, T, Dv), T may be 0
     retained_history: List[np.ndarray] = field(default_factory=list)  # per step (H, S_t)
+    # Parallel sampling: one (H, T, Dv) output stack and one retained
+    # history per *extra* lineage (lineage 0 is decode_outputs above).
+    sample_outputs: List[np.ndarray] = field(default_factory=list)
+    sample_retained: List[List[np.ndarray]] = field(default_factory=list)
     final_length: int = 0
     arrival_time: float = 0.0
     admit_time: Optional[float] = None
@@ -219,9 +282,16 @@ class RequestResult:
         """Canonical byte encoding of every step's retained-token set.
 
         Used to assert backend invariance: two runs retain byte-identical
-        token sets iff these encodings compare equal.
+        token sets iff these encodings compare equal.  Sample-lineage
+        histories are folded in after the primary stream, so parallel
+        sampling determinism is pinned by the same comparison.
         """
-        return b"".join(np.packbits(r.astype(np.uint8)).tobytes() for r in self.retained_history)
+        histories = [self.retained_history] + list(self.sample_retained)
+        return b"".join(
+            np.packbits(r.astype(np.uint8)).tobytes()
+            for hist in histories
+            for r in hist
+        )
 
 
 def _stack_decode_outputs(req: EngineRequest, outputs: List[np.ndarray]) -> np.ndarray:
@@ -238,6 +308,24 @@ def _stack_decode_outputs(req: EngineRequest, outputs: List[np.ndarray]) -> np.n
 
 
 @dataclass
+class _Lineage:
+    """One extra decode lineage of a parallel-sampling request.
+
+    Holds the forked copy-on-write cache plus this lineage's own decode
+    streams and bookkeeping — the same fields ``_RequestState`` exposes
+    for the primary lineage, so a decode round treats both uniformly.
+    """
+
+    cache: object
+    decode_q: np.ndarray
+    decode_k: np.ndarray
+    decode_v: np.ndarray
+    outputs: List[np.ndarray] = field(default_factory=list)
+    retained_history: List[np.ndarray] = field(default_factory=list)
+    next_step: int = 0
+
+
+@dataclass
 class _RequestState:
     request: EngineRequest
     cache: object
@@ -247,6 +335,27 @@ class _RequestState:
     retained_history: List[np.ndarray] = field(default_factory=list)
     next_step: int = 0
     service_charged: float = 0.0  # tenant-service tokens billed this attempt
+    # Parallel sampling: one forked lineage per extra sample stream,
+    # created when the prefill completes (fork shares all blocks).
+    sample_lineages: Optional[List[_Lineage]] = None
+    # Speculative decoding: the pre-round fork point rollback returns to,
+    # plus the draft policy's per-request state (survives rollback).
+    spec_anchor: object = None
+    draft_state: object = None
+
+    # The primary lineage's decode streams, so a decode round can treat
+    # ``_RequestState`` and ``_Lineage`` as the same duck type.
+    @property
+    def decode_q(self) -> np.ndarray:
+        return self.request.decode_q
+
+    @property
+    def decode_k(self) -> np.ndarray:
+        return self.request.decode_k
+
+    @property
+    def decode_v(self) -> np.ndarray:
+        return self.request.decode_v
 
     @property
     def prefilling(self) -> bool:
@@ -255,7 +364,18 @@ class _RequestState:
 
     @property
     def done(self) -> bool:
-        return not self.prefilling and self.next_step >= self.request.decode_steps
+        if self.prefilling or self.next_step < self.request.decode_steps:
+            return False
+        if self.sample_lineages:
+            steps = self.request.decode_steps
+            return all(lin.next_step >= steps for lin in self.sample_lineages)
+        return True
+
+    def decode_units(self) -> List[object]:
+        """Every decode lineage of this request, primary first."""
+        if self.sample_lineages:
+            return [self, *self.sample_lineages]
+        return [self]
 
     def reset(self) -> None:
         """Discard all progress (preemption restarts the request)."""
@@ -264,6 +384,9 @@ class _RequestState:
         self.retained_history = []
         self.next_step = 0
         self.service_charged = 0.0
+        self.sample_lineages = None
+        self.spec_anchor = None
+        self.draft_state = None
 
 
 class EngineScheduler:
@@ -658,6 +781,17 @@ class ContinuousScheduler:
         score on float keys and would not observe the degradation, so
         tiering them would cheat the budget.  ``None``/``False`` (the
         default) is byte-identical to the pre-tiering scheduler.
+    draft_policy:
+        The cheap draft for speculative requests (DESIGN.md §17): a name
+        or instance of a policy declaring ``draftable`` (``streaming-llm``,
+        ``topk-oracle``).  Resolved lazily — only when a speculative
+        request is actually submitted, which also requires the engine to
+        serve the ``pade`` verifier policy.
+    spec_accept_tol:
+        Relative L2 tolerance for accepting a draft token: a draft
+        output within ``tol * ||verify||`` of the verifier's output for
+        the same position is accepted; the first reject ends the
+        accepted run (the verifier's own output is emitted there).
     """
 
     def __init__(
@@ -674,6 +808,8 @@ class ContinuousScheduler:
         tenant_weights: Optional[Dict[str, float]] = None,
         batched_decode: bool = True,
         tiering=None,
+        draft_policy="streaming-llm",
+        spec_accept_tol: float = 0.05,
     ) -> None:
         self.policy_obj = resolve_scheduling_policy(policy)
         if admission not in ("continuous", "drain"):
@@ -682,6 +818,8 @@ class ContinuousScheduler:
             raise ValueError("max_active must be >= 1")
         if chunk_tokens < 0 or round_token_budget < 0:
             raise ValueError("chunk_tokens and round_token_budget must be >= 0")
+        if spec_accept_tol < 0:
+            raise ValueError("spec_accept_tol must be >= 0")
         if chunk_tokens and not round_token_budget:
             raise ValueError("chunk_tokens requires round_token_budget (the per-round split)")
         if tiering:
@@ -736,6 +874,27 @@ class ContinuousScheduler:
         self.tier_prefetch_restores = 0  # blocks restored by the per-round prefetch pass
         self.degraded_tokens = 0  # decode tokens produced while any block was degraded
         self.decoded_tokens = 0  # all decode tokens this scheduler produced
+        # Speculative decoding counters (DESIGN.md §17): rounds, tokens the
+        # draft proposed, tokens the verifier accepted, tokens emitted
+        # (accepted run + the verifier's bonus token at a reject).
+        self.draft_policy_name = (
+            draft_policy if isinstance(draft_policy, str) else draft_policy.name
+        )
+        self._draft_policy_arg = draft_policy
+        self._draft_policy = None  # resolved on the first speculative request
+        self.spec_accept_tol = float(spec_accept_tol)
+        self.spec_rounds = 0
+        self.spec_drafted_tokens = 0
+        self.spec_accepted_tokens = 0
+        self.spec_emitted_tokens = 0
+        self.spec_rollbacks = 0  # rounds that rewound to the fork point
+        # Parallel-sampling pool amplification: unique blocks the whole
+        # lineage set held at completion vs what n independent caches of
+        # the primary lineage's size would have held.
+        self.parallel_requests = 0
+        self.parallel_unique_blocks = 0
+        self.parallel_single_blocks = 0
+        self.parallel_replicated_blocks = 0
         self.planes_hist: Dict[int, int] = {}  # residency level -> block-round samples
         self.tier_hist_rounds = 0  # rounds the histogram was sampled over
         self.tenant_service: Dict[str, float] = {}  # tenant -> tokens served
@@ -763,6 +922,30 @@ class ContinuousScheduler:
         in_flight += [s.request.request_id for s in self.active]
         if request.request_id in in_flight:
             raise ValueError(f"request id {request.request_id!r} already queued")
+        if request.speculative:
+            # The verifier is the engine's own policy: accept/reject is
+            # only meaningful when it is the plane-consuming PADE filter
+            # (the draft is a *different*, cheaper selection over the
+            # same pool; a baseline verifying a baseline proves nothing).
+            attn_name = getattr(getattr(self.engine, "policy", None), "name", None)
+            if attn_name != "pade":
+                raise ValueError(
+                    f"speculative decoding requires the 'pade' verifier policy "
+                    f"(engine serves {attn_name!r})"
+                )
+            self._resolve_draft()
+        if request.n_samples > 1:
+            # Lineage caches are COW forks, and a fork carries blocks
+            # only — not the donor's policy_state.  Stateless PADE
+            # decodes each lineage correctly; a stateful baseline (H2O
+            # accumulators) would silently restart its statistics per
+            # fork, so parallel sampling is PADE-only.
+            attn_name = getattr(getattr(self.engine, "policy", None), "name", None)
+            if attn_name != "pade":
+                raise ValueError(
+                    f"parallel sampling requires the 'pade' attention policy "
+                    f"(engine serves {attn_name!r})"
+                )
         self.pending.append((self._submit_seq, request))
         self._submit_seq += 1
         if self._charged or self.tiering is not None:
@@ -772,8 +955,17 @@ class ContinuousScheduler:
             # ceiling — spilled planes free accounting units, and the
             # physical rows to admit into always exist.
             bs = self.block_size
-            self._physical_tokens += max(1, -(-request.total_tokens // bs)) * bs
+            self._physical_tokens += self._dense_blocks(request) * bs
         self._timings.setdefault(request.request_id, _Timing(arrival_time=request.arrival_time))
+
+    def _resolve_draft(self):
+        """Instantiate the draft policy on first speculative use."""
+        if self._draft_policy is None:
+            from repro.attention.policy import resolve_draft_policy
+
+            self._draft_policy = resolve_draft_policy(self._draft_policy_arg)
+            self.draft_policy_name = self._draft_policy.name
+        return self._draft_policy
 
     def fits_budget(self, request: EngineRequest) -> bool:
         """Whether ``request`` could ever be served under the token budget.
@@ -878,15 +1070,49 @@ class ContinuousScheduler:
             )
         return self.pool
 
+    def _dense_blocks(self, req: EngineRequest) -> int:
+        """Worst-case pool blocks across all lineages (COW divergence paid).
+
+        The full prompt blocks are shared by every lineage and counted
+        once; each lineage then privatizes at most one forked partial
+        tail and grows it by its own decode steps.  A speculative
+        request additionally holds the rollback anchor's tail alongside
+        the working tail for the length of one draft round.
+        """
+        bs = self.block_size
+        shared = req.prompt_tokens // bs
+        tail = req.prompt_tokens - shared * bs
+        per_lineage = -(-(tail + req.decode_steps) // bs) if (tail or req.decode_steps) else 0
+        blocks = shared + req.n_samples * per_lineage
+        if req.speculative:
+            blocks += 1
+        return max(1, blocks)
+
     def _charge_tokens(self, req: EngineRequest) -> int:
-        """Tokens this request is charged against the budget (policy view)."""
+        """Tokens this request is charged against the budget (policy view).
+
+        Charged-footprint (bounded) policies admit on the *deduplicated*
+        charged set of a parallel-sampling request: the shared prompt
+        footprint is charged once, and each extra lineage adds only its
+        private decode growth plus one block of copy-on-write slack —
+        charging every forked child its full footprint would spuriously
+        exhaust the budget for blocks that are physically shared.
+        """
         policy = getattr(self.engine, "policy", None)
+        if req.n_samples == 1 and not req.speculative:
+            # Plain request: the exact legacy accounting, unchanged.
+            if policy is None:
+                return req.total_tokens
+            return min(
+                req.total_tokens,
+                policy.cache_footprint(req.prompt_tokens, req.decode_steps),
+            )
+        dense = self._dense_blocks(req) * self.block_size
         if policy is None:
-            return req.total_tokens
-        return min(
-            req.total_tokens,
-            policy.cache_footprint(req.prompt_tokens, req.decode_steps),
-        )
+            return dense
+        charge = policy.cache_footprint(req.prompt_tokens, req.decode_steps)
+        charge += (req.n_samples - 1) * (req.decode_steps + self.block_size)
+        return min(dense, charge)
 
     def _charge_blocks(self, req: EngineRequest) -> int:
         return max(1, -(-self._charge_tokens(req) // self.block_size))
@@ -984,6 +1210,7 @@ class ContinuousScheduler:
                     # Prefill-only: the prompt output is the first (and last) token.
                     timing.first_token_time = self.time + 1.0
                 self._record("prefill", (request.request_id,))
+                self._setup_lineages(state)
 
     def _account_prefix(self, cache) -> None:
         self.prefix_hit_blocks += cache.prefix_hit_blocks
@@ -1004,6 +1231,63 @@ class ContinuousScheduler:
         if request.decode_steps == 0 and timing.first_token_time is None:
             timing.first_token_time = self.time + 1.0
         self._record("prefill", (request.request_id,))
+        self._setup_lineages(state)
+
+    def _setup_lineages(self, state: _RequestState) -> None:
+        """Arm the request's serving mode once its prompt is resident.
+
+        Parallel sampling: fork one copy-on-write cache per extra sample
+        stream — zero allocation (every block is shared by reference),
+        so this can never raise; divergence is paid block by block when
+        a lineage first appends into the shared tail.  Speculative
+        decoding: create the draft policy's per-request state and hang
+        it on the cache (the PADE verifier keeps no per-request state,
+        so the slot is free).
+        """
+        req = state.request
+        if req.n_samples > 1 and state.sample_lineages is None:
+            lineages = []
+            for s in range(req.n_samples - 1):
+                clone = state.cache.fork()
+                clone.policy_state = self.engine.policy.new_state(
+                    clone, total_tokens=req.total_tokens
+                )
+                lineages.append(
+                    _Lineage(
+                        cache=clone,
+                        decode_q=req.sample_decode_q[s],
+                        decode_k=req.sample_decode_k[s],
+                        decode_v=req.sample_decode_v[s],
+                    )
+                )
+            state.sample_lineages = lineages
+            self._record("fork", (req.request_id,))
+        if req.speculative and state.draft_state is None:
+            state.draft_state = self._resolve_draft().new_state(
+                state.cache, total_tokens=req.total_tokens
+            )
+            state.cache.policy_state = state.draft_state
+
+    def _release_request(self, state: _RequestState) -> None:
+        """Free every cache this request holds: all lineages + anchor."""
+        state.cache.release()
+        if state.sample_lineages:
+            for lin in state.sample_lineages:
+                lin.cache.release()
+        state.sample_lineages = None
+        if state.spec_anchor is not None:
+            state.spec_anchor.release()
+            state.spec_anchor = None
+        state.draft_state = None
+
+    def _live_caches(self, state: _RequestState):
+        """Every cache ``state`` currently holds blocks through."""
+        yield state.cache
+        if state.sample_lineages:
+            for lin in state.sample_lineages:
+                yield lin.cache
+        if state.spec_anchor is not None:
+            yield state.spec_anchor
 
     def _preempt_one(self) -> None:
         # Never evict a finished-but-uncollected request: its blocks are
@@ -1013,7 +1297,7 @@ class ContinuousScheduler:
         candidates = [s for s in self.active if not s.done]
         victim = self.policy_obj.select_victim(self, candidates)
         self.active.remove(victim)
-        victim.cache.release()
+        self._release_request(victim)
         # Un-bill the discarded attempt: fair queueing accounts delivered
         # tokens, and everything this attempt produced is thrown away
         # (the replay will be billed when it actually delivers).
@@ -1086,14 +1370,18 @@ class ContinuousScheduler:
         for state in self.active:
             if state.done:
                 continue
-            blocks = state.cache.block_table
-            if not blocks:
-                continue
-            protected.add(blocks[-1])
-            if sink:
-                protected.update(blocks[: -(-min(sink, state.cache.length) // bs)])
-            if recent:
-                protected.update(blocks[max(0, state.cache.length - recent) // bs :])
+            # Every live cache of the request: forked sample lineages and
+            # the speculative rollback anchor have write tails and
+            # sink/recent windows of their own.
+            for cache in self._live_caches(state):
+                blocks = cache.block_table
+                if not blocks:
+                    continue
+                protected.add(blocks[-1])
+                if sink:
+                    protected.update(blocks[: -(-min(sink, cache.length) // bs)])
+                if recent:
+                    protected.update(blocks[max(0, cache.length - recent) // bs :])
         pool.set_protected(protected)
 
     def _tier_round(self) -> int:
@@ -1163,7 +1451,7 @@ class ContinuousScheduler:
         legacy interleaved loop.
         """
         round_ids: List[str] = []
-        pending: List[_RequestState] = []
+        pending: List[Tuple[_RequestState, object]] = []
         batching = self.batched_decode and getattr(
             self.engine, "supports_batched_decode", False
         )
@@ -1173,80 +1461,112 @@ class ContinuousScheduler:
             if state.done or state.prefilling:
                 i += 1
                 continue
-            t = state.next_step
             req = state.request
-            try:
-                self.engine.decode_append(
-                    state.cache, req.decode_k[:, t, :], req.decode_v[:, t, :]
-                )
-            except PoolExhausted:
-                # Flush before preempting (see docstring): victim
-                # selection, trace order and timing marks must match the
-                # per-request loop exactly.  (Flushing before a *spill*
-                # keeps the same equivalence: already-appended requests
-                # filter against pre-spill planes in both modes.)
+            if req.speculative:
+                # A speculative round runs the verifier once over the
+                # whole draft block; flush the fused batch first so the
+                # trace order matches the per-request loop.
                 self._flush_decode(pending, round_ids)
-                tail = state.cache.block_table[-1:]  # the append's write target
-                if self._relieve_pressure(avoid=tail):
-                    self._record("spill", (req.request_id,))
-                    continue
-                if len(self.active) == 1:
-                    # Defensive: _check_footprints guarantees a lone
-                    # request's blocks always fit, so this only fires if
-                    # something else squats on the pool.
-                    raise RuntimeError(
-                        f"token budget {self.token_budget} cannot hold request "
-                        f"{req.request_id!r} alone; raise --budget or shrink the request"
-                    )
-                # Policy-chosen victim: may sit anywhere in the active
-                # list (SLO-aware policies evict the lowest class, not
-                # necessarily the tail), so re-locate the raiser and retry
-                # it; if the raiser itself was evicted, the element now at
-                # slot i is the next one due.
-                self._preempt_one()
+                self._spec_round(state, round_ids)
                 if state in self.active:
-                    i = self.active.index(state)
+                    i = self.active.index(state) + 1
+                # else: the element now at slot i is the next one due.
                 continue
-            pending.append(state)
-            if not batching:
-                self._flush_decode(pending, round_ids)
-            i += 1
+            evicted = False
+            units = state.decode_units()
+            j = 0
+            while j < len(units):
+                unit = units[j]
+                if unit.next_step >= req.decode_steps:
+                    j += 1
+                    continue
+                t = unit.next_step
+                try:
+                    self.engine.decode_append(
+                        unit.cache, unit.decode_k[:, t, :], unit.decode_v[:, t, :]
+                    )
+                except PoolExhausted:
+                    # Flush before preempting (see docstring): victim
+                    # selection, trace order and timing marks must match the
+                    # per-request loop exactly.  (Flushing before a *spill*
+                    # keeps the same equivalence: already-appended requests
+                    # filter against pre-spill planes in both modes.)
+                    self._flush_decode(pending, round_ids)
+                    tail = unit.cache.block_table[-1:]  # the append's write target
+                    if self._relieve_pressure(avoid=tail):
+                        self._record("spill", (req.request_id,))
+                        continue
+                    if len(self.active) == 1:
+                        # Defensive: _check_footprints guarantees a lone
+                        # request's blocks always fit, so this only fires if
+                        # something else squats on the pool.
+                        raise RuntimeError(
+                            f"token budget {self.token_budget} cannot hold request "
+                            f"{req.request_id!r} alone; raise --budget or shrink the request"
+                        )
+                    # Policy-chosen victim: may sit anywhere in the active
+                    # list (SLO-aware policies evict the lowest class, not
+                    # necessarily the tail), so preempt and retry the same
+                    # lineage unit; if the raiser itself was evicted, every
+                    # lineage died with it.
+                    self._preempt_one()
+                    if state not in self.active:
+                        evicted = True
+                        break
+                    continue
+                pending.append((state, unit))
+                if not batching:
+                    self._flush_decode(pending, round_ids)
+                j += 1
+            if evicted:
+                # The element now at slot i is the next one due.
+                continue
+            i = self.active.index(state) + 1
         self._flush_decode(pending, round_ids)
         if round_ids:
             self._record("decode_round", tuple(round_ids))
         return len(round_ids)
 
     def _flush_decode(
-        self, pending: List[_RequestState], round_ids: List[str]
+        self,
+        pending: List[Tuple[_RequestState, object]],
+        round_ids: List[str],
     ) -> None:
         """Filter the appended-but-unfiltered steps and record results.
 
-        One request in ``pending`` routes through the plain policy
+        One unit in ``pending`` routes through the plain policy
         ``decode_step`` (no fusion overhead); more than one becomes a
         single fused cross-request filter call when the policy supports
-        it.  Either way the per-request bookkeeping below is identical.
+        it.  Either way the per-unit bookkeeping below is identical.
+
+        Each entry is a ``(state, unit)`` pair where ``unit`` is either
+        the state itself (the primary lineage) or one of its forked
+        :class:`_Lineage` siblings.  Streaming and first-token timing
+        belong to the primary only — sibling samples are delivered in
+        the final result, not on the token stream.
         """
         if not pending:
             return
         results = self.engine.decode_attend_batch(
-            [s.cache for s in pending],
-            [s.request.decode_q[:, s.next_step, :] for s in pending],
+            [unit.cache for _, unit in pending],
+            [unit.decode_q[:, unit.next_step, :] for _, unit in pending],
         )
         tiered = self.pool is not None and self.pool.tiering is not None
-        for state, res in zip(pending, results):
-            t = state.next_step
-            state.outputs.append(res.output[:, 0, :])
-            state.retained_history.append(res.retained[:, 0, :])
-            state.next_step = t + 1
+        for (state, unit), res in zip(pending, results):
+            t = unit.next_step
+            unit.outputs.append(res.output[:, 0, :])
+            unit.retained_history.append(res.retained[:, 0, :])
+            unit.next_step = t + 1
             self.decoded_tokens += 1
             if tiered and any(
                 self.pool.resident_planes(b) < self.pool.bits
-                for b in state.cache.block_table
+                for b in unit.cache.block_table
             ):
                 # This token was scored against partial-plane keys: the
                 # accuracy-vs-pressure quantity the serving report tracks.
                 self.degraded_tokens += 1
-            if self.token_sink is not None:
+            primary = unit is state
+            if primary and self.token_sink is not None:
                 rid = state.request.request_id
                 # A post-preemption replay recomputes byte-identical
                 # tokens; only steps past the high-water mark stream.
@@ -1254,12 +1574,153 @@ class ContinuousScheduler:
                     self._streamed[rid] = t + 1
                     self.token_sink(rid, t, res.output[:, 0, :])
             self._charge_service(state, 1.0)
-            if t == 0:
+            if primary and t == 0:
                 timing = self._timings[state.request.request_id]
                 if timing.first_token_time is None:
                     timing.first_token_time = self.time + 1.0
             round_ids.append(state.request.request_id)
         pending.clear()
+
+    # -- speculative decoding ------------------------------------------
+    def _append_with_relief(
+        self, state: _RequestState, k_step: np.ndarray, v_step: np.ndarray
+    ) -> bool:
+        """Append one token to ``state.cache``, walking the relief ladder.
+
+        Mirrors the decode loop's ``PoolExhausted`` handling: spill first
+        (keeping the append's write target resident), preempt as a last
+        resort.  Returns ``False`` when the victim turned out to be
+        ``state`` itself — everything it held (working cache, lineages,
+        speculative anchor) was released and it is back in the queue.
+        """
+        while True:
+            try:
+                self.engine.decode_append(state.cache, k_step, v_step)
+                return True
+            except PoolExhausted:
+                tail = state.cache.block_table[-1:]
+                if self._relieve_pressure(avoid=tail):
+                    self._record("spill", (state.request.request_id,))
+                    continue
+                if len(self.active) == 1:
+                    raise RuntimeError(
+                        f"token budget {self.token_budget} cannot hold request "
+                        f"{state.request.request_id!r} alone; raise --budget or "
+                        f"shrink the request"
+                    ) from None
+                self._preempt_one()
+                if state not in self.active:
+                    return False
+
+    def _spec_rollback(self, state: _RequestState) -> None:
+        """Rewind a rejected draft block to the pre-round fork point.
+
+        The working cache (holding the speculated tail) drops its
+        references; the anchor fork becomes the live cache again and the
+        draft's per-request policy state is re-attached to it, so the
+        next draft pass sees exactly the state it saw at the round
+        boundary.
+        """
+        anchor = state.spec_anchor
+        state.spec_anchor = None
+        state.cache.release()
+        state.cache = anchor
+        anchor.policy_state = state.draft_state
+
+    def _spec_round(self, state: _RequestState, round_ids: List[str]) -> None:
+        """One draft-verify cycle for a speculative request (DESIGN.md §17).
+
+        Fork the cache at the round boundary (the rollback anchor), let
+        the cheap draft policy append and score up to ``draft_tokens``
+        tokens, then verify the whole block with one PADE attend over
+        the appended queries — query ``j`` sits at position
+        ``base_len + j``, exactly where decode step ``t0 + j`` would, so
+        causal offsets line up automatically.  The leading run of draft
+        outputs within ``spec_accept_tol`` relative L2 of the verifier's
+        is accepted; the verifier's own output is emitted at the first
+        reject (the bonus token), so a round always advances at least
+        one step.  On a reject the cache rewinds to the anchor and the
+        emitted prefix is re-appended — the modeled re-quantize cost of
+        rollback.
+        """
+        req = state.request
+        draft = self._resolve_draft()
+        rid = req.request_id
+        t0 = state.next_step
+        gamma = min(max(1, int(req.draft_tokens)), req.decode_steps - t0)
+        base_len = state.cache.length
+        state.spec_anchor = state.cache.fork()
+        draft_outs: List[np.ndarray] = []
+        for j in range(gamma):
+            step = t0 + j
+            if not self._append_with_relief(
+                state, req.decode_k[:, step, :], req.decode_v[:, step, :]
+            ):
+                return  # evicted: anchor and working cache already freed
+            # engine=None: the draft pass is bookkept as part of the
+            # speculative round, not as standalone decode-step stats.
+            dres = draft.decode_step(None, state.cache, req.decode_q[:, step, :])
+            draft_outs.append(dres.output[:, 0, :])
+        vres = self.engine.policy.prefill(
+            self.engine, state.cache, req.decode_q[:, t0 : t0 + gamma, :]
+        )
+        accepted = 0
+        for j in range(gamma):
+            verify = vres.output[:, j, :]
+            err = float(np.linalg.norm(draft_outs[j] - verify))
+            if err <= self.spec_accept_tol * (float(np.linalg.norm(verify)) + 1e-12):
+                accepted += 1
+            else:
+                break
+        emitted = gamma if accepted == gamma else accepted + 1
+        self.spec_rounds += 1
+        self.spec_drafted_tokens += gamma
+        self.spec_accepted_tokens += accepted
+        self.spec_emitted_tokens += emitted
+        tiered = self.pool is not None and self.pool.tiering is not None
+        degraded = tiered and any(
+            self.pool.resident_planes(b) < self.pool.bits
+            for b in state.cache.block_table
+        )
+        timing = self._timings[rid]
+        for j in range(emitted):
+            t = t0 + j
+            out = vres.output[:, j, :]
+            state.outputs.append(out)
+            # Query j only sees keys up to its own position; clip the
+            # padded retained row back to the causal prefix.
+            state.retained_history.append(
+                vres.retained[:, j, : base_len + j + 1].copy()
+            )
+            self.decoded_tokens += 1
+            if degraded:
+                self.degraded_tokens += 1
+            if self.token_sink is not None and t >= self._streamed.get(rid, 0):
+                self._streamed[rid] = t + 1
+                self.token_sink(rid, t, out)
+            self._charge_service(state, 1.0)
+            if t == 0 and timing.first_token_time is None:
+                timing.first_token_time = self.time + 1.0
+            round_ids.append(rid)
+        state.next_step = t0 + emitted
+        if emitted == gamma:
+            # Full acceptance: the working cache is already correct; the
+            # anchor just drops its shared references.
+            anchor = state.spec_anchor
+            state.spec_anchor = None
+            anchor.release()
+        else:
+            self.spec_rollbacks += 1
+            self._spec_rollback(state)
+            # Replay the accepted prefix onto the anchor; the rejected
+            # draft tail vanished with the working cache.
+            for j in range(emitted):
+                step = t0 + j
+                if not self._append_with_relief(
+                    state, req.decode_k[:, step, :], req.decode_v[:, step, :]
+                ):
+                    return
+        self._record("spec", (rid,))
 
     # ------------------------------------------------------------------
     def _extend_with_preemption(self, state: _RequestState, tokens: int) -> int:
@@ -1352,11 +1813,22 @@ class ContinuousScheduler:
         decode_outputs = _stack_decode_outputs(
             req, state.outputs if state is not None else []
         )
+        lineages = state.sample_lineages if state is not None else None
+        sample_outputs = (
+            [_stack_decode_outputs(req, lin.outputs) for lin in lineages]
+            if lineages
+            else []
+        )
+        sample_retained = (
+            [lin.retained_history for lin in lineages] if lineages else []
+        )
         timing = self._timings[req.request_id]
         return RequestResult(
             request_id=req.request_id,
             prefill_output=state.prefill_output if state is not None else None,
             decode_outputs=decode_outputs,
+            sample_outputs=sample_outputs,
+            sample_retained=sample_retained,
             retained_history=state.retained_history if state is not None else [],
             final_length=state.cache.length if state is not None else 0,
             arrival_time=timing.arrival_time,
@@ -1430,7 +1902,7 @@ class ContinuousScheduler:
             results[req.request_id] = self._build_result(
                 req, state, status="aborted", abort_reason=reason
             )
-            state.cache.release()
+            self._release_request(state)
             self._cancelled.discard(req.request_id)
             self._record("abort", (req.request_id,))
         self.active = still_active
@@ -1442,8 +1914,21 @@ class ContinuousScheduler:
                 still_active.append(state)
                 continue
             req = state.request
+            if state.sample_lineages:
+                # Pool amplification accounting at the moment of maximal
+                # divergence: unique physical blocks across every lineage
+                # vs what n independent caches would have held.
+                tables = set(state.cache.block_table)
+                for lineage in state.sample_lineages:
+                    tables.update(lineage.cache.block_table)
+                self.parallel_requests += 1
+                self.parallel_unique_blocks += len(tables)
+                self.parallel_single_blocks += len(state.cache.block_table)
+                self.parallel_replicated_blocks += (
+                    len(state.cache.block_table) * req.n_samples
+                )
             results[req.request_id] = self._build_result(req, state)
-            state.cache.release()
+            self._release_request(state)
             self._cancelled.discard(req.request_id)  # finished first: too late
             self._record("finish", (req.request_id,))
         self.active = still_active

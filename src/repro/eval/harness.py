@@ -994,6 +994,11 @@ def serving_profile(
     tiering: bool = False,
     tier_min_planes: int = 2,
     tier_restore_blocks: int = 4,
+    speculative: bool = False,
+    parallel_samples: int = 1,
+    draft_policy: str = "streaming-llm",
+    draft_tokens: int = 4,
+    spec_accept_tol: float = 0.05,
 ) -> Dict[str, float]:
     """Continuous-batching serving profile over the paged bit-plane pool.
 
@@ -1007,8 +1012,10 @@ def serving_profile(
     :data:`repro.engine.SCHEDULING_POLICIES`); ``scenario`` swaps the
     plain Poisson stream for a named scenario workload
     (:func:`repro.eval.workloads.build_scenario_workload`: ``bursty`` /
-    ``diurnal`` / ``heavy_tail`` / ``multi_tenant``), with ``tenants``
-    tenants in the multi-tenant mix.  ``round_tokens`` activates the
+    ``diurnal`` / ``heavy_tail`` / ``multi_tenant`` / ``agentic`` /
+    ``rag_burst``), with ``tenants`` tenants in the multi-tenant mix;
+    under a scenario, ``prefix_sharing`` is the pool knob only (the
+    agentic scenario's turn-over-turn prompts need it to hit).  ``round_tokens`` activates the
     prefill cost model and ``chunk`` the chunked-prefill split.
     ``attention`` selects the attention policy from
     :data:`repro.attention.policy.POLICY_REGISTRY` (PADE or any
@@ -1034,10 +1041,23 @@ def serving_profile(
     the per-round prefetch-restore cap — the report gains the
     accuracy-vs-pressure columns (``degraded_token_fraction``,
     ``planes_resident_*``, spill/restore bytes).
+    ``speculative`` swaps the stream for a draft-friendly workload
+    (:func:`repro.eval.workloads.build_speculative_workload`) served in
+    draft-verify mode — ``draft_policy`` picks the draftable proposer,
+    ``draft_tokens`` the per-round draft depth, ``spec_accept_tol`` the
+    relative-L2 acceptance tolerance — and the report gains the
+    ``spec_*`` block (rounds, drafted/accepted/emitted tokens,
+    accepted-tokens-per-round, rollbacks).  ``parallel_samples`` > 1
+    forks every request into that many n-best decode lineages off one
+    shared prefill (:func:`repro.eval.workloads.build_parallel_workload`),
+    adding the ``parallel_*`` / ``pool_amplification_factor`` columns.
+    Both modes run on the PADE policy only and are mutually exclusive
+    with each other and with ``--scenario`` / ``--prefix-sharing``.
     Deterministic for a given seed — safe for ``--json`` smoke runs; the
     CLI exposes ``--rate/--budget/--sched-policy/--scenario/--tenants/
     --prefix-sharing/--chunk/--round-tokens/--attention/--async/--port/
-    --tiering/--tier-min-planes/--tier-restore-blocks``.
+    --tiering/--tier-min-planes/--tier-restore-blocks/--speculative/
+    --parallel-samples/--draft-policy/--draft-tokens/--spec-accept-tol``.
     """
     from repro.engine import PadeEngine
     from repro.eval.serving_metrics import summarize_serving
@@ -1049,9 +1069,32 @@ def serving_profile(
 
     engine = PadeEngine(PadeConfig.standard(), policy=attention)
     tenant_weights = None
-    if scenario is not None:
-        if prefix_sharing:
-            raise ValueError("prefix_sharing uses its own workload; drop --scenario")
+    if speculative and parallel_samples > 1:
+        raise ValueError("speculative and parallel_samples > 1 are exclusive")
+    if (speculative or parallel_samples > 1) and (scenario or prefix_sharing):
+        raise ValueError(
+            "speculative / parallel sampling build their own workloads; "
+            "drop --scenario / --prefix-sharing"
+        )
+    if speculative:
+        from repro.eval.workloads import build_speculative_workload
+
+        workload = build_speculative_workload(
+            requests, num_heads, context, steps, head_dim,
+            rate=rate, seed=seed, draft_tokens=draft_tokens,
+        )
+    elif parallel_samples > 1:
+        from repro.eval.workloads import build_parallel_workload
+
+        workload = build_parallel_workload(
+            requests, num_heads, context, steps, head_dim,
+            n_samples=parallel_samples, rate=rate, seed=seed,
+        )
+    elif scenario is not None:
+        # With a scenario, --prefix-sharing is the pool knob only (the
+        # scenario keeps its own workload): the agentic scenario in
+        # particular generates turn-over-turn growing prompts whose
+        # shared prefixes only pay off with pool sharing enabled.
         specs = None
         if scenario == "multi_tenant":
             from repro.eval.workloads import default_tenant_specs
@@ -1088,6 +1131,8 @@ def serving_profile(
         round_token_budget=round_tokens,
         tenant_weights=tenant_weights,
         batched_decode=batched,
+        draft_policy=draft_policy,
+        spec_accept_tol=spec_accept_tol,
     )
     if tiering:
         from repro.engine.cache import TierConfig
@@ -1122,6 +1167,8 @@ def serving_profile(
             policy=policy,
             attention=attention,
             prefix_sharing=prefix_sharing,
+            draft_policy=draft_policy,
+            spec_accept_tol=spec_accept_tol,
         )
         report = ack["report"]
     elif async_serve:
@@ -1164,6 +1211,10 @@ def serving_profile(
         "async_serve": float(async_serve),
         "replicas_configured": float(replicas),
         "routing": routing,
+        "speculative": float(speculative),
+        "parallel_samples": float(parallel_samples),
+        "draft_policy_configured": draft_policy if speculative else "",
+        "draft_tokens_configured": float(draft_tokens),
         **report,
         "engine_sparsity": engine.stats.sparsity,
     }

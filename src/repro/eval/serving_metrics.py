@@ -332,7 +332,14 @@ def summarize_serving(
             t.wall_queueing_ms for t in completed if t.wall_queueing_ms is not None
         ]
         report.update(latency_percentiles(wall_ttft, "wall_ttft_ms"))
-        report.update(latency_percentiles(wall_tpot, "wall_tpot_ms"))
+        if wall_tpot:
+            report.update(latency_percentiles(wall_tpot, "wall_tpot_ms"))
+        else:
+            # Every completion streamed <= 1 token, so no TPOT sample
+            # exists (the first token is TTFT's).  Emit only the count:
+            # zero percentiles here would read as a measured 0.0 ms per
+            # token instead of "no data".
+            report["n_wall_tpot_ms"] = 0.0
         report.update(latency_percentiles(wall_queue, "wall_queueing_ms"))
         wall_start = [t.wall_arrival_ms for t in timings if t.wall_arrival_ms is not None]
         wall_end = [t.wall_finish_ms for t in timings if t.wall_finish_ms is not None]
@@ -448,6 +455,35 @@ def summarize_serving(
             dram = pool.tier_dram_stats()
             report["tier_restore_cycles"] = float(dram["restore"].cycles)
             report["tier_restore_energy_pj"] = float(dram["restore"].energy_pj)
+        if getattr(scheduler, "spec_rounds", 0):
+            # Draft-verify speculative decoding: the headline is emitted
+            # tokens per verifier round (plain decode is 1.0 by
+            # construction — one token per round per request).
+            report["spec_rounds"] = float(scheduler.spec_rounds)
+            report["spec_drafted_tokens"] = float(scheduler.spec_drafted_tokens)
+            report["spec_accepted_tokens"] = float(scheduler.spec_accepted_tokens)
+            report["spec_emitted_tokens"] = float(scheduler.spec_emitted_tokens)
+            report["spec_rollbacks"] = float(scheduler.spec_rollbacks)
+            report["accepted_tokens_per_round"] = (
+                scheduler.spec_emitted_tokens / scheduler.spec_rounds
+            )
+            report["draft_acceptance_rate"] = (
+                scheduler.spec_accepted_tokens
+                / max(1, scheduler.spec_drafted_tokens)
+            )
+        if getattr(scheduler, "parallel_requests", 0):
+            # n-best parallel sampling: amplification is unique physical
+            # blocks across all lineages over one lineage's blocks — 1.0
+            # means perfect sharing, n means no sharing at all.
+            report["parallel_requests"] = float(scheduler.parallel_requests)
+            report["parallel_unique_blocks"] = float(scheduler.parallel_unique_blocks)
+            report["parallel_replicated_blocks"] = float(
+                scheduler.parallel_replicated_blocks
+            )
+            report["pool_amplification_factor"] = (
+                scheduler.parallel_unique_blocks
+                / max(1, scheduler.parallel_single_blocks)
+            )
         engine = getattr(scheduler, "engine", None)
         stats = getattr(engine, "stats", None)
         if stats is not None:

@@ -36,6 +36,9 @@ __all__ = [
     "build_serving_workload",
     "build_prefix_workload",
     "build_cluster_workload",
+    "build_speculative_request",
+    "build_speculative_workload",
+    "build_parallel_workload",
     "SCENARIO_KINDS",
     "TenantSpec",
     "default_tenant_specs",
@@ -416,6 +419,165 @@ def build_prefix_workload(
 
 
 # ---------------------------------------------------------------------------
+# Speculative & parallel-sampling workloads (ISSUE 10)
+# ---------------------------------------------------------------------------
+
+def build_speculative_request(
+    request_id: str,
+    num_heads: int,
+    context_len: int,
+    decode_steps: int,
+    head_dim: int,
+    seed: int = 0,
+    arrival_time: float = 0.0,
+    speculative: bool = True,
+    draft_tokens: int = 4,
+    sink_gain: float = 18.0,
+    anti_gain: float = 18.0,
+    noise: float = 0.05,
+):
+    """One draft-friendly request for draft-verify speculative decoding.
+
+    The geometry concentrates softmax mass on the attention sinks: the
+    first four keys align strongly with every query (``sink_gain``),
+    everything else anti-aligns (``-anti_gain``), so both the cheap
+    positional draft (StreamingLLM keeps sinks + recency window) and the
+    PADE verifier (the filter prunes the hopeless middle) reduce to the
+    same sink-dominated attention — the regime where draft acceptance is
+    high and speculation pays.  The gains must overwhelm the *count* of
+    anti-aligned keys, not just their individual scores: the per-key
+    logit gap is ``(sink_gain + anti_gain) / sqrt(head_dim)``, and the
+    collective leaked mass is ``context_len * exp(-gap)``, so at
+    ``head_dim=32`` the defaults leave < 1% of the softmax mass off the
+    sinks even at ``context_len=256`` (gain 6 leaks ~45% at 32 keys and
+    zeroes out acceptance).  ``speculative=False`` returns the same
+    tensors as a plain request, the parity arm of ``bench_spec``.
+    """
+    from repro.engine import EngineRequest
+
+    rng = np.random.default_rng(seed)
+    ks, vs, qps, dqs, dks, dvs = [], [], [], [], [], []
+    for _ in range(num_heads):
+        u = rng.normal(size=head_dim)
+        u /= np.linalg.norm(u)
+
+        def rows(n: int, gain: float) -> np.ndarray:
+            return gain * u[None, :] + noise * rng.normal(size=(n, head_dim))
+
+        sinks = min(4, context_len)
+        ks.append(np.concatenate([rows(sinks, sink_gain),
+                                  rows(context_len - sinks, -anti_gain)]))
+        vs.append(rng.normal(size=(context_len, head_dim)))
+        qps.append(rows(1, 1.0))
+        dqs.append(rows(decode_steps, 1.0))
+        dks.append(rows(decode_steps, -anti_gain))
+        dvs.append(rng.normal(size=(decode_steps, head_dim)))
+    return EngineRequest(
+        request_id=request_id,
+        k=np.stack(ks),
+        v=np.stack(vs),
+        q_prompt=np.stack(qps),
+        decode_q=np.stack(dqs) if decode_steps else None,
+        decode_k=np.stack(dks) if decode_steps else None,
+        decode_v=np.stack(dvs) if decode_steps else None,
+        arrival_time=arrival_time,
+        speculative=speculative,
+        draft_tokens=draft_tokens,
+    )
+
+
+def build_speculative_workload(
+    num_requests: int,
+    num_heads: int,
+    context_len: int,
+    decode_steps: int,
+    head_dim: int,
+    rate: Optional[float] = None,
+    seed: int = 0,
+    speculative: bool = True,
+    draft_tokens: int = 4,
+):
+    """Timed draft-friendly requests (everyone at 0 when ``rate`` is None)."""
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    times = (
+        poisson_arrival_times(num_requests, rate, seed=seed)
+        if rate is not None
+        else np.zeros(num_requests)
+    )
+    return [
+        build_speculative_request(
+            f"req{i}", num_heads, context_len, decode_steps, head_dim,
+            seed=seed + 131 * (i + 1), arrival_time=float(times[i]),
+            speculative=speculative, draft_tokens=draft_tokens,
+        )
+        for i in range(num_requests)
+    ]
+
+
+def build_parallel_workload(
+    num_requests: int,
+    num_heads: int,
+    context_len: int,
+    decode_steps: int,
+    head_dim: int,
+    n_samples: int = 4,
+    rate: Optional[float] = None,
+    profile: str = "nlp",
+    seed: int = 0,
+):
+    """n-best parallel-sampling requests: one prompt, ``n_samples`` lineages.
+
+    Each request carries ``n_samples - 1`` extra decode streams (drawn
+    from the same synthesis as the primary, decorrelated seeds) that the
+    scheduler serves as COW-forked lineages off the shared prefill —
+    the workload behind the pool-amplification gate.  ``n_samples=1``
+    degenerates to :func:`build_serving_workload`-style plain requests.
+    """
+    from dataclasses import replace
+
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    times = (
+        poisson_arrival_times(num_requests, rate, seed=seed)
+        if rate is not None
+        else np.zeros(num_requests)
+    )
+    requests = []
+    for i in range(num_requests):
+        base = build_engine_request(
+            f"req{i}", num_heads, context_len, decode_steps, head_dim,
+            profile=profile, seed=seed + 101 * (i + 1),
+            arrival_time=float(times[i]),
+        )
+        if n_samples == 1 or decode_steps == 0:
+            requests.append(base)
+            continue
+        # Sibling decode streams from the same generator, so every
+        # lineage's tensor statistics match the primary's.
+        sq, sk, sv = [], [], []
+        for s in range(n_samples - 1):
+            sib = build_engine_request(
+                f"req{i}", num_heads, context_len, decode_steps, head_dim,
+                profile=profile, seed=seed + 101 * (i + 1) + 7919 * (s + 1),
+            )
+            sq.append(sib.decode_q)
+            sk.append(sib.decode_k)
+            sv.append(sib.decode_v)
+        requests.append(
+            replace(
+                base,
+                sample_decode_q=np.stack(sq),
+                sample_decode_k=np.stack(sk),
+                sample_decode_v=np.stack(sv),
+            )
+        )
+    return requests
+
+
+# ---------------------------------------------------------------------------
 # Scenario workload suite (ISSUE 5): diverse, seed-deterministic traffic
 # ---------------------------------------------------------------------------
 
@@ -557,7 +719,9 @@ def default_tenant_specs(
 
 
 #: Scenario kinds build_scenario_workload understands.
-SCENARIO_KINDS = ("bursty", "diurnal", "heavy_tail", "multi_tenant")
+SCENARIO_KINDS = (
+    "bursty", "diurnal", "heavy_tail", "multi_tenant", "agentic", "rag_burst",
+)
 
 
 def build_cluster_workload(
@@ -613,6 +777,82 @@ def build_cluster_workload(
     return merged
 
 
+def _build_agentic_workload(
+    num_requests: int,
+    num_heads: int,
+    head_dim: int,
+    context_len: int,
+    decode_steps: int,
+    rate: float,
+    profile: str,
+    seed: int,
+    turns: int = 4,
+    think_rounds: float = 3.0,
+):
+    """Multi-turn conversations whose prompts grow turn by turn.
+
+    One K/V stream per conversation; turn ``t``'s prompt is its first
+    ``context_len + t * turn_len`` rows, so consecutive turns replay the
+    previous prompt verbatim.  Rows past the first turn (and the decode
+    keys) are clipped to the first turn's per-head max-abs, so every
+    turn freezes identical quantization scales and the grown prompts
+    share quantized prefix blocks — the prefix-cache + tiering traffic
+    shape.  Turns within a conversation are spaced ``think_rounds``
+    apart from a Poisson conversation start — short enough that turn
+    ``t+1`` usually arrives while turn ``t`` still decodes, since the
+    pool's prefix index drops keys when the donor's blocks free.
+    """
+    from repro.engine import EngineRequest
+
+    convs = -(-num_requests // turns)
+    starts = poisson_arrival_times(convs, max(rate / turns, 1e-6), seed=seed)
+    prof = PROFILE_PRESETS[profile]
+    turn_len = max(8, context_len // 2)
+    requests = []
+    for c in range(convs):
+        rng_c = np.random.default_rng(seed + 4243 * (c + 1))
+        full_len = context_len + (turns - 1) * turn_len
+        ks, vs = [], []
+        for _ in range(num_heads):
+            _, k, v = synthesize_qkv(1, full_len, head_dim, prof, rng_c)
+            ks.append(k)
+            vs.append(v)
+        ks, vs = np.stack(ks), np.stack(vs)
+        caps = np.abs(ks[:, :context_len]).reshape(num_heads, -1).max(axis=1)
+        for h in range(num_heads):
+            np.clip(ks[h, context_len:], -caps[h], caps[h], out=ks[h, context_len:])
+        for t in range(turns):
+            if len(requests) == num_requests:
+                break
+            plen = context_len + t * turn_len
+            rng_t = np.random.default_rng(seed + 4243 * (c + 1) + 97 * (t + 1))
+            qp, dq, dk, dv = [], [], [], []
+            for h in range(num_heads):
+                q, kd, vd = synthesize_qkv(
+                    1 + decode_steps, plen + decode_steps, head_dim, prof, rng_t
+                )
+                np.clip(kd, -caps[h], caps[h], out=kd)
+                qp.append(q[:1])
+                dq.append(q[1:])
+                dk.append(kd[plen:])
+                dv.append(vd[plen:])
+            requests.append(
+                EngineRequest(
+                    request_id=f"c{c}-t{t}",
+                    k=ks[:, :plen].copy(),
+                    v=vs[:, :plen].copy(),
+                    q_prompt=np.stack(qp),
+                    decode_q=np.stack(dq) if decode_steps else None,
+                    decode_k=np.stack(dk) if decode_steps else None,
+                    decode_v=np.stack(dv) if decode_steps else None,
+                    arrival_time=float(starts[c] + t * think_rounds),
+                    tenant=f"c{c}",
+                )
+            )
+    requests.sort(key=lambda r: (r.arrival_time, r.request_id))
+    return requests
+
+
 def build_scenario_workload(
     kind: str,
     num_requests: int,
@@ -654,6 +894,17 @@ def build_scenario_workload(
       deadline/queueing SLO and prompt shape (``tenant_specs``, default
       :func:`default_tenant_specs` over ``tenants`` tenants); request ids
       carry the tenant name (``t0-req3``).
+    * ``agentic`` — multi-turn conversations: each conversation's prompt
+      grows turn by turn (turn ``t`` replays turns ``0..t-1`` verbatim
+      plus a new suffix, calibration pinned by the first turn so the
+      grown prompts share quantized prefix blocks), with think-time gaps
+      between turns — the traffic that exercises prefix sharing and
+      tiering together.  Request ids are ``c{c}-t{t}``, tenant is the
+      conversation.
+    * ``rag_burst`` — RAG-style long-prompt bursts: Markov-modulated
+      arrivals (as ``bursty``) but with 4x prompts and halved outputs —
+      retrieval dumps a long document context, the answer is short, and
+      whole bursts of them land at once.
 
     Every kind is a pure function of its arguments: the same ``seed``
     reproduces the same arrival times, lengths, tenants and tensors —
@@ -711,7 +962,13 @@ def build_scenario_workload(
         requests.sort(key=lambda r: (r.arrival_time, r.request_id))
         return requests
 
-    if kind == "bursty":
+    if kind == "agentic":
+        return _build_agentic_workload(
+            num_requests, num_heads, head_dim, context_len, decode_steps,
+            rate, profile, seed,
+        )
+
+    if kind in ("bursty", "rag_burst"):
         times = bursty_arrival_times(
             num_requests, rate, burst_factor=burst_factor,
             switch_prob=switch_prob, seed=seed,
@@ -722,6 +979,11 @@ def build_scenario_workload(
         )
     else:  # heavy_tail
         times = poisson_arrival_times(num_requests, rate, seed=seed)
+
+    if kind == "rag_burst":
+        # Long retrieved contexts, short grounded answers.
+        context_len = 4 * context_len
+        decode_steps = max(1, decode_steps // 2)
 
     rng = np.random.default_rng(seed + 1)
     if kind == "heavy_tail":

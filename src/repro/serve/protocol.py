@@ -107,13 +107,25 @@ def result_digests(result) -> Dict[str, str]:
     }
 
 
-_TENSOR_FIELDS = ("k", "v", "q_prompt", "decode_q", "decode_k", "decode_v")
+_TENSOR_FIELDS = (
+    "k",
+    "v",
+    "q_prompt",
+    "decode_q",
+    "decode_k",
+    "decode_v",
+    "sample_decode_q",
+    "sample_decode_k",
+    "sample_decode_v",
+)
 _SCALAR_FIELDS = (
     "arrival_time",
     "tenant",
     "priority",
     "deadline_ms",
     "max_queue_ms",
+    "speculative",
+    "draft_tokens",
 )
 
 
@@ -137,6 +149,8 @@ def decode_request(obj: Dict, arrival_time: Optional[float] = None) -> EngineReq
     kwargs["priority"] = int(obj.get("priority", 0))
     kwargs["deadline_ms"] = obj.get("deadline_ms")
     kwargs["max_queue_ms"] = obj.get("max_queue_ms")
+    kwargs["speculative"] = bool(obj.get("speculative", False))
+    kwargs["draft_tokens"] = int(obj.get("draft_tokens", 4))
     request = EngineRequest(request_id=str(obj["request_id"]), **kwargs)
     if arrival_time is not None:
         request = replace(request, arrival_time=float(arrival_time))

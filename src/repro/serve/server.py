@@ -406,6 +406,8 @@ async def _amain(args) -> int:
         block_size=args.block_size,
         policy=args.policy,
         prefix_sharing=args.prefix_sharing,
+        draft_policy=args.draft_policy,
+        spec_accept_tol=args.spec_accept_tol,
     )
     await server.start()
     print(f"serving on {server.host}:{server.port}")
@@ -425,6 +427,8 @@ def main(argv=None) -> int:
     parser.add_argument("--block-size", type=int, default=16)
     parser.add_argument("--policy", default="fcfs")
     parser.add_argument("--attention", default="pade")
+    parser.add_argument("--draft-policy", default="streaming-llm")
+    parser.add_argument("--spec-accept-tol", type=float, default=0.05)
     args = parser.parse_args(argv)
     return asyncio.run(_amain(args))
 
